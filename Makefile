@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser
+
+tables:
+	$(GO) run ./cmd/fdbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/planner
+	$(GO) run ./examples/lists
+	$(GO) run ./examples/temporal
+	$(GO) run ./examples/offline
+	$(GO) run ./examples/protocol
+	$(GO) run ./examples/verify
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,175 @@
+// Command fdbc is the funcdb compiler and query shell.
+//
+// Usage:
+//
+//	fdbc [flags] program.fdb
+//
+// The program file uses the surface syntax of package parser. Embedded
+// "?- ..." queries are answered after compilation. Flags:
+//
+//	-dump graph|eq|temporal|canonical|congr|min   print a specification
+//	-ask "?- Q."                              answer one yes-no query
+//	-answers "?- Q."                          build an answer specification
+//	-enum N                                   enumerate answers to depth N
+//	-stats                                    print size and work measures
+//	-export FILE                              write the spec as JSON
+//	-dot FILE                                 write the automaton as DOT
+//	-i                                        interactive shell
+//
+// Example:
+//
+//	fdbc -dump graph -ask '?- Meets(10, tony).' meetings.fdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"funcdb/internal/core"
+	"funcdb/internal/repl"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fdbc", flag.ContinueOnError)
+	dump := fs.String("dump", "", "print a specification: graph, eq, temporal, canonical, congr or min")
+	ask := fs.String("ask", "", "answer one yes-no query")
+	answers := fs.String("answers", "", "build and print an answer specification")
+	enum := fs.Int("enum", -1, "with -answers: enumerate ground answers to this term depth")
+	stats := fs.Bool("stats", false, "print size and work measures")
+	export := fs.String("export", "", "write the specification as JSON to this file")
+	dot := fs.String("dot", "", "write the successor automaton as Graphviz DOT to this file")
+	interactive := fs.Bool("i", false, "start an interactive shell after loading")
+	lint := fs.Bool("lint", false, "report dead rules and empty predicates")
+	maxCells := fs.Int("max-cells", 1_000_000, "abort if the engine needs more state cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fdbc [flags] program.fdb")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	var opts core.Options
+	opts.Engine.MaxCells = *maxCells
+	db, err := core.Open(string(src), opts)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		st, err := db.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("temporal:        %v\n", st.Temporal)
+		fmt.Printf("parameters:      %s\n", st.Params)
+		fmt.Printf("c / seed depth:  %d / %d\n", st.C, st.SeedDepth)
+		fmt.Printf("representatives: %d\n", st.Reps)
+		fmt.Printf("successor edges: %d\n", st.Edges)
+		fmt.Printf("primary tuples:  %d\n", st.Tuples)
+		fmt.Printf("equations |R|:   %d\n", st.Equations)
+		fmt.Printf("engine rounds:   %d\n", st.Engine.Rounds)
+		fmt.Printf("engine cells:    %d\n", st.Engine.Cells)
+	}
+
+	if *dump != "" {
+		if _, err := repl.Execute(db, "dump "+*dump, os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *lint {
+		if _, err := repl.Execute(db, "lint", os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			return err
+		}
+		if err := db.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *dot != "" {
+		doc, err := db.Document()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dot, []byte(doc.DOT()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *ask != "" {
+		yes, err := db.Ask(*ask)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  %v\n", *ask, yes)
+	}
+
+	printAnswers := func(qsrc string) error {
+		ans, err := db.Answers(qsrc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ans.Dump())
+		if *enum >= 0 {
+			fmt.Printf("ground answers to depth %d:\n", *enum)
+			return ans.Enumerate(*enum, func(ft term.Term, args []symbols.ConstID) bool {
+				fmt.Print("  ")
+				if ft != term.None {
+					fmt.Print(db.Universe().String(ft, db.Tab()))
+				}
+				for _, c := range args {
+					fmt.Print(" ", db.Tab().ConstName(c))
+				}
+				fmt.Println()
+				return true
+			})
+		}
+		return nil
+	}
+	if *answers != "" {
+		if err := printAnswers(*answers); err != nil {
+			return err
+		}
+	}
+
+	// Queries embedded in the source.
+	for _, q := range db.EmbeddedQueries() {
+		q := q
+		fmt.Printf("\n%s\n", q.Format(db.Tab()))
+		ans, err := db.AnswersQuery(&q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ans.Dump())
+	}
+
+	if *interactive {
+		return repl.Run(db, os.Stdin, os.Stdout)
+	}
+	return nil
+}

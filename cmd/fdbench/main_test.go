@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// Smoke tests: the fast tables must run without panicking. The full sweep
+// (t41 in particular) is exercised by `fdbench all` in the Makefile, not in
+// unit tests, to keep `go test ./...` quick.
+func TestFastTables(t *testing.T) {
+	for name, f := range map[string]func(){
+		"t43": t43,
+		"f2":  f2,
+		"a4":  a4,
+	} {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", name, r)
+				}
+			}()
+			f()
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Command fdbq answers membership queries from an exported specification
+// document — no program, no rules, no fixpoint engine. It is the consumer
+// side of fdbc -export.
+//
+// Usage:
+//
+//	fdbq -spec spec.json [flags] [QUERY ...]
+//
+// Each QUERY is one function-free-plus-term atom:
+//
+//	Pred(TERM)            e.g. Even(4)
+//	Pred(TERM, arg, ...)  e.g. Member(ext'a.ext'b, a)
+//
+// TERM is either a decimal number (a succ-chain over 0), the constant 0, or
+// the term's function symbols innermost-first separated by dots. Flags:
+//
+//	-spec FILE   the document written by fdbc -export (required)
+//	-cc          answer through congruence closure instead of the DFA walk
+//	-info        print the document's predicates, alphabet and sizes
+//	-dot         print the successor automaton as Graphviz DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"funcdb/internal/specio"
+	"funcdb/internal/term"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("fdbq", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "specification document (JSON)")
+	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
+	info := fs.Bool("info", false, "describe the document")
+	dot := fs.Bool("dot", false, "print the automaton as Graphviz DOT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	doc, err := specio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	st, err := specio.Load(doc)
+	if err != nil {
+		return err
+	}
+
+	if *info {
+		fmt.Fprintf(out, "format:     %s\n", doc.Format)
+		fmt.Fprintf(out, "temporal:   %v\n", doc.Temporal)
+		fmt.Fprintf(out, "reps:       %d\n", len(doc.Reps))
+		fmt.Fprintf(out, "edges:      %d\n", len(doc.Edges))
+		fmt.Fprintf(out, "equations:  %d\n", len(doc.Equations))
+		fmt.Fprintf(out, "alphabet:   %s\n", strings.Join(doc.Alphabet, " "))
+		var preds []string
+		for _, p := range doc.Predicates {
+			kind := "data"
+			if p.Functional {
+				kind = "functional"
+			}
+			preds = append(preds, fmt.Sprintf("%s/%d (%s)", p.Name, p.Arity, kind))
+		}
+		fmt.Fprintf(out, "predicates: %s\n", strings.Join(preds, ", "))
+	}
+	if *dot {
+		fmt.Fprint(out, doc.DOT())
+	}
+
+	for _, q := range fs.Args() {
+		pred, tm, dataArgs, err := parseQuery(st, q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		var yes bool
+		if *useCC {
+			yes = st.HasViaCongruence(pred, tm, dataArgs...)
+		} else {
+			yes, err = st.Has(pred, tm, dataArgs...)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+		}
+		fmt.Fprintf(out, "%-40s %v\n", q, yes)
+	}
+	return nil
+}
+
+// parseQuery parses Pred(TERM[, args...]).
+func parseQuery(st *specio.Standalone, q string) (pred string, tm term.Term, args []string, err error) {
+	q = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(q), "."))
+	open := strings.IndexByte(q, '(')
+	if open <= 0 || !strings.HasSuffix(q, ")") {
+		return "", 0, nil, fmt.Errorf("want Pred(TERM, args...)")
+	}
+	pred = q[:open]
+	inner := q[open+1 : len(q)-1]
+	parts := strings.Split(inner, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 0 || parts[0] == "" {
+		return "", 0, nil, fmt.Errorf("missing term")
+	}
+	tm, err = parseTerm(st, parts[0])
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return pred, tm, parts[1:], nil
+}
+
+// parseTerm parses 0, a decimal number, or dot-separated symbol names
+// innermost-first.
+func parseTerm(st *specio.Standalone, s string) (term.Term, error) {
+	if s == "0" {
+		return term.Zero, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("negative term %d", n)
+		}
+		succ, ok := st.Tab().LookupFunc(term.SuccName, 0)
+		if !ok {
+			return 0, fmt.Errorf("the specification has no successor symbol; use dotted symbols")
+		}
+		return st.Universe().Number(n, succ), nil
+	}
+	return st.Term(strings.Split(s, ".")...)
+}

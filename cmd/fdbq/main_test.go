@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"funcdb"
+)
+
+// exportSpec compiles a program and writes its specification to a file.
+func exportSpec(t *testing.T, src string) string {
+	t.Helper()
+	db, err := funcdb.Open(src, funcdb.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Export(f); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs fdbq and returns its stdout.
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, tmp); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	tmp.Seek(0, 0)
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestQueriesAgainstTemporalSpec(t *testing.T) {
+	spec := exportSpec(t, `
+Even(0).
+Even(T) -> Even(T+2).
+`)
+	out := capture(t, []string{"-spec", spec, "Even(4)", "Even(5)", "Even(0)"})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for i, want := range []string{"true", "false", "true"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, want %s", i, lines[i], want)
+		}
+	}
+	// The congruence-closure route agrees.
+	outCC := capture(t, []string{"-spec", spec, "-cc", "Even(4)", "Even(5)"})
+	if !strings.Contains(outCC, "true") || !strings.Contains(outCC, "false") {
+		t.Errorf("congruence route broken:\n%s", outCC)
+	}
+}
+
+func TestQueriesAgainstListSpec(t *testing.T) {
+	spec := exportSpec(t, `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`)
+	out := capture(t, []string{"-spec", spec,
+		"Member(ext'a.ext'b, a)",
+		"Member(ext'b.ext'b, a)",
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[0], "true") || !strings.Contains(lines[1], "false") {
+		t.Errorf("list queries wrong:\n%s", out)
+	}
+}
+
+func TestInfoAndDot(t *testing.T) {
+	spec := exportSpec(t, `
+Even(0).
+Even(T) -> Even(T+2).
+`)
+	out := capture(t, []string{"-spec", spec, "-info", "-dot"})
+	for _, want := range []string{"temporal:   true", "reps:       2", "equations:  1", "digraph spec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	spec := exportSpec(t, `
+Even(0).
+Even(T) -> Even(T+2).
+`)
+	for _, args := range [][]string{
+		{},                              // no spec
+		{"-spec", "/nonexistent.json"},  // unreadable
+		{"-spec", spec, "Even"},         // malformed query
+		{"-spec", spec, "Even(-3)"},     // negative term
+		{"-spec", spec, "Even(zzz.qq)"}, // unknown symbols
+		{"-spec", spec, "Even()"},       // missing term
+	} {
+		tmp, _ := os.CreateTemp(t.TempDir(), "out")
+		if err := run(args, tmp); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package funcdb_test
+
+import (
+	"sync"
+	"testing"
+
+	"funcdb"
+	"funcdb/internal/datagen"
+)
+
+// TestConcurrentMembership exercises the documented concurrency contract:
+// after compilation, graph-spec membership over pre-interned terms and
+// equational membership (internally serialized) may run from many
+// goroutines. Run under -race in CI.
+func TestConcurrentMembership(t *testing.T) {
+	db, err := funcdb.Open(datagen.CalendarSrc(5), funcdb.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	spec, err := db.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	form, err := db.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	tab := db.Tab()
+	meets, _ := tab.LookupPred("Meets", 1, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	s0, _ := tab.LookupConst("s0")
+
+	// Intern every queried term up front: universes are not safe for
+	// concurrent mutation.
+	terms := make([]funcdb.Term, 200)
+	for i := range terms {
+		terms[i] = db.Universe().Number(i, succ)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, tm := range terms {
+				want := i%5 == 0
+				got, err := spec.Has(meets, tm, []funcdb.ConstID{s0})
+				if err != nil {
+					t.Errorf("Has: %v", err)
+					return
+				}
+				if got != want {
+					t.Errorf("goroutine %d: Meets(%d, s0) = %v, want %v", g, i, got, want)
+					return
+				}
+				if form.Has(meets, tm, []funcdb.ConstID{s0}) != want {
+					t.Errorf("goroutine %d: canonical disagrees at %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+// Offline: the "rules may be forgotten" property of section 3 made
+// concrete. A service compiles a functional deductive database once,
+// exports the relational specification as JSON, and ships it; a consumer
+// answers membership queries from the document alone — no rules, no
+// fixpoint engine — via the DFA walk or the congruence-closure test.
+//
+// Run with: go run ./examples/offline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"funcdb"
+)
+
+const program = `
+% Which lists over {red, green} contain which colours?
+P(red).
+P(green).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`
+
+func main() {
+	// --- Producer side: compile and export. ---
+	db, err := funcdb.Open(program, funcdb.Options{})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	var wire bytes.Buffer
+	if err := db.Export(&wire); err != nil {
+		log.Fatalf("export: %v", err)
+	}
+	fmt.Printf("exported specification: %d bytes of JSON\n", wire.Len())
+
+	// --- Consumer side: rules are gone; only the document travels. ---
+	doc, err := funcdb.ReadSpec(&wire)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	standalone, err := funcdb.LoadSpec(doc)
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Printf("loaded %d representatives over alphabet %v\n\n",
+		standalone.NumReps(), doc.Alphabet)
+
+	// Terms are built against the standalone universe by symbol name.
+	list, err := standalone.Term("ext'red", "ext'green", "ext'red")
+	if err != nil {
+		log.Fatalf("term: %v", err)
+	}
+	for _, colour := range []string{"red", "green"} {
+		viaDFA, err := standalone.Has("Member", list, colour)
+		if err != nil {
+			log.Fatalf("has: %v", err)
+		}
+		viaCC := standalone.HasViaCongruence("Member", list, colour)
+		fmt.Printf("Member([red green red], %s): DFA %v, congruence closure %v\n",
+			colour, viaDFA, viaCC)
+	}
+	longGreens, err := standalone.Term("ext'green", "ext'green", "ext'green", "ext'green")
+	if err != nil {
+		log.Fatalf("term: %v", err)
+	}
+	got, err := standalone.Has("Member", longGreens, "red")
+	if err != nil {
+		log.Fatalf("has: %v", err)
+	}
+	fmt.Printf("Member([green green green green], red): %v\n", got)
+
+	// The automaton itself, ready for Graphviz.
+	fmt.Println("\nGraphviz DOT of the successor automaton:")
+	fmt.Print(doc.DOT())
+}

@@ -1,0 +1,137 @@
+// Package funcdb is a deductive database engine for functional deductive
+// databases — DATALOG extended with unary and restricted k-ary function
+// symbols in one fixed argument position — implementing Chomicki &
+// Imieliński, "Relational Specifications of Infinite Query Answers"
+// (SIGMOD 1989).
+//
+// Least fixpoints of such programs are in general infinite. funcdb computes
+// finite relational specifications of them and of query answers: graph
+// specifications (a primary database plus a finite successor automaton,
+// built by the paper's Algorithm Q) and equational specifications (the same
+// primary database plus a finite set of ground equations queried through
+// congruence closure). Temporal programs — the single-successor special
+// case — additionally get a lasso form with O(1) membership.
+//
+// Quickstart:
+//
+//	db, err := funcdb.Open(`
+//	    Meets(0, tony).
+//	    Next(tony, jan).
+//	    Next(jan, tony).
+//	    Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+//	`, funcdb.Options{})
+//	yes, err := db.Ask("?- Meets(1000, tony).")
+//	ans, err := db.Answers("?- Meets(T, X).")
+//	ans.Enumerate(6, func(day funcdb.Term, args []funcdb.ConstID) bool { ... })
+//
+// The package is a façade over the internal packages; see DESIGN.md for the
+// full architecture.
+package funcdb
+
+import (
+	"io"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/canonical"
+	"funcdb/internal/congruence"
+	"funcdb/internal/core"
+	"funcdb/internal/engine"
+	"funcdb/internal/minimize"
+	"funcdb/internal/query"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/specio"
+	"funcdb/internal/symbols"
+	"funcdb/internal/temporal"
+	"funcdb/internal/term"
+	"funcdb/internal/topdown"
+)
+
+// Core API.
+type (
+	// Database is a compiled functional deductive database.
+	Database = core.Database
+	// Options configure compilation; the zero value is ready to use.
+	Options = core.Options
+	// Stats reports specification sizes and engine work.
+	Stats = core.Stats
+	// Program is a parsed rule set and database.
+	Program = ast.Program
+	// Query is a positive conjunctive query.
+	Query = ast.Query
+	// Answers is a finite relational specification of a query answer.
+	Answers = query.Answers
+	// GraphSpec is a graph specification (B, T) built by Algorithm Q.
+	GraphSpec = specgraph.Spec
+	// EqSpec is an equational specification's relation R with its
+	// congruence-closure solver.
+	EqSpec = congruence.EqSpec
+	// TemporalSpec is the lasso form of a temporal program.
+	TemporalSpec = temporal.Spec
+	// Progression is a closed-form set of days (start + stride*k).
+	Progression = temporal.Progression
+	// CanonicalForm is the (C, CONGR) canonical form of section 3.6.
+	CanonicalForm = canonical.Form
+	// EngineOptions bound the fixpoint engine.
+	EngineOptions = engine.Options
+	// SpecOptions bound Algorithm Q.
+	SpecOptions = specgraph.Options
+	// SpecDocument is the serialized, self-contained form of a
+	// specification (package specio).
+	SpecDocument = specio.Document
+	// Standalone answers queries from a loaded SpecDocument alone, with
+	// the original rules absent.
+	Standalone = specio.Standalone
+	// Minimized is the observable-equivalence quotient of a graph
+	// specification (package minimize).
+	Minimized = minimize.Minimized
+	// Prover is the goal-directed (tabled top-down) evaluator.
+	Prover = topdown.Evaluator
+	// ProverOptions bound a goal-directed evaluation.
+	ProverOptions = topdown.Options
+	// ClusterView lets a universal invariant inspect one cluster.
+	ClusterView = specgraph.ClusterView
+	// LintFinding is one diagnostic from Database.Lint.
+	LintFinding = core.LintFinding
+)
+
+// Equivalent decides whether two minimized specifications represent the
+// same least fixpoint over their observable predicates, returning a
+// counterexample term otherwise.
+func Equivalent(a, b *Minimized) (bool, Term, error) { return minimize.Equivalent(a, b) }
+
+// ReadSpec parses a serialized specification document.
+func ReadSpec(r io.Reader) (*SpecDocument, error) { return specio.Read(r) }
+
+// LoadSpec rebuilds a standalone answerer from a document.
+func LoadSpec(doc *SpecDocument) (*Standalone, error) { return specio.Load(doc) }
+
+// FormatProgressions renders a closed-form day set, e.g. "{1 + 3k}".
+func FormatProgressions(ps []Progression) string { return temporal.FormatProgressions(ps) }
+
+// Identifier types.
+type (
+	// Term is a handle to an interned ground functional term.
+	Term = term.Term
+	// ConstID identifies an interned data constant.
+	ConstID = symbols.ConstID
+	// PredID identifies an interned predicate.
+	PredID = symbols.PredID
+	// FuncID identifies an interned function symbol.
+	FuncID = symbols.FuncID
+	// VarID identifies an interned variable.
+	VarID = symbols.VarID
+)
+
+// Zero is the functional constant 0; NoTerm marks the absence of a
+// functional component in an answer tuple.
+const (
+	Zero   = term.Zero
+	NoTerm = term.None
+)
+
+// Open parses and compiles source text; queries embedded in the source are
+// retained on the Database.
+func Open(src string, opts Options) (*Database, error) { return core.Open(src, opts) }
+
+// FromProgram compiles an already-built program.
+func FromProgram(p *Program, opts Options) (*Database, error) { return core.FromProgram(p, opts) }

@@ -1,0 +1,250 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/symbols"
+)
+
+// meetings builds the section 1 example by hand:
+//
+//	Meets(0, tony).  Next(tony, jan).  Next(jan, tony).
+//	Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+func meetings() *Program {
+	p := NewProgram()
+	tab := p.Tab
+	meets := tab.Pred("Meets", 1, true)
+	next := tab.Pred("Next", 2, false)
+	succ := tab.Func("succ", 0)
+	tony := tab.Const("tony")
+	jan := tab.Const("jan")
+	vT := tab.Var("T")
+	vX := tab.Var("X")
+	vY := tab.Var("Y")
+
+	p.Facts = append(p.Facts,
+		Atom{Pred: meets, FT: FZero(), Args: []DTerm{C(tony)}},
+		Atom{Pred: next, Args: []DTerm{C(tony), C(jan)}},
+		Atom{Pred: next, Args: []DTerm{C(jan), C(tony)}},
+	)
+	p.Rules = append(p.Rules, Rule{
+		Head: Atom{Pred: meets, FT: FVar(vT).Apply(succ), Args: []DTerm{V(vY)}},
+		Body: []Atom{
+			{Pred: meets, FT: FVar(vT), Args: []DTerm{V(vX)}},
+			{Pred: next, Args: []DTerm{V(vX), V(vY)}},
+		},
+	})
+	return p
+}
+
+func TestMeetingsValidates(t *testing.T) {
+	p := meetings()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !p.IsDomainIndependent() {
+		t.Fatalf("meetings should be domain-independent")
+	}
+	if !p.IsNormal() {
+		t.Fatalf("meetings rules are normal")
+	}
+	if !p.IsTemporal() {
+		t.Fatalf("meetings is temporal")
+	}
+	if c := p.GroundDepth(); c != 0 {
+		t.Fatalf("GroundDepth = %d, want 0", c)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := meetings()
+	out := p.Format()
+	for _, want := range []string{
+		"Meets(0, tony).",
+		"Next(tony, jan).",
+		"Meets(T, X), Next(X, Y) -> Meets(T+1, Y).",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFTermBasics(t *testing.T) {
+	tab := symbols.NewTable()
+	f := tab.Func("f", 0)
+	ext := tab.Func("ext", 1)
+	a := tab.Const("a")
+	vS := tab.Var("S")
+	vX := tab.Var("X")
+
+	ground := FZero().Apply(f).Apply(ext, C(a))
+	if !ground.IsGround() || ground.Depth() != 2 || ground.GroundPrefixDepth() != 2 {
+		t.Fatalf("ground term misclassified: %+v", ground)
+	}
+	open := FZero().Apply(f).Apply(ext, V(vX))
+	if open.IsGround() {
+		t.Fatalf("term with data variable claimed ground")
+	}
+	if d := open.GroundPrefixDepth(); d != 1 {
+		t.Fatalf("GroundPrefixDepth = %d, want 1", d)
+	}
+	varBase := FVar(vS).Apply(f)
+	if varBase.GroundPrefixDepth() != 0 || !varBase.HasVarBase() {
+		t.Fatalf("variable-based term misclassified")
+	}
+}
+
+func TestFTermClone(t *testing.T) {
+	tab := symbols.NewTable()
+	ext := tab.Func("ext", 1)
+	a := tab.Const("a")
+	orig := FZero().Apply(ext, C(a))
+	cl := orig.Clone()
+	cl.Apps[0].Args[0] = V(tab.Var("X"))
+	if orig.Apps[0].Args[0].IsVar() {
+		t.Fatalf("Clone shares argument storage")
+	}
+}
+
+func TestValidateRejectsNonGroundFact(t *testing.T) {
+	p := NewProgram()
+	pr := p.Tab.Pred("P", 1, false)
+	p.Facts = append(p.Facts, Atom{Pred: pr, Args: []DTerm{V(p.Tab.Var("X"))}})
+	if err := p.Validate(); err == nil {
+		t.Fatalf("non-ground fact accepted")
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	p := NewProgram()
+	pr := p.Tab.Pred("P", 2, false)
+	a := p.Tab.Const("a")
+	p.Facts = append(p.Facts, Atom{Pred: pr, Args: []DTerm{C(a)}})
+	if err := p.Validate(); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+}
+
+func TestValidateRejectsMixedVariableRole(t *testing.T) {
+	p := NewProgram()
+	fp := p.Tab.Pred("P", 0, true)
+	dp := p.Tab.Pred("R", 1, false)
+	v := p.Tab.Var("S")
+	p.Rules = append(p.Rules, Rule{
+		Head: Atom{Pred: dp, Args: []DTerm{V(v)}},
+		Body: []Atom{{Pred: fp, FT: FVar(v)}},
+	})
+	if err := p.Validate(); err == nil {
+		t.Fatalf("variable used functionally and non-functionally accepted")
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	p := NewProgram()
+	fp := p.Tab.Pred("P", 0, true)
+	g := p.Tab.Func("g", 0)
+	vS := p.Tab.Var("S")
+	// Domain-dependent: P(S) -> P(g(W)) with W not in the body.
+	vW := p.Tab.Var("W")
+	bad := Rule{
+		Head: Atom{Pred: fp, FT: FVar(vW).Apply(g)},
+		Body: []Atom{{Pred: fp, FT: FVar(vS)}},
+	}
+	if bad.IsRangeRestricted() {
+		t.Fatalf("rule with free head variable claimed range-restricted")
+	}
+	good := Rule{
+		Head: Atom{Pred: fp, FT: FVar(vS).Apply(g)},
+		Body: []Atom{{Pred: fp, FT: FVar(vS)}},
+	}
+	if !good.IsRangeRestricted() {
+		t.Fatalf("paper's domain-independent example rejected")
+	}
+}
+
+func TestIsNormal(t *testing.T) {
+	p := NewProgram()
+	fp := p.Tab.Pred("P", 0, true)
+	f := p.Tab.Func("f", 0)
+	g := p.Tab.Func("g", 0)
+	vS := p.Tab.Var("S")
+	deep := Rule{
+		Head: Atom{Pred: fp, FT: FVar(vS).Apply(f).Apply(g)},
+		Body: []Atom{{Pred: fp, FT: FVar(vS)}},
+	}
+	if deep.IsNormal() {
+		t.Fatalf("depth-2 head term claimed normal")
+	}
+	twoVars := Rule{
+		Head: Atom{Pred: fp, FT: FVar(vS)},
+		Body: []Atom{
+			{Pred: fp, FT: FVar(vS)},
+			{Pred: fp, FT: FVar(p.Tab.Var("S2"))},
+		},
+	}
+	if twoVars.IsNormal() {
+		t.Fatalf("two functional variables claimed normal")
+	}
+	if got := len(twoVars.FunctionalVars()); got != 2 {
+		t.Fatalf("FunctionalVars = %d, want 2", got)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := NewProgram()
+	member := p.Tab.Pred("Member", 1, true)
+	pp := p.Tab.Pred("P", 1, false)
+	ext := p.Tab.Func("ext", 1)
+	a := p.Tab.Const("a")
+	b := p.Tab.Const("b")
+	vX := p.Tab.Var("X")
+	p.Facts = append(p.Facts,
+		Atom{Pred: pp, Args: []DTerm{C(a)}},
+		Atom{Pred: pp, Args: []DTerm{C(b)}},
+	)
+	p.Rules = append(p.Rules, Rule{
+		Head: Atom{Pred: member, FT: FZero().Apply(ext, V(vX)), Args: []DTerm{V(vX)}},
+		Body: []Atom{{Pred: pp, Args: []DTerm{V(vX)}}},
+	})
+	if !p.HasMixed() {
+		t.Fatalf("ext/2 is mixed")
+	}
+	if p.IsTemporal() {
+		t.Fatalf("list program is not temporal")
+	}
+	if c := p.GroundDepth(); c != 0 {
+		t.Fatalf("GroundDepth = %d, want 0 (ext(0,X) is not fully ground)", c)
+	}
+	consts := p.ConstsUsed()
+	if len(consts) != 2 || consts[0] != a || consts[1] != b {
+		t.Fatalf("ConstsUsed = %v", consts)
+	}
+	funcs := p.FuncsUsed()
+	if len(funcs) != 1 || funcs[0] != ext {
+		t.Fatalf("FuncsUsed = %v", funcs)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := meetings()
+	q := p.Clone()
+	q.Rules[0].Head.Args[0] = C(p.Tab.Const("other"))
+	if p.Rules[0].Head.Args[0].IsVar() == false {
+		t.Fatalf("Clone shares rule storage")
+	}
+	if q.Tab != p.Tab {
+		t.Fatalf("Clone must share the symbol table")
+	}
+}
+
+func TestGroundDepthCountsFacts(t *testing.T) {
+	p := NewProgram()
+	even := p.Tab.Pred("Even", 0, true)
+	succ := p.Tab.Func("succ", 0)
+	p.Facts = append(p.Facts, Atom{Pred: even, FT: FZero().Apply(succ).Apply(succ)})
+	if c := p.GroundDepth(); c != 2 {
+		t.Fatalf("GroundDepth = %d, want 2", c)
+	}
+}

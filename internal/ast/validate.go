@@ -1,0 +1,225 @@
+package ast
+
+import (
+	"fmt"
+
+	"funcdb/internal/symbols"
+)
+
+// Validate checks the structural well-formedness conditions of section 2.1:
+// facts must be ground, argument counts must match predicate and function
+// signatures, and each variable must be used either only functionally (as a
+// term base) or only non-functionally, never both.
+func (p *Program) Validate() error {
+	for i := range p.Facts {
+		a := &p.Facts[i]
+		if !a.IsGround() {
+			return fmt.Errorf("fact %s is not ground", a.Format(p.Tab))
+		}
+		if err := p.checkAtom(a); err != nil {
+			return err
+		}
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if err := p.checkAtom(&r.Head); err != nil {
+			return fmt.Errorf("rule %s: %w", r.Format(p.Tab), err)
+		}
+		for j := range r.Body {
+			if err := p.checkAtom(&r.Body[j]); err != nil {
+				return fmt.Errorf("rule %s: %w", r.Format(p.Tab), err)
+			}
+		}
+	}
+	return p.checkVariableDiscipline()
+}
+
+func (p *Program) checkAtom(a *Atom) error {
+	info := p.Tab.PredInfo(a.Pred)
+	if info.Functional != (a.FT != nil) {
+		return fmt.Errorf("predicate %s: functional argument mismatch", info.Name)
+	}
+	if len(a.Args) != info.Arity {
+		return fmt.Errorf("predicate %s: got %d non-functional arguments, want %d",
+			info.Name, len(a.Args), info.Arity)
+	}
+	if a.FT != nil {
+		for _, app := range a.FT.Apps {
+			fi := p.Tab.FuncInfo(app.Fn)
+			if len(app.Args) != fi.DataArity {
+				return fmt.Errorf("function %s: got %d non-functional arguments, want %d",
+					fi.Name, len(app.Args), fi.DataArity)
+			}
+		}
+	}
+	return nil
+}
+
+// checkVariableDiscipline enforces the disjoint partition of variables into
+// functional and non-functional ones.
+func (p *Program) checkVariableDiscipline() error {
+	role := make(map[symbols.VarID]string)
+	note := func(v symbols.VarID, r string) error {
+		if prev, ok := role[v]; ok && prev != r {
+			return fmt.Errorf("variable %s used both as %s and as %s",
+				p.Tab.VarName(v), prev, r)
+		}
+		role[v] = r
+		return nil
+	}
+	var err error
+	p.Atoms(func(a *Atom) {
+		if err != nil {
+			return
+		}
+		for _, d := range a.Args {
+			if d.IsVar() {
+				if e := note(d.Var, "non-functional"); e != nil {
+					err = e
+					return
+				}
+			}
+		}
+		if a.FT == nil {
+			return
+		}
+		if a.FT.HasVarBase() {
+			if e := note(a.FT.Base, "functional"); e != nil {
+				err = e
+				return
+			}
+		}
+		for _, app := range a.FT.Apps {
+			for _, d := range app.Args {
+				if d.IsVar() {
+					if e := note(d.Var, "non-functional"); e != nil {
+						err = e
+						return
+					}
+				}
+			}
+		}
+	})
+	return err
+}
+
+// varsOf collects the variables of a into fn (functional) and dt (data).
+func varsOf(a *Atom, fn map[symbols.VarID]bool, dt map[symbols.VarID]bool) {
+	for _, d := range a.Args {
+		if d.IsVar() {
+			dt[d.Var] = true
+		}
+	}
+	if a.FT != nil {
+		if a.FT.HasVarBase() {
+			fn[a.FT.Base] = true
+		}
+		for _, app := range a.FT.Apps {
+			for _, d := range app.Args {
+				if d.IsVar() {
+					dt[d.Var] = true
+				}
+			}
+		}
+	}
+}
+
+// IsRangeRestricted reports whether every variable of the rule's head also
+// occurs in its body. By section 2.3 of the paper, range-restrictedness of
+// all rules is equivalent to domain-independence of the rule set.
+func (r *Rule) IsRangeRestricted() bool {
+	headFn := make(map[symbols.VarID]bool)
+	headDt := make(map[symbols.VarID]bool)
+	varsOf(&r.Head, headFn, headDt)
+	bodyFn := make(map[symbols.VarID]bool)
+	bodyDt := make(map[symbols.VarID]bool)
+	for i := range r.Body {
+		varsOf(&r.Body[i], bodyFn, bodyDt)
+	}
+	for v := range headFn {
+		if !bodyFn[v] {
+			return false
+		}
+	}
+	for v := range headDt {
+		if !bodyDt[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDomainIndependent reports whether every rule of the program is
+// range-restricted (section 2.3).
+func (p *Program) IsDomainIndependent() bool {
+	for i := range p.Rules {
+		if !p.Rules[i].IsRangeRestricted() {
+			return false
+		}
+	}
+	return true
+}
+
+// FunctionalVars returns the distinct functional variables of the rule.
+func (r *Rule) FunctionalVars() []symbols.VarID {
+	fn := make(map[symbols.VarID]bool)
+	dt := make(map[symbols.VarID]bool)
+	varsOf(&r.Head, fn, dt)
+	for i := range r.Body {
+		varsOf(&r.Body[i], fn, dt)
+	}
+	out := make([]symbols.VarID, 0, len(fn))
+	for v := range fn {
+		out = append(out, v)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// IsNormal reports whether the rule is normal in the sense of section 2.4:
+// it contains at most one functional variable, and every non-ground
+// functional term in it has at most one application above the variable.
+// (Ground functional terms may be arbitrarily deep.)
+func (r *Rule) IsNormal() bool {
+	if len(r.FunctionalVars()) > 1 {
+		return false
+	}
+	ok := true
+	check := func(a *Atom) {
+		if a.FT == nil || a.FT.IsGround() {
+			return
+		}
+		if a.FT.HasVarBase() {
+			if len(a.FT.Apps) > 1 {
+				ok = false
+			}
+			return
+		}
+		// Ground base but variable data arguments somewhere: such terms are
+		// removed by mixed elimination; treat depth like the paper does, by
+		// the applications above the ground prefix.
+		if a.FT.Depth()-a.FT.GroundPrefixDepth() > 1 {
+			ok = false
+		}
+	}
+	check(&r.Head)
+	for i := range r.Body {
+		check(&r.Body[i])
+	}
+	return ok
+}
+
+// IsNormal reports whether every rule of the program is normal.
+func (p *Program) IsNormal() bool {
+	for i := range p.Rules {
+		if !p.Rules[i].IsNormal() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+// Package congruence implements the equational specification of section 3.5
+// and the congruence-closure decision procedure of Downey, Sethi and Tarjan
+// [DST80] that answers membership queries against it.
+//
+// An equational specification (B, R) consists of the primary database B
+// (shared with the graph specification) and a finite set R of ground
+// equations between functional terms. Its closure Cl(R) — the least
+// congruence containing R: reflexive, symmetric, transitive, and closed
+// under every pure function symbol — equals the state congruence of the
+// least fixpoint. Cl(R) is infinite and never materialized; the Solver
+// decides (t0, t) ∈ Cl(R) by congruence closure over the finite subterm
+// graph of R and the queried terms, the classical reduction of the word
+// problem for ground equations.
+package congruence
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Solver decides congruence queries over a growing set of ground equations.
+// Terms may be added incrementally: querying a term not seen before extends
+// the subterm graph and re-propagates congruences.
+type Solver struct {
+	u *term.Universe
+
+	parent  map[term.Term]term.Term // union-find
+	rank    map[term.Term]int
+	sig     map[sigKey]term.Term      // (symbol, class of child) -> canonical parent node
+	uses    map[term.Term][]term.Term // class representative -> parent terms above members
+	present map[term.Term]bool
+}
+
+type sigKey struct {
+	fn    symbols.FuncID
+	child term.Term // class representative
+}
+
+// NewSolver returns a solver with no equations over u's terms.
+func NewSolver(u *term.Universe) *Solver {
+	return &Solver{
+		u:       u,
+		parent:  make(map[term.Term]term.Term),
+		rank:    make(map[term.Term]int),
+		sig:     make(map[sigKey]term.Term),
+		uses:    make(map[term.Term][]term.Term),
+		present: make(map[term.Term]bool),
+	}
+}
+
+// add inserts t and all its subterms into the subterm graph.
+func (s *Solver) add(t term.Term) {
+	if s.present[t] {
+		return
+	}
+	if t != term.Zero {
+		s.add(s.u.Child(t))
+	}
+	s.present[t] = true
+	s.parent[t] = t
+	s.rank[t] = 0
+	if t == term.Zero {
+		return
+	}
+	child := s.find(s.u.Child(t))
+	key := sigKey{s.u.Top(t), child}
+	s.uses[child] = append(s.uses[child], t)
+	if q, ok := s.sig[key]; ok {
+		s.union(t, q)
+		return
+	}
+	s.sig[key] = t
+}
+
+func (s *Solver) find(t term.Term) term.Term {
+	for s.parent[t] != t {
+		s.parent[t] = s.parent[s.parent[t]]
+		t = s.parent[t]
+	}
+	return t
+}
+
+// union merges the classes of a and b and propagates congruences: parents
+// of the merged class with equal signatures are merged in turn.
+func (s *Solver) union(a, b term.Term) {
+	type pair struct{ x, y term.Term }
+	work := []pair{{a, b}}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		ra, rb := s.find(p.x), s.find(p.y)
+		if ra == rb {
+			continue
+		}
+		if s.rank[ra] > s.rank[rb] {
+			ra, rb = rb, ra
+		}
+		if s.rank[ra] == s.rank[rb] {
+			s.rank[rb]++
+		}
+		// Merge ra into rb; re-signature ra's uses.
+		s.parent[ra] = rb
+		moved := s.uses[ra]
+		delete(s.uses, ra)
+		for _, up := range moved {
+			key := sigKey{s.u.Top(up), rb}
+			if q, ok := s.sig[key]; ok {
+				work = append(work, pair{up, q})
+			} else {
+				s.sig[key] = up
+			}
+			s.uses[rb] = append(s.uses[rb], up)
+		}
+	}
+}
+
+// Assert adds the ground equation t1 = t2.
+func (s *Solver) Assert(t1, t2 term.Term) {
+	s.add(t1)
+	s.add(t2)
+	s.union(t1, t2)
+}
+
+// Congruent decides (t1, t2) ∈ Cl(R) for the equations asserted so far.
+func (s *Solver) Congruent(t1, t2 term.Term) bool {
+	s.add(t1)
+	s.add(t2)
+	return s.find(t1) == s.find(t2)
+}
+
+// Classes returns the number of distinct classes among the terms currently
+// in the subterm graph (a diagnostic, not the number of clusters of the
+// infinite congruence).
+func (s *Solver) Classes() int {
+	n := 0
+	for t := range s.present {
+		if s.find(t) == t {
+			n++
+		}
+	}
+	return n
+}
+
+// EqSpec is an equational specification: the relation R as explicit pairs.
+// Membership tests share a single incremental solver; because the solver
+// grows its subterm graph on queries, EqSpec serializes access and is safe
+// for concurrent use — with the caveat that the queried terms must already
+// be interned, since term.Universe is not safe for concurrent mutation.
+type EqSpec struct {
+	U     *term.Universe
+	Pairs [][2]term.Term
+
+	mu  sync.Mutex
+	slv *Solver
+}
+
+// NewEqSpec builds an equational specification from the pairs of R.
+func NewEqSpec(u *term.Universe, pairs [][2]term.Term) *EqSpec {
+	es := &EqSpec{U: u, Pairs: pairs, slv: NewSolver(u)}
+	for _, p := range pairs {
+		es.slv.Assert(p[0], p[1])
+	}
+	return es
+}
+
+// Congruent decides (t1, t2) ∈ Cl(R).
+func (es *EqSpec) Congruent(t1, t2 term.Term) bool {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.slv.Congruent(t1, t2)
+}
+
+// CongruentToAny reports whether t is congruent to any of the candidates;
+// this is the paper's membership test: with T = {t' : P(t', ā) ∈ B}, the
+// fact P(t, ā) holds iff t is congruent to some member of T.
+func (es *EqSpec) CongruentToAny(t term.Term, candidates []term.Term) bool {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	for _, c := range candidates {
+		if es.slv.Congruent(t, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns |R|.
+func (es *EqSpec) Size() int { return len(es.Pairs) }
+
+// Dump renders R using the symbol names in tab.
+func (es *EqSpec) Dump(tab *symbols.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "equational specification: %d equations\n", len(es.Pairs))
+	for _, p := range es.Pairs {
+		fmt.Fprintf(&b, "  %s ~ %s\n",
+			es.U.CompactString(p[0], tab), es.U.CompactString(p[1], tab))
+	}
+	return b.String()
+}

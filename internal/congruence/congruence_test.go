@@ -1,0 +1,214 @@
+package congruence
+
+import (
+	"math/rand"
+	"testing"
+
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+func setup() (*symbols.Table, *term.Universe, symbols.FuncID) {
+	tab := symbols.NewTable()
+	succ := tab.Func(term.SuccName, 0)
+	return tab, term.NewUniverse(), succ
+}
+
+// TestPaperEvenClosure reproduces the section 3.5 example: R = {(0, 2)}
+// over the successor symbol. Then (0,4) and (1,3) are in Cl(R) but (0,3)
+// is not.
+func TestPaperEvenClosure(t *testing.T) {
+	_, u, succ := setup()
+	n := func(k int) term.Term { return u.Number(k, succ) }
+	es := NewEqSpec(u, [][2]term.Term{{n(0), n(2)}})
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 4, true},
+		{1, 3, true},
+		{0, 3, false},
+		{0, 2, true},
+		{2, 4, true},
+		{0, 0, true},
+		{1, 5, true},
+		{3, 5, true},
+		{0, 100, true},
+		{0, 101, false},
+		{1, 101, true},
+	}
+	for _, tc := range cases {
+		if got := es.Congruent(n(tc.a), n(tc.b)); got != tc.want {
+			t.Errorf("Congruent(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if es.Size() != 1 {
+		t.Errorf("|R| = %d, want 1", es.Size())
+	}
+}
+
+func TestSymmetryAndTransitivity(t *testing.T) {
+	_, u, succ := setup()
+	n := func(k int) term.Term { return u.Number(k, succ) }
+	s := NewSolver(u)
+	s.Assert(n(1), n(4))
+	s.Assert(n(4), n(7))
+	if !s.Congruent(n(7), n(1)) {
+		t.Errorf("transitive + symmetric closure failed")
+	}
+}
+
+func TestCongruenceOverTwoSymbols(t *testing.T) {
+	tab := symbols.NewTable()
+	f := tab.Func("f", 0)
+	g := tab.Func("g", 0)
+	u := term.NewUniverse()
+	s := NewSolver(u)
+	f0 := u.Apply(f, term.Zero)
+	g0 := u.Apply(g, term.Zero)
+	s.Assert(f0, g0)
+	// f(f(0)) ~ f(g(0)) by congruence; g(f(0)) ~ g(g(0)) likewise;
+	// but f(f(0)) !~ g(g(0)).
+	if !s.Congruent(u.Apply(f, f0), u.Apply(f, g0)) {
+		t.Errorf("f-congruence not propagated")
+	}
+	if !s.Congruent(u.Apply(g, f0), u.Apply(g, g0)) {
+		t.Errorf("g-congruence not propagated")
+	}
+	if s.Congruent(u.Apply(f, f0), u.Apply(g, g0)) {
+		t.Errorf("different top symbols wrongly merged")
+	}
+}
+
+func TestDeepPropagationThroughQuery(t *testing.T) {
+	// Asserting 0 ~ 2 and querying deep terms must propagate congruence
+	// into terms added only at query time.
+	_, u, succ := setup()
+	n := func(k int) term.Term { return u.Number(k, succ) }
+	s := NewSolver(u)
+	s.Assert(n(0), n(2))
+	if !s.Congruent(n(50), n(0)) {
+		t.Errorf("(50, 0) should be congruent")
+	}
+	if s.Congruent(n(51), n(0)) {
+		t.Errorf("(51, 0) should not be congruent")
+	}
+}
+
+func TestCongruentToAny(t *testing.T) {
+	_, u, succ := setup()
+	n := func(k int) term.Term { return u.Number(k, succ) }
+	es := NewEqSpec(u, [][2]term.Term{{n(0), n(3)}})
+	if !es.CongruentToAny(n(9), []term.Term{n(1), n(0)}) {
+		t.Errorf("9 ~ 0 mod 3 expected")
+	}
+	if es.CongruentToAny(n(8), []term.Term{n(1), n(0)}) {
+		t.Errorf("8 is congruent to 2, not to 0 or 1")
+	}
+}
+
+// naiveClosure computes the congruence closure restricted to a finite
+// subterm-closed set of terms by quadratic fixpoint iteration, as a
+// reference implementation.
+type naiveClosure struct {
+	u     *term.Universe
+	terms []term.Term
+	cls   map[term.Term]int
+}
+
+func newNaiveClosure(u *term.Universe, terms []term.Term, pairs [][2]term.Term) *naiveClosure {
+	n := &naiveClosure{u: u, terms: terms, cls: make(map[term.Term]int)}
+	for i, t := range terms {
+		n.cls[t] = i
+	}
+	merge := func(a, b term.Term) bool {
+		ca, cb := n.cls[a], n.cls[b]
+		if ca == cb {
+			return false
+		}
+		for _, t := range n.terms {
+			if n.cls[t] == ca {
+				n.cls[t] = cb
+			}
+		}
+		return true
+	}
+	for _, p := range pairs {
+		merge(p[0], p[1])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t1 := range n.terms {
+			for _, t2 := range n.terms {
+				if t1 == t2 || t1 == term.Zero || t2 == term.Zero {
+					continue
+				}
+				if n.u.Top(t1) == n.u.Top(t2) && n.cls[n.u.Child(t1)] == n.cls[n.u.Child(t2)] {
+					if merge(t1, t2) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestSolverAgainstNaive cross-checks the union-find solver against the
+// quadratic reference on random equation sets over two symbols.
+func TestSolverAgainstNaive(t *testing.T) {
+	tab := symbols.NewTable()
+	f := tab.Func("f", 0)
+	g := tab.Func("g", 0)
+	u := term.NewUniverse()
+	alphabet := []symbols.FuncID{f, g}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		// All terms to depth 4: subterm-closed by construction.
+		var terms []term.Term
+		var walk func(t term.Term, d int)
+		walk = func(tm term.Term, d int) {
+			terms = append(terms, tm)
+			if d == 4 {
+				return
+			}
+			for _, s := range alphabet {
+				walk(u.Apply(s, tm), d+1)
+			}
+		}
+		walk(term.Zero, 0)
+
+		var pairs [][2]term.Term
+		for i := 0; i < 3; i++ {
+			pairs = append(pairs, [2]term.Term{
+				terms[rng.Intn(len(terms))],
+				terms[rng.Intn(len(terms))],
+			})
+		}
+		slv := NewSolver(u)
+		for _, p := range pairs {
+			slv.Assert(p[0], p[1])
+		}
+		ref := newNaiveClosure(u, terms, pairs)
+		for i := 0; i < 200; i++ {
+			a := terms[rng.Intn(len(terms))]
+			b := terms[rng.Intn(len(terms))]
+			want := ref.cls[a] == ref.cls[b]
+			if got := slv.Congruent(a, b); got != want {
+				t.Fatalf("trial %d: Congruent(%s, %s) = %v, want %v (pairs %v)",
+					trial, u.CompactString(a, tab), u.CompactString(b, tab), got, want, pairs)
+			}
+		}
+	}
+}
+
+func TestClassesDiagnostic(t *testing.T) {
+	_, u, succ := setup()
+	n := func(k int) term.Term { return u.Number(k, succ) }
+	s := NewSolver(u)
+	s.Assert(n(0), n(2)) // graph holds 0,1,2: classes {0,2}, {1}
+	if got := s.Classes(); got != 2 {
+		t.Errorf("Classes = %d, want 2", got)
+	}
+}

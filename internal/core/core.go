@@ -1,0 +1,321 @@
+// Package core is the public face of funcdb: it ties parsing, preparation,
+// the evaluation engine, and the specification builders of the paper into a
+// single Database type.
+//
+// A typical session:
+//
+//	db, err := core.Open(source, core.Options{})
+//	spec, err := db.Graph()          // Algorithm Q's (B, T)
+//	eq, err := db.Equational()       // the (B, R) specification
+//	ans, err := db.Answers("?- Meets(T, X).")
+//	yes, err := db.Ask("?- Meets(4, tony).")
+//
+// All representations are finite, effectively computed, and explicit: once
+// built, membership and enumeration never consult the original rules.
+package core
+
+import (
+	"fmt"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/canonical"
+	"funcdb/internal/congruence"
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/params"
+	"funcdb/internal/parser"
+	"funcdb/internal/query"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/temporal"
+	"funcdb/internal/term"
+	"funcdb/internal/topdown"
+)
+
+// Options configure a Database.
+type Options struct {
+	// Engine bounds the fixpoint engine's work.
+	Engine engine.Options
+	// Spec bounds Algorithm Q.
+	Spec specgraph.Options
+	// DisableTemporal turns the temporal (lasso) fast path off even for
+	// temporal programs; the generic machinery is used instead. Used by the
+	// ablation benchmarks.
+	DisableTemporal bool
+}
+
+// Database is a compiled functional deductive database.
+type Database struct {
+	Source *ast.Program
+	Prep   *rewrite.Prepared
+	Engine *engine.Engine
+
+	opts     Options
+	graph    *specgraph.Spec
+	eq       *congruence.EqSpec
+	lasso    *temporal.Spec
+	canon    *canonical.Form
+	queries  []ast.Query
+	universe *term.Universe
+	world    *facts.World
+}
+
+// Open parses source text and compiles it into a Database. Queries embedded
+// in the source are retained and accessible via EmbeddedQueries.
+func Open(src string, opts Options) (*Database, error) {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	db, err := FromProgram(res.Program, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.queries = res.Queries
+	return db, nil
+}
+
+// FromProgram compiles an already-built program.
+func FromProgram(p *ast.Program, opts Options) (*Database, error) {
+	prep, err := rewrite.Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	u := term.NewUniverse()
+	w := facts.NewWorld()
+	eng, err := engine.New(prep, u, w, opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		Source:   p,
+		Prep:     prep,
+		Engine:   eng,
+		opts:     opts,
+		universe: u,
+		world:    w,
+	}, nil
+}
+
+// EmbeddedQueries returns the queries that appeared in the source text.
+func (db *Database) EmbeddedQueries() []ast.Query { return db.queries }
+
+// Universe returns the database's term universe.
+func (db *Database) Universe() *term.Universe { return db.universe }
+
+// Tab returns the symbol table.
+func (db *Database) Tab() *symbols.Table { return db.Source.Tab }
+
+// Graph builds (once) and returns the graph specification (B, T).
+func (db *Database) Graph() (*specgraph.Spec, error) {
+	if db.graph != nil {
+		return db.graph, nil
+	}
+	sp, err := specgraph.Build(db.Engine, db.opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	db.graph = sp
+	return sp, nil
+}
+
+// Equational builds (once) and returns the equational specification's
+// relation R with its congruence-closure solver. The primary database B is
+// shared with the graph specification.
+func (db *Database) Equational() (*congruence.EqSpec, error) {
+	if db.eq != nil {
+		return db.eq, nil
+	}
+	sp, err := db.Graph()
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]term.Term, 0, len(sp.Merges))
+	for _, m := range sp.Merges {
+		pairs = append(pairs, [2]term.Term{m.Rep, m.Potential})
+	}
+	db.eq = congruence.NewEqSpec(db.universe, pairs)
+	return db.eq, nil
+}
+
+// Temporal builds (once) and returns the lasso specification. It errors on
+// non-temporal programs or when the temporal path is disabled.
+func (db *Database) Temporal() (*temporal.Spec, error) {
+	if db.lasso != nil {
+		return db.lasso, nil
+	}
+	if db.opts.DisableTemporal {
+		return nil, fmt.Errorf("core: temporal fast path disabled")
+	}
+	sp, err := db.Graph()
+	if err != nil {
+		return nil, err
+	}
+	t, err := temporal.Build(sp)
+	if err != nil {
+		return nil, err
+	}
+	db.lasso = t
+	return t, nil
+}
+
+// Canonical builds (once) and returns the canonical form (C, CONGR).
+func (db *Database) Canonical() (*canonical.Form, error) {
+	if db.canon != nil {
+		return db.canon, nil
+	}
+	sp, err := db.Graph()
+	if err != nil {
+		return nil, err
+	}
+	db.canon = canonical.Build(sp)
+	return db.canon, nil
+}
+
+// ParseQuery parses a query against this database's symbols.
+func (db *Database) ParseQuery(src string) (*ast.Query, error) {
+	return parser.ParseQuery(db.Source, src)
+}
+
+// Ask answers a yes-no query: for a ground query, membership of each atom;
+// for an open query, non-emptiness of the answer set.
+func (db *Database) Ask(src string) (bool, error) {
+	q, err := db.ParseQuery(src)
+	if err != nil {
+		return false, err
+	}
+	return db.AskQuery(q)
+}
+
+// AskQuery is Ask for a pre-parsed query.
+func (db *Database) AskQuery(q *ast.Query) (bool, error) {
+	sp, err := db.Graph()
+	if err != nil {
+		return false, err
+	}
+	ground := true
+	for i := range q.Atoms {
+		if !q.Atoms[i].IsGround() {
+			ground = false
+			break
+		}
+	}
+	if ground {
+		for i := range q.Atoms {
+			ok, err := db.hasGroundAtom(sp, &q.Atoms[i])
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	ans, err := db.AnswersQuery(q)
+	if err != nil {
+		return false, err
+	}
+	return !ans.IsEmpty(), nil
+}
+
+func (db *Database) hasGroundAtom(sp *specgraph.Spec, a *ast.Atom) (bool, error) {
+	args := make([]symbols.ConstID, len(a.Args))
+	for i, d := range a.Args {
+		args[i] = d.Const
+	}
+	if a.FT == nil {
+		return sp.HasData(a.Pred, args), nil
+	}
+	// Mixed ground terms may appear in queries against programs that had
+	// mixed symbols; eliminate on the fly by renaming applications.
+	ft := a.FT
+	if !ftIsPure(ft) {
+		p := &ast.Program{Tab: db.Source.Tab, Facts: []ast.Atom{{Pred: a.Pred, FT: ft, Args: a.Args}}}
+		pure, err := rewrite.EliminateMixed(p)
+		if err != nil {
+			return false, err
+		}
+		ft = pure.Facts[0].FT
+	}
+	t, ok := subst.GroundFTerm(db.universe, ft)
+	if !ok {
+		return false, fmt.Errorf("core: atom is not ground")
+	}
+	return sp.Has(a.Pred, t, args)
+}
+
+func ftIsPure(ft *ast.FTerm) bool {
+	for _, app := range ft.Apps {
+		if len(app.Args) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Answers computes the relational specification of a query's answer set,
+// using the incremental construction for uniform queries (Theorem 5.1) and
+// recomputation otherwise.
+func (db *Database) Answers(src string) (*query.Answers, error) {
+	q, err := db.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.AnswersQuery(q)
+}
+
+// AnswersQuery is Answers for a pre-parsed query.
+func (db *Database) AnswersQuery(q *ast.Query) (*query.Answers, error) {
+	if query.IsUniform(q) {
+		sp, err := db.Graph()
+		if err != nil {
+			return nil, err
+		}
+		return query.Incremental(sp, q)
+	}
+	return query.Recompute(db.Source, q, db.opts.Engine, db.opts.Spec)
+}
+
+// Prover builds a goal-directed (tabled top-down) evaluator over this
+// database's program, sharing its term universe. Use it when only a few
+// ground goals are needed and building the full specification would be
+// wasteful; see package topdown for the completeness contract.
+func (db *Database) Prover(opts topdown.Options) (*topdown.Evaluator, error) {
+	return topdown.New(db.Prep, db.universe, db.world, opts)
+}
+
+// Stats summarizes the compiled database.
+type Stats struct {
+	Temporal  bool
+	C         int
+	SeedDepth int
+	Params    params.Params
+	Engine    engine.Stats
+	Reps      int
+	Edges     int
+	Tuples    int
+	Equations int
+}
+
+// Stats returns size and work measures; it forces the graph specification.
+func (db *Database) Stats() (Stats, error) {
+	sp, err := db.Graph()
+	if err != nil {
+		return Stats{}, err
+	}
+	reps, edges, tuples := sp.Size()
+	return Stats{
+		Temporal:  db.Prep.Temporal,
+		C:         db.Prep.C,
+		SeedDepth: db.Prep.SeedDepth,
+		Params:    params.Of(db.Source),
+		Engine:    db.Engine.Stats(),
+		Reps:      reps,
+		Edges:     edges,
+		Tuples:    tuples,
+		Equations: len(sp.Merges),
+	}, nil
+}

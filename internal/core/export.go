@@ -1,0 +1,38 @@
+package core
+
+import (
+	"io"
+
+	"funcdb/internal/minimize"
+	"funcdb/internal/specio"
+)
+
+// Export writes the database's relational specification (graph form plus
+// the equations R and the global facts) as a self-contained JSON document.
+// The document can later be answered without the rules via specio.Load.
+func (db *Database) Export(w io.Writer) error {
+	sp, err := db.Graph()
+	if err != nil {
+		return err
+	}
+	return specio.FromSpec(sp).Write(w)
+}
+
+// Document returns the serializable form of the specification.
+func (db *Database) Document() (*specio.Document, error) {
+	sp, err := db.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return specio.FromSpec(sp), nil
+}
+
+// Minimized builds the observable-equivalence quotient of the graph
+// specification (package minimize).
+func (db *Database) Minimized() (*minimize.Minimized, error) {
+	sp, err := db.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return minimize.Minimize(sp)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/parser"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+)
+
+// Extend adds ground facts (given in surface syntax, e.g. "Meets(4, ann).")
+// to the database and brings every compiled representation up to date.
+//
+// Least fixpoints are monotone in the database, so when the new facts stay
+// within the active domain the engine's state is simply extended and
+// re-solved — no recomputation from scratch. Two cases force a full
+// recompile: a new constant in a program with mixed function symbols (the
+// §2.4 elimination must be redone over the larger domain), and a new deeper
+// ground term (the anchor region and seed depth may change). Extend handles
+// both transparently; either way the graph/equational/temporal/canonical
+// views are rebuilt lazily on next access.
+func (db *Database) Extend(factsSrc string) error {
+	res, err := parser.Parse(factsSrc)
+	if err != nil {
+		return err
+	}
+	if len(res.Program.Rules) != 0 || len(res.Queries) != 0 {
+		return fmt.Errorf("core: Extend takes facts only")
+	}
+	// Note: the parsed facts use a fresh symbol table; reparse against the
+	// database's own table by formatting and parsing a merged program is
+	// wasteful, so instead parse directly against db.Source's table.
+	facts, err := parseFactsInto(db.Source, factsSrc)
+	if err != nil {
+		return err
+	}
+	if len(facts) == 0 {
+		return nil
+	}
+
+	before := make(map[symbols.ConstID]bool)
+	for _, c := range db.Source.ConstsUsed() {
+		before[c] = true
+	}
+	beforeDepth := db.Source.GroundDepth()
+
+	db.Source.Facts = append(db.Source.Facts, facts...)
+	if err := db.Source.Validate(); err != nil {
+		db.Source.Facts = db.Source.Facts[:len(db.Source.Facts)-len(facts)]
+		return err
+	}
+
+	newConst := false
+	for _, c := range db.Source.ConstsUsed() {
+		if !before[c] {
+			newConst = true
+			break
+		}
+	}
+	deeper := db.Source.GroundDepth() > beforeDepth
+
+	if (newConst && db.Source.HasMixed()) || deeper {
+		return db.recompile()
+	}
+
+	// Monotone fast path: push the new facts into the engine and re-solve.
+	prepared, err := rewrite.Prepare(&ast.Program{Tab: db.Source.Tab, Facts: facts})
+	if err != nil {
+		return db.recompile()
+	}
+	for i := range prepared.Program.Facts {
+		f := &prepared.Program.Facts[i]
+		args := make([]symbols.ConstID, len(f.Args))
+		for j, d := range f.Args {
+			args[j] = d.Const
+		}
+		if f.FT == nil {
+			db.Engine.AddGlobalFact(f.Pred, args)
+			continue
+		}
+		t, ok := subst.GroundFTerm(db.universe, f.FT)
+		if !ok {
+			return fmt.Errorf("core: fact %s is not ground", f.Format(db.Tab()))
+		}
+		db.Engine.AddGroundFact(f.Pred, t, args)
+	}
+	if err := db.Engine.Solve(); err != nil {
+		return err
+	}
+	db.invalidate()
+	return nil
+}
+
+// ExtendRules adds rules (surface syntax) to the database and recompiles.
+// Unlike fact insertion, new rules change the program itself, so there is
+// no monotone fast path; every compiled view is rebuilt.
+func (db *Database) ExtendRules(rulesSrc string) error {
+	merged := db.Source.Format() + "\n" + rulesSrc
+	res, err := parser.Parse(merged)
+	if err != nil {
+		return err
+	}
+	if len(res.Queries) != 0 {
+		return fmt.Errorf("core: ExtendRules takes rules and facts only")
+	}
+	fresh, err := FromProgram(res.Program, db.opts)
+	if err != nil {
+		return err
+	}
+	// Note: the merged program has a fresh symbol table; adopt it wholesale.
+	db.Source = fresh.Source
+	db.Prep = fresh.Prep
+	db.Engine = fresh.Engine
+	db.universe = fresh.universe
+	db.world = fresh.world
+	db.invalidate()
+	return nil
+}
+
+// recompile rebuilds the engine from the (already extended) source program.
+func (db *Database) recompile() error {
+	fresh, err := FromProgram(db.Source, db.opts)
+	if err != nil {
+		return err
+	}
+	db.Prep = fresh.Prep
+	db.Engine = fresh.Engine
+	db.universe = fresh.universe
+	db.world = fresh.world
+	db.invalidate()
+	return nil
+}
+
+// invalidate drops the lazily built views so they are rebuilt on demand.
+func (db *Database) invalidate() {
+	db.graph = nil
+	db.eq = nil
+	db.lasso = nil
+	db.canon = nil
+}
+
+// parseFactsInto parses fact syntax against prog's symbol table, reusing
+// the program's predicate functionality.
+func parseFactsInto(prog *ast.Program, src string) ([]ast.Atom, error) {
+	merged := prog.Format() + "\n" + src
+	res, err := parser.Parse(merged)
+	if err != nil {
+		return nil, err
+	}
+	// The merged parse has its own table; translate the tail facts back
+	// into prog's table.
+	tail := res.Program.Facts[len(prog.Facts):]
+	out := make([]ast.Atom, 0, len(tail))
+	for i := range tail {
+		a, err := translateAtom(res.Program.Tab, prog.Tab, &tail[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// translateAtom re-interns a ground atom from one symbol table into another.
+func translateAtom(from, to *symbols.Table, a *ast.Atom) (ast.Atom, error) {
+	info := from.PredInfo(a.Pred)
+	out := ast.Atom{Pred: to.Pred(info.Name, info.Arity, info.Functional)}
+	if a.FT != nil {
+		ft := &ast.FTerm{Base: symbols.NoVar}
+		for _, app := range a.FT.Apps {
+			fi := from.FuncInfo(app.Fn)
+			args := make([]ast.DTerm, len(app.Args))
+			for j, d := range app.Args {
+				if d.IsVar() {
+					return ast.Atom{}, fmt.Errorf("core: fact is not ground")
+				}
+				args[j] = ast.C(to.Const(from.ConstName(d.Const)))
+			}
+			ft.Apps = append(ft.Apps, ast.FApp{Fn: to.Func(fi.Name, fi.DataArity), Args: args})
+		}
+		if a.FT.HasVarBase() {
+			return ast.Atom{}, fmt.Errorf("core: fact is not ground")
+		}
+		out.FT = ft
+	}
+	for _, d := range a.Args {
+		if d.IsVar() {
+			return ast.Atom{}, fmt.Errorf("core: fact is not ground")
+		}
+		out.Args = append(out.Args, ast.C(to.Const(from.ConstName(d.Const))))
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func findings(t *testing.T, src string) []LintFinding {
+	t.Helper()
+	db, err := Open(src, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	fs, err := db.Lint()
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return fs
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	fs := findings(t, `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`)
+	if len(fs) != 0 {
+		t.Errorf("clean program produced findings: %v", fs)
+	}
+}
+
+func TestLintDeadRule(t *testing.T) {
+	// The second rule is guarded by Blocked, which never holds.
+	fs := findings(t, `
+Even(0).
+Even(T) -> Even(T+2).
+Blocked(T), Even(T) -> Alarm(T).
+@functional Blocked/1.
+@functional Alarm/1.
+`)
+	var dead, empty int
+	for _, f := range fs {
+		switch f.Kind {
+		case "dead-rule":
+			dead++
+			if !strings.Contains(f.Detail, "Alarm") {
+				t.Errorf("dead rule misidentified: %s", f)
+			}
+		case "empty-predicate":
+			empty++
+		}
+	}
+	if dead != 1 {
+		t.Errorf("dead rules = %d, want 1: %v", dead, fs)
+	}
+	// Blocked and Alarm are both empty.
+	if empty != 2 {
+		t.Errorf("empty predicates = %d, want 2: %v", empty, fs)
+	}
+}
+
+func TestLintSemanticDeadness(t *testing.T) {
+	// Syntactically plausible, semantically dead: Busy needs Fizz and Buzz
+	// on the same day, but their residues never meet (3k+1 vs 3k+2).
+	fs := findings(t, `
+Fizz(1).
+Fizz(T) -> Fizz(T+3).
+Buzz(2).
+Buzz(T) -> Buzz(T+3).
+Fizz(T), Buzz(T) -> Busy(T).
+`)
+	foundDead := false
+	foundEmpty := false
+	for _, f := range fs {
+		if f.Kind == "dead-rule" && strings.Contains(f.Detail, "Busy") {
+			foundDead = true
+		}
+		if f.Kind == "empty-predicate" && strings.Contains(f.Detail, "Busy") {
+			foundEmpty = true
+		}
+	}
+	if !foundDead || !foundEmpty {
+		t.Errorf("semantic deadness missed: %v", fs)
+	}
+}

@@ -1,0 +1,590 @@
+// Package engine computes exact slices of the (generally infinite) least
+// fixpoint of a prepared functional program, and with them the state
+// equivalence relation ~ of section 3.1.
+//
+// Facts can flow both up (P(s) -> Q(f(s))) and down (P(f(s)) -> Q(s)) the
+// tree of ground functional terms, so no fixed-depth truncation is exact.
+// The engine instead runs a chaotic least-fixpoint iteration over
+//
+//   - a finite anchor region: every prefix of a ground term mentioned by the
+//     program (facts and ground atoms in rules), each with a concrete,
+//     growing fact set; and
+//   - memoized cells ChildState(f, parentState): the exact fact set of a
+//     child reached by symbol f from a node with the given (frozen) state,
+//     in an anchor-free subtree. Cell contents depend only on the key, which
+//     is what Lemma 3.1 of the paper (equivalent terms have equivalent
+//     successors) guarantees.
+//
+// Soundness of the memoization relies on monotonicity: every cell key is a
+// snapshot of a real node's state, snapshots only grow, and everything a
+// cell derives from an under-approximate parent is derivable from the real
+// node. The iteration runs until the anchors, cells, global facts and
+// ground-term facts are simultaneously stable, which yields the least
+// fixpoint exactly; the memo table is at worst exponential in the database
+// size, matching the paper's DEXPTIME bound (Theorem 4.1).
+package engine
+
+import (
+	"fmt"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/facts"
+	"funcdb/internal/normform"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Options bound the engine's work.
+type Options struct {
+	// MaxCells aborts when more than this many child-state cells have been
+	// created (0 = no limit). Cell count is bounded by |F| times the number
+	// of distinct states, which is finite but can be exponential in the
+	// database size (Theorem 4.2).
+	MaxCells int
+	// MaxRounds aborts after this many global iteration rounds (0 = none).
+	MaxRounds int
+	// DisableDirtySkip turns off the version-based skipping of anchors and
+	// cells whose inputs cannot have changed since their last evaluation.
+	// Only the ablation benchmarks set this.
+	DisableDirtySkip bool
+}
+
+// Stats reports the work done by an engine.
+type Stats struct {
+	Rounds       int // global fixpoint rounds
+	Cells        int // child-state cells created
+	RuleFirings  int // successful body matches
+	AnchorsCount int // anchor nodes
+	SkippedEvals int // node evaluations skipped by the dirty check
+}
+
+type memoKey struct {
+	fn     symbols.FuncID
+	parent facts.StateID
+}
+
+type cell struct {
+	key memoKey
+	set *facts.Set
+	// lastSeen is the engine version when this cell was last evaluated
+	// (-1 = never). If the version is unchanged, no fact anywhere has been
+	// added since, so re-evaluation cannot derive anything new.
+	lastSeen int64
+}
+
+// Engine computes exact slices of LFP(Z, D). Create with New, then call
+// Solve; afterwards StateOf and ChildState answer state queries (running
+// further fixpoint work on demand).
+type Engine struct {
+	Prep *rewrite.Prepared
+	U    *term.Universe
+	W    *facts.World
+
+	nodeRules   []normform.Rule
+	childHead   map[symbols.FuncID][]*normform.Rule // node rules with head at f(s)
+	othersHead  []*normform.Rule                    // node rules with head at s, data or ground
+	globalRules []normform.Rule
+	pushFns     map[symbols.FuncID]bool
+
+	global     *facts.Set
+	anchors    map[term.Term]*facts.Set
+	anchorList []term.Term
+
+	memo  map[memoKey]*cell
+	cells []*cell
+
+	// version counts fact insertions and cell creations; anchorSeen holds
+	// each anchor's lastSeen mark.
+	version    int64
+	anchorSeen map[term.Term]int64
+
+	stateViews map[facts.StateID]map[symbols.PredID][]facts.AtomID
+
+	opts     Options
+	stats    Stats
+	overflow error
+	solved   bool
+
+	ruleFired map[*normform.Rule]bool
+}
+
+// New compiles the prepared program into an engine. Terms are interned in
+// u, tuples and states in w.
+func New(prep *rewrite.Prepared, u *term.Universe, w *facts.World, opts Options) (*Engine, error) {
+	comp, err := normform.Compile(prep, u)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Prep:        prep,
+		U:           u,
+		W:           w,
+		nodeRules:   comp.Node,
+		globalRules: comp.Global,
+		pushFns:     comp.PushFns,
+		global:      facts.NewSet(),
+		anchors:     make(map[term.Term]*facts.Set),
+		anchorSeen:  make(map[term.Term]int64),
+		memo:        make(map[memoKey]*cell),
+		stateViews:  make(map[facts.StateID]map[symbols.PredID][]facts.AtomID),
+		childHead:   make(map[symbols.FuncID][]*normform.Rule),
+		ruleFired:   make(map[*normform.Rule]bool),
+		opts:        opts,
+	}
+	for i := range e.nodeRules {
+		r := &e.nodeRules[i]
+		if r.Head.Lvl == normform.Child {
+			e.childHead[r.Head.Fn] = append(e.childHead[r.Head.Fn], r)
+		} else {
+			e.othersHead = append(e.othersHead, r)
+		}
+	}
+
+	// The anchor region: every prefix of a ground term the program mentions
+	// (facts and ground rule atoms), and always the root 0.
+	e.ensureAnchor(term.Zero)
+	for _, t := range comp.GroundTerms {
+		e.ensureAnchorPath(t)
+	}
+	for i := range prep.Program.Facts {
+		f := &prep.Program.Facts[i]
+		tu := e.tupleOf(f.Args)
+		if f.FT == nil {
+			e.global.Add(w, w.Atom(f.Pred, tu))
+			continue
+		}
+		t, ok := subst.GroundFTerm(u, f.FT)
+		if !ok {
+			return nil, fmt.Errorf("engine: fact %s is not ground and pure", f.Format(prep.Program.Tab))
+		}
+		e.ensureAnchorPath(t)
+		e.anchors[t].Add(w, w.Atom(f.Pred, tu))
+	}
+	e.stats.AnchorsCount = len(e.anchorList)
+	return e, nil
+}
+
+func (e *Engine) tupleOf(args []ast.DTerm) facts.TupleID {
+	consts := make([]symbols.ConstID, len(args))
+	for i, d := range args {
+		consts[i] = d.Const
+	}
+	return e.W.Tuple(consts)
+}
+
+func (e *Engine) ensureAnchor(t term.Term) *facts.Set {
+	if s, ok := e.anchors[t]; ok {
+		return s
+	}
+	s := facts.NewSet()
+	e.anchors[t] = s
+	e.anchorList = append(e.anchorList, t)
+	return s
+}
+
+func (e *Engine) ensureAnchorPath(t term.Term) {
+	for _, sub := range e.U.Subterms(t) {
+		e.ensureAnchor(sub)
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.stats.Cells = len(e.cells)
+	e.stats.AnchorsCount = len(e.anchorList)
+	return e.stats
+}
+
+// Global returns the set of non-functional facts of the least fixpoint.
+// Valid after Solve.
+func (e *Engine) Global() *facts.Set { return e.global }
+
+// AnchorTerms returns the anchor region's terms.
+func (e *Engine) AnchorTerms() []term.Term { return e.anchorList }
+
+// cellFor returns (creating if needed) the cell for child f of a node with
+// the given frozen state.
+func (e *Engine) cellFor(f symbols.FuncID, parent facts.StateID) *cell {
+	key := memoKey{f, parent}
+	if c, ok := e.memo[key]; ok {
+		return c
+	}
+	c := &cell{key: key, set: facts.NewSet(), lastSeen: -1}
+	e.memo[key] = c
+	e.cells = append(e.cells, c)
+	e.version++
+	if e.opts.MaxCells > 0 && len(e.cells) > e.opts.MaxCells {
+		if e.overflow == nil {
+			e.overflow = fmt.Errorf("engine: more than %d child-state cells; the specification may be exponentially large", e.opts.MaxCells)
+		}
+	}
+	return c
+}
+
+// stateView returns the per-predicate index of a frozen state.
+func (e *Engine) stateView(s facts.StateID) map[symbols.PredID][]facts.AtomID {
+	if v, ok := e.stateViews[s]; ok {
+		return v
+	}
+	v := make(map[symbols.PredID][]facts.AtomID)
+	for _, a := range e.W.StateAtoms(s) {
+		p := e.W.AtomPred(a)
+		v[p] = append(v[p], a)
+	}
+	e.stateViews[s] = v
+	return v
+}
+
+type srcFn func(p symbols.PredID) []facts.AtomID
+type sinkFn func(a facts.AtomID) bool
+
+// ruleCtx supplies sources and sinks for the self and child levels of one
+// rule instantiation site. Data and ground levels are global and resolved
+// by the engine directly.
+type ruleCtx struct {
+	selfSrc   srcFn
+	childSrc  func(f symbols.FuncID) srcFn
+	selfSink  sinkFn
+	childSink func(f symbols.FuncID) sinkFn
+}
+
+// applyRule joins r's body under ctx and emits heads; it reports whether
+// any new fact was added.
+func (e *Engine) applyRule(r *normform.Rule, ctx *ruleCtx) bool {
+	changed := false
+	var b subst.Binding
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(r.Body) {
+			e.stats.RuleFirings++
+			e.ruleFired[r] = true
+			if e.emit(r, ctx, &b) {
+				changed = true
+			}
+			return
+		}
+		l := &r.Body[i]
+		var atoms []facts.AtomID
+		switch l.Lvl {
+		case normform.Data:
+			atoms = e.global.ByPred(l.Pred)
+		case normform.Ground:
+			if s, ok := e.anchors[l.GroundTerm]; ok {
+				atoms = s.ByPred(l.Pred)
+			}
+		case normform.Self:
+			if ctx.selfSrc == nil {
+				return
+			}
+			atoms = ctx.selfSrc(l.Pred)
+		case normform.Child:
+			if ctx.childSrc == nil {
+				return
+			}
+			src := ctx.childSrc(l.Fn)
+			if src == nil {
+				return
+			}
+			atoms = src(l.Pred)
+		}
+		for _, a := range atoms {
+			nc, nt := b.Mark()
+			if e.matchArgs(l.Args, a, &b) {
+				rec(i + 1)
+			}
+			b.Undo(nc, nt)
+		}
+	}
+	rec(0)
+	return changed
+}
+
+func (e *Engine) matchArgs(pats []ast.DTerm, a facts.AtomID, b *subst.Binding) bool {
+	args := e.W.TupleArgs(e.W.AtomTuple(a))
+	if len(args) != len(pats) {
+		return false
+	}
+	for i, pat := range pats {
+		if !b.MatchData(pat, args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) emit(r *normform.Rule, ctx *ruleCtx, b *subst.Binding) bool {
+	h := &r.Head
+	consts := make([]symbols.ConstID, len(h.Args))
+	for i, d := range h.Args {
+		c, ok := b.ApplyData(d)
+		if !ok {
+			// Range restriction guarantees boundness; treat as no match.
+			return false
+		}
+		consts[i] = c
+	}
+	a := e.W.Atom(h.Pred, e.W.Tuple(consts))
+	added := false
+	switch h.Lvl {
+	case normform.Data:
+		added = e.global.Add(e.W, a)
+	case normform.Ground:
+		added = e.ensureAnchor(h.GroundTerm).Add(e.W, a)
+	case normform.Self:
+		if ctx.selfSink == nil {
+			return false
+		}
+		added = ctx.selfSink(a)
+	case normform.Child:
+		if ctx.childSink == nil {
+			return false
+		}
+		sink := ctx.childSink(h.Fn)
+		if sink == nil {
+			return false
+		}
+		added = sink(a)
+	}
+	if added {
+		e.version++
+	}
+	return added
+}
+
+// evalGlobals runs the rules that touch no functional variable.
+func (e *Engine) evalGlobals() bool {
+	changed := false
+	ctx := &ruleCtx{}
+	for i := range e.globalRules {
+		if e.applyRule(&e.globalRules[i], ctx) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// evalAnchor runs all node rules instantiated at the anchor term t.
+// Concrete (anchor) children are read and written directly; boundary
+// children are read through cells, whose own evaluation performs the
+// writes.
+func (e *Engine) evalAnchor(t term.Term) bool {
+	if !e.opts.DisableDirtySkip {
+		if seen, ok := e.anchorSeen[t]; ok && seen == e.version {
+			e.stats.SkippedEvals++
+			return false
+		}
+	}
+	startVersion := e.version
+	defer func() { e.anchorSeen[t] = startVersion }()
+	s := e.anchors[t]
+	ctx := &ruleCtx{
+		selfSrc:  s.ByPred,
+		selfSink: func(a facts.AtomID) bool { return s.Add(e.W, a) },
+		childSrc: func(f symbols.FuncID) srcFn {
+			child := e.U.Apply(f, t)
+			if cs, ok := e.anchors[child]; ok {
+				return cs.ByPred
+			}
+			return e.cellFor(f, s.StateID(e.W)).set.ByPred
+		},
+		childSink: func(f symbols.FuncID) sinkFn {
+			child := e.U.Apply(f, t)
+			if cs, ok := e.anchors[child]; ok {
+				return func(a facts.AtomID) bool { return cs.Add(e.W, a) }
+			}
+			return nil
+		},
+	}
+	changed := false
+	for i := range e.nodeRules {
+		if e.applyRule(&e.nodeRules[i], ctx) {
+			changed = true
+		}
+	}
+	// Make sure every push target beyond the anchor region exists, so its
+	// cell picks up the writes this node's state enables.
+	for f := range e.pushFns {
+		if _, ok := e.anchors[e.U.Apply(f, t)]; !ok {
+			e.cellFor(f, s.StateID(e.W))
+		}
+	}
+	return changed
+}
+
+// evalCell advances one child-state cell: first the rules instantiated at
+// its (virtual) parent whose heads push into this child, then the rules
+// instantiated at the cell's own node.
+func (e *Engine) evalCell(c *cell) bool {
+	if !e.opts.DisableDirtySkip && c.lastSeen == e.version {
+		e.stats.SkippedEvals++
+		return false
+	}
+	startVersion := e.version
+	defer func() { c.lastSeen = startVersion }()
+	changed := false
+
+	// Group 1: instantiated at the parent, head at Child(c.key.fn).
+	parentView := e.stateView(c.key.parent)
+	ctx1 := &ruleCtx{
+		selfSrc: func(p symbols.PredID) []facts.AtomID { return parentView[p] },
+		childSrc: func(g symbols.FuncID) srcFn {
+			if g == c.key.fn {
+				return c.set.ByPred
+			}
+			return e.cellFor(g, c.key.parent).set.ByPred
+		},
+		childSink: func(g symbols.FuncID) sinkFn {
+			if g == c.key.fn {
+				return func(a facts.AtomID) bool { return c.set.Add(e.W, a) }
+			}
+			return nil
+		},
+	}
+	for _, r := range e.childHead[c.key.fn] {
+		if e.applyRule(r, ctx1) {
+			changed = true
+		}
+	}
+
+	// Group 2: instantiated at the cell's node itself; heads at the node,
+	// at ground terms or non-functional. Pushes into this node's children
+	// are handled by the children's own group 1.
+	ctx2 := &ruleCtx{
+		selfSrc:  c.set.ByPred,
+		selfSink: func(a facts.AtomID) bool { return c.set.Add(e.W, a) },
+		childSrc: func(g symbols.FuncID) srcFn {
+			return e.cellFor(g, c.set.StateID(e.W)).set.ByPred
+		},
+	}
+	for _, r := range e.othersHead {
+		if e.applyRule(r, ctx2) {
+			changed = true
+		}
+	}
+
+	// Spawn push targets for the cell's current state.
+	for f := range e.pushFns {
+		e.cellFor(f, c.set.StateID(e.W))
+	}
+	return changed
+}
+
+// Solve runs the chaotic iteration to the simultaneous least fixpoint of
+// globals, anchors and cells. It is idempotent and cheap to re-run after
+// new cells have been created by state queries.
+func (e *Engine) Solve() error {
+	for {
+		e.stats.Rounds++
+		changed := e.evalGlobals()
+		for _, t := range e.anchorList {
+			if e.evalAnchor(t) {
+				changed = true
+			}
+		}
+		for i := 0; i < len(e.cells); i++ {
+			if e.evalCell(e.cells[i]) {
+				changed = true
+			}
+		}
+		if e.overflow != nil {
+			return e.overflow
+		}
+		if !changed {
+			e.solved = true
+			return nil
+		}
+		if e.opts.MaxRounds > 0 && e.stats.Rounds >= e.opts.MaxRounds {
+			return fmt.Errorf("engine: no fixpoint after %d rounds", e.stats.Rounds)
+		}
+	}
+}
+
+// StateOf returns the interned state (the slice with the functional
+// component stripped, over all predicates of the prepared program) of an
+// arbitrary ground term. It may extend the fixpoint when t lies outside the
+// explored region.
+func (e *Engine) StateOf(t term.Term) (facts.StateID, error) {
+	if !e.solved {
+		if err := e.Solve(); err != nil {
+			return 0, err
+		}
+	}
+	if s, ok := e.anchors[t]; ok {
+		return s.StateID(e.W), nil
+	}
+	parent, err := e.StateOf(e.U.Child(t))
+	if err != nil {
+		return 0, err
+	}
+	return e.ChildState(e.U.Top(t), parent)
+}
+
+// ChildState returns the state of the child reached by f from a node in
+// state s, outside the anchor region.
+func (e *Engine) ChildState(f symbols.FuncID, s facts.StateID) (facts.StateID, error) {
+	before := len(e.cells)
+	c := e.cellFor(f, s)
+	if len(e.cells) != before {
+		e.solved = false
+		if err := e.Solve(); err != nil {
+			return 0, err
+		}
+	}
+	return c.set.StateID(e.W), nil
+}
+
+// AddGlobalFact inserts a non-functional base fact. The fixpoint is
+// monotone in the database, so the engine's state remains a sound
+// under-approximation; call Solve to restore the fixpoint.
+func (e *Engine) AddGlobalFact(pred symbols.PredID, args []symbols.ConstID) {
+	if e.global.Add(e.W, e.W.Atom(pred, e.W.Tuple(args))) {
+		e.version++
+		e.solved = false
+	}
+}
+
+// AddGroundFact inserts a functional base fact at the ground term t,
+// extending the anchor region along t's prefixes. Call Solve afterwards.
+// The caller must ensure t's depth does not exceed the prepared seed depth
+// assumptions (core.Extend recompiles in that case).
+func (e *Engine) AddGroundFact(pred symbols.PredID, t term.Term, args []symbols.ConstID) {
+	e.ensureAnchorPath(t)
+	if e.anchors[t].Add(e.W, e.W.Atom(pred, e.W.Tuple(args))) {
+		e.version++
+		e.solved = false
+	}
+}
+
+// UnfiredRules returns the source rules whose body was never satisfied
+// anywhere in the explored fixpoint — dead rules, in the sense of a linter.
+// Valid after Solve.
+func (e *Engine) UnfiredRules() []*ast.Rule {
+	var out []*ast.Rule
+	collect := func(rules []normform.Rule) {
+		for i := range rules {
+			if !e.ruleFired[&rules[i]] {
+				out = append(out, rules[i].Src)
+			}
+		}
+	}
+	collect(e.nodeRules)
+	collect(e.globalRules)
+	return out
+}
+
+// HasGlobal reports whether the non-functional fact pred(args) is in the
+// least fixpoint. Valid after Solve.
+func (e *Engine) HasGlobal(pred symbols.PredID, args []symbols.ConstID) bool {
+	return e.global.Has(e.W.Atom(pred, e.W.Tuple(args)))
+}
+
+// HasAt reports whether pred(t, args) is in the least fixpoint.
+func (e *Engine) HasAt(pred symbols.PredID, t term.Term, args []symbols.ConstID) (bool, error) {
+	s, err := e.StateOf(t)
+	if err != nil {
+		return false, err
+	}
+	return e.W.StateContains(s, e.W.Atom(pred, e.W.Tuple(args))), nil
+}

@@ -1,0 +1,220 @@
+// Package facts interns the ground data of evaluation: argument tuples,
+// function-free atoms (a predicate applied to a tuple, with the functional
+// component held elsewhere), and states.
+//
+// A state, in the sense of section 3.1 of the paper, is the set of
+// function-free atoms true at one ground functional term — the slice L[t]
+// with its functional component stripped. States are interned so that the
+// state-equivalence relation ~ is an integer comparison, which is what makes
+// Algorithm Q's merging cheap.
+package facts
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"funcdb/internal/symbols"
+)
+
+// TupleID identifies an interned argument tuple.
+type TupleID int32
+
+// AtomID identifies an interned function-free atom (predicate + tuple).
+type AtomID int32
+
+// StateID identifies an interned state (sorted set of AtomIDs).
+type StateID int32
+
+// EmptyState is the StateID of the empty state in every World.
+const EmptyState StateID = 0
+
+type atomRec struct {
+	pred  symbols.PredID
+	tuple TupleID
+}
+
+type atomKey struct {
+	pred  symbols.PredID
+	tuple TupleID
+}
+
+// World interns tuples, atoms and states. The zero value is not usable;
+// call NewWorld.
+type World struct {
+	tupleData [][]symbols.ConstID
+	tupleBy   map[string]TupleID
+
+	atoms  []atomRec
+	atomBy map[atomKey]AtomID
+
+	stateData [][]AtomID
+	stateBy   map[string]StateID
+}
+
+// NewWorld returns an empty interning context. The empty state is
+// pre-interned as EmptyState.
+func NewWorld() *World {
+	w := &World{
+		tupleBy: make(map[string]TupleID),
+		atomBy:  make(map[atomKey]AtomID),
+		stateBy: make(map[string]StateID),
+	}
+	w.stateData = append(w.stateData, nil)
+	w.stateBy[""] = EmptyState
+	return w
+}
+
+func tupleKey(args []symbols.ConstID) string {
+	buf := make([]byte, 4*len(args))
+	for i, c := range args {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
+	}
+	return string(buf)
+}
+
+// Tuple interns an argument tuple. The argument slice is copied.
+func (w *World) Tuple(args []symbols.ConstID) TupleID {
+	key := tupleKey(args)
+	if id, ok := w.tupleBy[key]; ok {
+		return id
+	}
+	id := TupleID(len(w.tupleData))
+	w.tupleData = append(w.tupleData, append([]symbols.ConstID(nil), args...))
+	w.tupleBy[key] = id
+	return id
+}
+
+// TupleArgs returns the constants of tu. The caller must not modify it.
+func (w *World) TupleArgs(tu TupleID) []symbols.ConstID { return w.tupleData[tu] }
+
+// Atom interns the function-free atom pred(tuple).
+func (w *World) Atom(pred symbols.PredID, tuple TupleID) AtomID {
+	key := atomKey{pred, tuple}
+	if id, ok := w.atomBy[key]; ok {
+		return id
+	}
+	id := AtomID(len(w.atoms))
+	w.atoms = append(w.atoms, atomRec{pred, tuple})
+	w.atomBy[key] = id
+	return id
+}
+
+// AtomPred returns the predicate of a.
+func (w *World) AtomPred(a AtomID) symbols.PredID { return w.atoms[a].pred }
+
+// AtomTuple returns the tuple of a.
+func (w *World) AtomTuple(a AtomID) TupleID { return w.atoms[a].tuple }
+
+// NumAtoms returns the number of interned atoms.
+func (w *World) NumAtoms() int { return len(w.atoms) }
+
+func stateKey(sorted []AtomID) string {
+	buf := make([]byte, 4*len(sorted))
+	for i, a := range sorted {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(a))
+	}
+	return string(buf)
+}
+
+// State interns a set of atoms given as a sorted slice, which is copied.
+func (w *World) State(sorted []AtomID) StateID {
+	key := stateKey(sorted)
+	if id, ok := w.stateBy[key]; ok {
+		return id
+	}
+	id := StateID(len(w.stateData))
+	w.stateData = append(w.stateData, append([]AtomID(nil), sorted...))
+	w.stateBy[key] = id
+	return id
+}
+
+// StateAtoms returns the sorted atoms of s. The caller must not modify it.
+func (w *World) StateAtoms(s StateID) []AtomID { return w.stateData[s] }
+
+// StateLen returns the number of atoms in s.
+func (w *World) StateLen(s StateID) int { return len(w.stateData[s]) }
+
+// NumStates returns the number of interned states.
+func (w *World) NumStates() int { return len(w.stateData) }
+
+// StateContains reports whether atom a belongs to state s.
+func (w *World) StateContains(s StateID, a AtomID) bool {
+	d := w.stateData[s]
+	i := sort.Search(len(d), func(i int) bool { return d[i] >= a })
+	return i < len(d) && d[i] == a
+}
+
+// Set is a grow-only set of atoms with a per-predicate index and a cached
+// state identity. The zero value is ready to use.
+type Set struct {
+	all    map[AtomID]struct{}
+	byPred map[symbols.PredID][]AtomID
+	cached StateID
+	dirty  bool
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set {
+	return &Set{
+		all:    make(map[AtomID]struct{}),
+		byPred: make(map[symbols.PredID][]AtomID),
+	}
+}
+
+// Add inserts a and reports whether it was new.
+func (s *Set) Add(w *World, a AtomID) bool {
+	if _, ok := s.all[a]; ok {
+		return false
+	}
+	s.all[a] = struct{}{}
+	p := w.AtomPred(a)
+	s.byPred[p] = append(s.byPred[p], a)
+	s.dirty = true
+	return true
+}
+
+// AddState inserts every atom of the interned state st.
+func (s *Set) AddState(w *World, st StateID) bool {
+	changed := false
+	for _, a := range w.StateAtoms(st) {
+		if s.Add(w, a) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Has reports membership.
+func (s *Set) Has(a AtomID) bool {
+	_, ok := s.all[a]
+	return ok
+}
+
+// ByPred returns the atoms of predicate p, in insertion order. The caller
+// must not modify the slice.
+func (s *Set) ByPred(p symbols.PredID) []AtomID { return s.byPred[p] }
+
+// Len returns the number of atoms in the set.
+func (s *Set) Len() int { return len(s.all) }
+
+// All returns the atoms of the set in unspecified order.
+func (s *Set) All() []AtomID {
+	out := make([]AtomID, 0, len(s.all))
+	for a := range s.all {
+		out = append(out, a)
+	}
+	return out
+}
+
+// StateID interns the current contents as a state, caching the result until
+// the next Add.
+func (s *Set) StateID(w *World) StateID {
+	if !s.dirty {
+		return s.cached // a fresh Set caches EmptyState
+	}
+	sorted := s.All()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.cached = w.State(sorted)
+	s.dirty = false
+	return s.cached
+}

@@ -1,0 +1,347 @@
+package fixpoint
+
+import (
+	"fmt"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/facts"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Options configure an evaluation.
+type Options struct {
+	// MaxDepth bounds the depth of functional terms in derived facts.
+	// Derivations that would exceed it are dropped and the result is
+	// marked truncated.
+	MaxDepth int
+	// Seminaive selects delta-driven rule evaluation instead of naive
+	// whole-database re-evaluation.
+	Seminaive bool
+	// MaxFacts aborts the evaluation with an error when the store exceeds
+	// this many facts. 0 means no limit.
+	MaxFacts int
+}
+
+// Result is the outcome of an evaluation.
+type Result struct {
+	Store *Store
+	// Rounds is the number of evaluation rounds until the fixpoint.
+	Rounds int
+	// Truncated reports whether any derivation was cut off by MaxDepth;
+	// if false, the store is the complete least fixpoint.
+	Truncated bool
+}
+
+// Eval computes the least fixpoint of the pure program p, restricted to
+// functional terms of depth at most opts.MaxDepth. Terms are interned in u
+// and tuples in w.
+func Eval(p *ast.Program, u *term.Universe, w *facts.World, opts Options) (*Result, error) {
+	if p.HasMixed() {
+		return nil, fmt.Errorf("fixpoint: program has mixed function symbols; run rewrite.EliminateMixed first")
+	}
+	e := &evaluator{
+		prog:  p,
+		store: NewStore(u, w),
+		opts:  opts,
+	}
+	if err := e.loadFacts(); err != nil {
+		return nil, err
+	}
+	var err error
+	if opts.Seminaive {
+		err = e.runSeminaive()
+	} else {
+		err = e.runNaive()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Store: e.store, Rounds: e.rounds, Truncated: e.truncated}, nil
+}
+
+type evaluator struct {
+	prog      *ast.Program
+	store     *Store
+	opts      Options
+	rounds    int
+	truncated bool
+}
+
+func (e *evaluator) loadFacts() error {
+	for i := range e.prog.Facts {
+		f := &e.prog.Facts[i]
+		tu := e.tupleOf(f.Args)
+		if f.FT == nil {
+			e.store.AddData(f.Pred, tu)
+			continue
+		}
+		t, ok := subst.GroundFTerm(e.store.U, f.FT)
+		if !ok {
+			return fmt.Errorf("fixpoint: fact %s is not ground and pure", f.Format(e.prog.Tab))
+		}
+		if e.store.U.Depth(t) > e.opts.MaxDepth {
+			e.truncated = true
+			continue
+		}
+		e.store.AddFn(f.Pred, t, tu)
+	}
+	return nil
+}
+
+func (e *evaluator) tupleOf(args []ast.DTerm) facts.TupleID {
+	consts := make([]symbols.ConstID, len(args))
+	for i, d := range args {
+		consts[i] = d.Const
+	}
+	return e.store.W.Tuple(consts)
+}
+
+func (e *evaluator) checkOverflow() error {
+	if e.opts.MaxFacts > 0 && e.store.Len() > e.opts.MaxFacts {
+		return fmt.Errorf("fixpoint: store exceeded %d facts at depth bound %d",
+			e.opts.MaxFacts, e.opts.MaxDepth)
+	}
+	return nil
+}
+
+func (e *evaluator) runNaive() error {
+	for {
+		e.rounds++
+		changed := false
+		for i := range e.prog.Rules {
+			n, err := e.applyRule(&e.prog.Rules[i], -1, nil)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// lenMarks records, per predicate, how many facts each append-only index
+// held at some instant; a pair of marks delimits a delta.
+type lenMarks struct {
+	data map[symbols.PredID]int
+	fn   map[symbols.PredID]int
+}
+
+func (e *evaluator) marks() lenMarks {
+	m := lenMarks{data: make(map[symbols.PredID]int), fn: make(map[symbols.PredID]int)}
+	for _, p := range e.dataPreds() {
+		m.data[p] = len(e.store.data.ByPred(p))
+	}
+	for p, idx := range e.store.fn {
+		m.fn[p] = len(idx.entries)
+	}
+	return m
+}
+
+func (e *evaluator) dataPreds() []symbols.PredID {
+	var out []symbols.PredID
+	for p := symbols.PredID(0); int(p) < e.prog.Tab.NumPreds(); p++ {
+		if !e.prog.Tab.PredInfo(p).Functional {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sameMarks(a, b lenMarks) bool {
+	for p, n := range b.data {
+		if a.data[p] != n {
+			return false
+		}
+	}
+	for p, n := range b.fn {
+		if a.fn[p] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// runSeminaive evaluates rounds in which each rule is joined once per body
+// position, restricting that position to the facts derived in the previous
+// round.
+func (e *evaluator) runSeminaive() error {
+	prev := lenMarks{data: map[symbols.PredID]int{}, fn: map[symbols.PredID]int{}}
+	for {
+		cur := e.marks()
+		if e.rounds > 0 && sameMarks(prev, cur) {
+			return nil
+		}
+		e.rounds++
+		delta := &deltaRange{from: prev, to: cur}
+		for i := range e.prog.Rules {
+			r := &e.prog.Rules[i]
+			if len(r.Body) == 0 {
+				if e.rounds == 1 {
+					if _, err := e.applyRule(r, -1, nil); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			for pos := range r.Body {
+				if _, err := e.applyRule(r, pos, delta); err != nil {
+					return err
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// deltaRange restricts one body position to the facts appended between two
+// marks.
+type deltaRange struct {
+	from, to lenMarks
+}
+
+func (d *deltaRange) dataSlice(s *facts.Set, p symbols.PredID) []facts.AtomID {
+	all := s.ByPred(p)
+	lo, hi := d.from.data[p], d.to.data[p]
+	if hi > len(all) {
+		hi = len(all)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return all[lo:hi]
+}
+
+func (d *deltaRange) fnSlice(st *Store, p symbols.PredID) []fnEntry {
+	idx := st.fn[p]
+	if idx == nil {
+		return nil
+	}
+	lo, hi := d.from.fn[p], d.to.fn[p]
+	if hi > len(idx.entries) {
+		hi = len(idx.entries)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return idx.entries[lo:hi]
+}
+
+// applyRule joins the rule body against the store (restricting body
+// position deltaPos to the delta when deltaPos >= 0) and inserts the
+// instantiated heads. It returns the number of new facts.
+func (e *evaluator) applyRule(r *ast.Rule, deltaPos int, delta *deltaRange) (int, error) {
+	var b subst.Binding
+	added := 0
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(r.Body) {
+			n, err := e.emitHead(r, &b)
+			added += n
+			return err
+		}
+		lit := &r.Body[i]
+		useDelta := i == deltaPos
+		if lit.FT == nil {
+			var atoms []facts.AtomID
+			if useDelta {
+				atoms = delta.dataSlice(e.store.data, lit.Pred)
+			} else {
+				atoms = e.store.data.ByPred(lit.Pred)
+			}
+			for _, a := range atoms {
+				nc, nt := b.Mark()
+				if e.matchArgs(lit.Args, e.store.W.AtomTuple(a), &b) {
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+				}
+				b.Undo(nc, nt)
+			}
+			return nil
+		}
+		// Functional literal. If the term pattern is already determined by
+		// the binding, probe the by-term index.
+		if t, ok := b.ApplyFTerm(e.store.U, lit.FT); ok && !useDelta {
+			for _, tu := range e.store.TuplesAt(lit.Pred, t) {
+				nc, nt := b.Mark()
+				if e.matchArgs(lit.Args, tu, &b) {
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+				}
+				b.Undo(nc, nt)
+			}
+			return nil
+		}
+		var entries []fnEntry
+		if useDelta {
+			entries = delta.fnSlice(e.store, lit.Pred)
+		} else if idx := e.store.fn[lit.Pred]; idx != nil {
+			entries = idx.entries
+		}
+		for _, en := range entries {
+			nc, nt := b.Mark()
+			if b.MatchFTerm(e.store.U, lit.FT, en.t) && e.matchArgs(lit.Args, en.tu, &b) {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			b.Undo(nc, nt)
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return added, err
+	}
+	return added, nil
+}
+
+func (e *evaluator) matchArgs(pats []ast.DTerm, tu facts.TupleID, b *subst.Binding) bool {
+	args := e.store.W.TupleArgs(tu)
+	if len(args) != len(pats) {
+		return false
+	}
+	for i, pat := range pats {
+		if !b.MatchData(pat, args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *evaluator) emitHead(r *ast.Rule, b *subst.Binding) (int, error) {
+	h := &r.Head
+	consts := make([]symbols.ConstID, len(h.Args))
+	for i, d := range h.Args {
+		c, ok := b.ApplyData(d)
+		if !ok {
+			return 0, fmt.Errorf("fixpoint: unbound variable in head of %s", r.Format(e.prog.Tab))
+		}
+		consts[i] = c
+	}
+	tu := e.store.W.Tuple(consts)
+	if h.FT == nil {
+		if e.store.AddData(h.Pred, tu) {
+			return 1, e.checkOverflow()
+		}
+		return 0, nil
+	}
+	t, ok := b.ApplyFTerm(e.store.U, h.FT)
+	if !ok {
+		return 0, fmt.Errorf("fixpoint: unbound functional variable in head of %s", r.Format(e.prog.Tab))
+	}
+	if e.store.U.Depth(t) > e.opts.MaxDepth {
+		e.truncated = true
+		return 0, nil
+	}
+	if e.store.AddFn(h.Pred, t, tu) {
+		return 1, e.checkOverflow()
+	}
+	return 0, nil
+}

@@ -1,0 +1,242 @@
+package fixpoint
+
+import (
+	"testing"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/facts"
+	"funcdb/internal/parser"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+const meetingsSrc = `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+func evalSrc(t *testing.T, src string, opts Options) (*Result, *ast.Program) {
+	t.Helper()
+	prog := parser.MustParse(src).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	res, err := Eval(prep.Program, term.NewUniverse(), facts.NewWorld(), opts)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return res, prep.Program
+}
+
+func TestMeetingsAlternation(t *testing.T) {
+	res, prog := evalSrc(t, meetingsSrc, Options{MaxDepth: 12})
+	tab := prog.Tab
+	meets, _ := tab.LookupPred("Meets", 1, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	tony, _ := tab.LookupConst("tony")
+	jan, _ := tab.LookupConst("jan")
+	u := res.Store.U
+	for n := 0; n <= 12; n++ {
+		tm := u.Number(n, succ)
+		wantTony := n%2 == 0
+		if got := res.Store.HasFn(meets, tm, []symbols.ConstID{tony}); got != wantTony {
+			t.Errorf("Meets(%d, tony) = %v, want %v", n, got, wantTony)
+		}
+		if got := res.Store.HasFn(meets, tm, []symbols.ConstID{jan}); got == wantTony {
+			t.Errorf("Meets(%d, jan) = %v, want %v", n, got, !wantTony)
+		}
+	}
+	if !res.Truncated {
+		t.Errorf("infinite fixpoint cut at depth 12 must be marked truncated")
+	}
+}
+
+func TestSeminaiveMatchesNaive(t *testing.T) {
+	sources := []string{
+		meetingsSrc,
+		`
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`,
+		`
+At(0, p0).
+Connected(p0, p1).
+Connected(p1, p2).
+Connected(p2, p0).
+At(S, P1), Connected(P1, P2) -> At(move(S, P1, P2), P2).
+`,
+	}
+	for _, src := range sources {
+		naive, prog := evalSrc(t, src, Options{MaxDepth: 5})
+		semi, _ := evalSrc(t, src, Options{MaxDepth: 5, Seminaive: true})
+		if naive.Store.Len() != semi.Store.Len() {
+			t.Errorf("store sizes differ: naive %d, seminaive %d for\n%s",
+				naive.Store.Len(), semi.Store.Len(), prog.Format())
+		}
+		// Every naive fact must be present in the seminaive store.
+		for _, p := range naive.Store.FnPreds() {
+			naive.Store.ForEachFn(p, func(tm term.Term, tu facts.TupleID) {
+				// The two runs use distinct universes/worlds, so compare by
+				// structure: re-intern through the seminaive side.
+				syms := naive.Store.U.Symbols(tm)
+				tm2 := semi.Store.U.ApplyString(term.Zero, syms...)
+				args := naive.Store.W.TupleArgs(tu)
+				if !semi.Store.HasFn(p, tm2, args) {
+					t.Errorf("seminaive missing fact %v at %v", p, tm)
+				}
+			})
+		}
+	}
+}
+
+func TestListsSlicesMatchPaper(t *testing.T) {
+	src := `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`
+	res, prog := evalSrc(t, src, Options{MaxDepth: 3})
+	tab := prog.Tab
+	member, _ := tab.LookupPred("Member", 1, true)
+	extA, okA := tab.LookupFunc("ext'a", 0)
+	extB, okB := tab.LookupFunc("ext'b", 0)
+	if !okA || !okB {
+		t.Fatalf("derived symbols missing")
+	}
+	a, _ := tab.LookupConst("a")
+	b, _ := tab.LookupConst("b")
+	u := res.Store.U
+
+	// Section 3.4's slices: L[a]={Member(a,a)}, L[ab]={Member(ab,a),
+	// Member(ab,b)}, etc. "ab" is ext'b(ext'a(0)).
+	cases := []struct {
+		syms []symbols.FuncID
+		mem  []symbols.ConstID
+		not  []symbols.ConstID
+	}{
+		{[]symbols.FuncID{extA}, []symbols.ConstID{a}, []symbols.ConstID{b}},
+		{[]symbols.FuncID{extB}, []symbols.ConstID{b}, []symbols.ConstID{a}},
+		{[]symbols.FuncID{extA, extA}, []symbols.ConstID{a}, []symbols.ConstID{b}},
+		{[]symbols.FuncID{extB, extB}, []symbols.ConstID{b}, []symbols.ConstID{a}},
+		{[]symbols.FuncID{extA, extB}, []symbols.ConstID{a, b}, nil},
+		{[]symbols.FuncID{extB, extA}, []symbols.ConstID{a, b}, nil},
+		{[]symbols.FuncID{extA, extB, extA}, []symbols.ConstID{a, b}, nil},
+		{[]symbols.FuncID{extA, extB, extB}, []symbols.ConstID{a, b}, nil},
+	}
+	for _, tc := range cases {
+		tm := u.ApplyString(term.Zero, tc.syms...)
+		for _, c := range tc.mem {
+			if !res.Store.HasFn(member, tm, []symbols.ConstID{c}) {
+				t.Errorf("Member(%s, %s) missing", u.CompactString(tm, tab), tab.ConstName(c))
+			}
+		}
+		for _, c := range tc.not {
+			if res.Store.HasFn(member, tm, []symbols.ConstID{c}) {
+				t.Errorf("Member(%s, %s) wrongly derived", u.CompactString(tm, tab), tab.ConstName(c))
+			}
+		}
+	}
+	// L[0] is empty: Member has no facts at 0.
+	if n := len(res.Store.TuplesAt(member, term.Zero)); n != 0 {
+		t.Errorf("Member at 0: %d tuples, want 0", n)
+	}
+}
+
+func TestSliceStateIdentity(t *testing.T) {
+	src := `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`
+	res, prog := evalSrc(t, src, Options{MaxDepth: 4})
+	tab := prog.Tab
+	extA, _ := tab.LookupFunc("ext'a", 0)
+	extB, _ := tab.LookupFunc("ext'b", 0)
+	u := res.Store.U
+	ab := u.ApplyString(term.Zero, extA, extB)
+	ba := u.ApplyString(term.Zero, extB, extA)
+	aba := u.ApplyString(term.Zero, extA, extB, extA)
+	aa := u.ApplyString(term.Zero, extA, extA)
+	if res.Store.Slice(ab, nil) != res.Store.Slice(ba, nil) {
+		t.Errorf("ab and ba should be state-equivalent")
+	}
+	if res.Store.Slice(ab, nil) != res.Store.Slice(aba, nil) {
+		t.Errorf("ab and aba should be state-equivalent")
+	}
+	if res.Store.Slice(aa, nil) == res.Store.Slice(ab, nil) {
+		t.Errorf("aa and ab must differ")
+	}
+}
+
+func TestFiniteFixpointNotTruncated(t *testing.T) {
+	src := `
+Edge(a, b).
+Edge(b, c).
+Edge(X, Y) -> Path(X, Y).
+Path(X, Y), Edge(Y, Z) -> Path(X, Z).
+`
+	res, _ := evalSrc(t, src, Options{MaxDepth: 0})
+	if res.Truncated {
+		t.Errorf("pure DATALOG program marked truncated")
+	}
+	if res.Store.Len() != 2+3 {
+		t.Errorf("store has %d facts, want 5 (2 edges + 3 paths)", res.Store.Len())
+	}
+}
+
+func TestMaxFactsGuard(t *testing.T) {
+	prog := parser.MustParse(meetingsSrc).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	_, err = Eval(prep.Program, term.NewUniverse(), facts.NewWorld(), Options{MaxDepth: 1000, MaxFacts: 10})
+	if err == nil {
+		t.Fatalf("MaxFacts guard did not trip")
+	}
+}
+
+func TestRejectsMixedProgram(t *testing.T) {
+	prog := parser.MustParse(`P(a). P(X) -> Member(ext(0, X), X).`).Program
+	if _, err := Eval(prog, term.NewUniverse(), facts.NewWorld(), Options{MaxDepth: 2}); err == nil {
+		t.Fatalf("mixed program accepted")
+	}
+}
+
+func TestGroundBodyAtomAnchor(t *testing.T) {
+	// A rule whose body mentions a specific ground term: Holds(2) gates P.
+	src := `
+Holds(2).
+Holds(T) -> Holds(T+2).
+Holds(2), Holds(T) -> Seen(T).
+`
+	res, prog := evalSrc(t, src, Options{MaxDepth: 8})
+	tab := prog.Tab
+	seen, _ := tab.LookupPred("Seen", 0, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	u := res.Store.U
+	if !res.Store.HasFn(seen, u.Number(4, succ), nil) {
+		t.Errorf("Seen(4) missing")
+	}
+	if res.Store.HasFn(seen, u.Number(3, succ), nil) {
+		t.Errorf("Seen(3) wrongly derived")
+	}
+}
+
+func TestRoundsReported(t *testing.T) {
+	res, _ := evalSrc(t, meetingsSrc, Options{MaxDepth: 6})
+	if res.Rounds < 2 {
+		t.Errorf("Rounds = %d, want >= 2", res.Rounds)
+	}
+}

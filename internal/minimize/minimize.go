@@ -1,0 +1,239 @@
+// Package minimize shrinks graph specifications by observable equivalence.
+//
+// Algorithm Q merges terms with identical states, but states are taken over
+// every predicate of the normalized program — including the helper
+// predicates that normalization introduces. Two representatives can
+// therefore differ only in helper facts while answering every query over
+// the original predicates identically, now and after any sequence of
+// successor steps. The paper's conclusion calls for exactly this kind of
+// optimization ("techniques for optimizing the database C are also
+// necessary").
+//
+// Minimize runs Moore partition refinement on the successor automaton:
+// the initial partition groups representatives by their primary-database
+// slice (original predicates only) and the global refinement step splits
+// classes whose members disagree on some successor's class. The result is
+// the coarsest quotient that answers all original-predicate membership
+// queries exactly like the full specification, and it is never larger.
+package minimize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"funcdb/internal/facts"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Minimized is a minimized graph specification.
+type Minimized struct {
+	Spec *specgraph.Spec
+	// Members lists the representative terms of each class, in precedence
+	// order; the first member is the class's canonical term.
+	Members [][]term.Term
+	// classOf maps each original representative to its class.
+	classOf map[term.Term]int
+	// succ[class][alphabet index] is the successor class.
+	succ [][]int
+	// slices[class] is the shared observable slice.
+	slices []map[facts.AtomID]bool
+	root   int
+}
+
+// Minimize quotients the specification's automaton by observable
+// equivalence.
+func Minimize(sp *specgraph.Spec) (*Minimized, error) {
+	reps := sp.Reps
+	n := len(reps)
+	alphabet := sp.Alphabet
+
+	// Initial partition: by observable slice.
+	class := make(map[term.Term]int, n)
+	var keyOf = func(t term.Term) string {
+		slice := sp.Slice(t)
+		parts := make([]string, len(slice))
+		for i, a := range slice {
+			parts[i] = fmt.Sprint(a)
+		}
+		return strings.Join(parts, ",")
+	}
+	byKey := make(map[string]int)
+	numClasses := 0
+	for _, t := range reps {
+		k := keyOf(t)
+		id, ok := byKey[k]
+		if !ok {
+			id = numClasses
+			numClasses++
+			byKey[k] = id
+		}
+		class[t] = id
+	}
+
+	succOf := func(t term.Term, f symbols.FuncID) (term.Term, error) {
+		next, ok := sp.Successor(t, f)
+		if !ok {
+			return term.None, fmt.Errorf("minimize: missing successor edge")
+		}
+		return next, nil
+	}
+
+	// Moore refinement: split classes by the vector of successor classes.
+	for {
+		sigOf := make(map[term.Term]string, n)
+		for _, t := range reps {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", class[t])
+			for _, f := range alphabet {
+				next, err := succOf(t, f)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(&b, "|%d", class[next])
+			}
+			sigOf[t] = b.String()
+		}
+		bySig := make(map[string]int)
+		newClass := make(map[term.Term]int, n)
+		newCount := 0
+		for _, t := range reps {
+			s := sigOf[t]
+			id, ok := bySig[s]
+			if !ok {
+				id = newCount
+				newCount++
+				bySig[s] = id
+			}
+			newClass[t] = id
+		}
+		if newCount == numClasses {
+			break
+		}
+		class = newClass
+		numClasses = newCount
+	}
+
+	// Canonicalize class ids by the precedence-least member, so output is
+	// deterministic.
+	least := make([]term.Term, numClasses)
+	for i := range least {
+		least[i] = term.None
+	}
+	for _, t := range reps {
+		c := class[t]
+		if least[c] == term.None || sp.U.Precedes(t, least[c]) {
+			least[c] = t
+		}
+	}
+	order := make([]int, numClasses)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return sp.U.Precedes(least[order[i]], least[order[j]])
+	})
+	renumber := make([]int, numClasses)
+	for newID, oldID := range order {
+		renumber[oldID] = newID
+	}
+
+	m := &Minimized{
+		Spec:    sp,
+		Members: make([][]term.Term, numClasses),
+		classOf: make(map[term.Term]int, n),
+		succ:    make([][]int, numClasses),
+		slices:  make([]map[facts.AtomID]bool, numClasses),
+	}
+	for _, t := range reps {
+		c := renumber[class[t]]
+		m.classOf[t] = c
+		m.Members[c] = append(m.Members[c], t)
+	}
+	for c := range m.Members {
+		sort.Slice(m.Members[c], func(i, j int) bool {
+			return sp.U.Precedes(m.Members[c][i], m.Members[c][j])
+		})
+		canon := m.Members[c][0]
+		m.slices[c] = make(map[facts.AtomID]bool)
+		for _, a := range sp.Slice(canon) {
+			m.slices[c][a] = true
+		}
+		m.succ[c] = make([]int, len(alphabet))
+		for fi, f := range alphabet {
+			next, err := succOf(canon, f)
+			if err != nil {
+				return nil, err
+			}
+			m.succ[c][fi] = m.classOf[next]
+		}
+	}
+	m.root = m.classOf[mustRoot(sp)]
+	return m, nil
+}
+
+func mustRoot(sp *specgraph.Spec) term.Term {
+	for _, t := range sp.Reps {
+		if t == term.Zero {
+			return t
+		}
+	}
+	// The root is always a representative (depth 0 is below or at the seed).
+	return sp.Reps[0]
+}
+
+// NumStates returns the number of classes.
+func (m *Minimized) NumStates() int { return len(m.Members) }
+
+// ClassOf runs the minimized DFA on t.
+func (m *Minimized) ClassOf(t term.Term) (int, error) {
+	cur := m.root
+	alpha := m.Spec.Alphabet
+	for _, f := range m.Spec.U.Symbols(t) {
+		fi := -1
+		for i, g := range alpha {
+			if g == f {
+				fi = i
+				break
+			}
+		}
+		if fi < 0 {
+			return 0, fmt.Errorf("minimize: symbol not in alphabet")
+		}
+		cur = m.succ[cur][fi]
+	}
+	return cur, nil
+}
+
+// Has decides pred(t, args) from the minimized specification.
+func (m *Minimized) Has(pred symbols.PredID, t term.Term, args []symbols.ConstID) (bool, error) {
+	c, err := m.ClassOf(t)
+	if err != nil {
+		return false, err
+	}
+	a := m.Spec.W.Atom(pred, m.Spec.W.Tuple(args))
+	return m.slices[c][a], nil
+}
+
+// Dump renders the minimized automaton.
+func (m *Minimized) Dump() string {
+	tab := m.Spec.Eng.Prep.Program.Tab
+	var b strings.Builder
+	fmt.Fprintf(&b, "minimized specification: %d classes (from %d representatives)\n",
+		m.NumStates(), len(m.Spec.Reps))
+	for c, members := range m.Members {
+		names := make([]string, len(members))
+		for i, t := range members {
+			names[i] = m.Spec.U.CompactString(t, tab)
+		}
+		fmt.Fprintf(&b, "  class %d: {%s}, %d tuples\n", c, strings.Join(names, ", "), len(m.slices[c]))
+	}
+	for c := range m.succ {
+		for fi, f := range m.Spec.Alphabet {
+			fmt.Fprintf(&b, "  succ_%s(%d) = %d\n", tab.FuncName(f), c, m.succ[c][fi])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+// Package normform compiles prepared (normal, mixed-free) rules into the
+// level-classified form shared by the exact engine (internal/engine) and
+// the goal-directed evaluator (internal/topdown).
+//
+// Every literal of a normal rule lives at one of four levels relative to
+// the rule's functional variable s: non-functional (Data), at a fully
+// ground term (Ground), at s itself (Self), or at f(s) for a single pure
+// symbol f (Child).
+package normform
+
+import (
+	"fmt"
+	"sort"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Level classifies where a literal lives relative to the functional
+// variable.
+type Level int8
+
+// The four levels.
+const (
+	Data Level = iota
+	Ground
+	Self
+	Child
+)
+
+// Lit is a compiled literal.
+type Lit struct {
+	Lvl  Level
+	Pred symbols.PredID
+	// Fn is the symbol above s for Child literals.
+	Fn symbols.FuncID
+	// GroundTerm is the interned term for Ground literals.
+	GroundTerm term.Term
+	// Args are the non-functional argument patterns.
+	Args []ast.DTerm
+}
+
+// Rule is a compiled rule. Node rules mention the functional variable
+// somewhere; global rules touch only Data and Ground literals.
+type Rule struct {
+	Body []Lit
+	Head Lit
+	Src  *ast.Rule
+}
+
+// IsNode reports whether the rule mentions the functional variable.
+func (r *Rule) IsNode() bool {
+	if r.Head.Lvl == Self || r.Head.Lvl == Child {
+		return true
+	}
+	for i := range r.Body {
+		if r.Body[i].Lvl == Self || r.Body[i].Lvl == Child {
+			return true
+		}
+	}
+	return false
+}
+
+// Compiled is the result of Compile.
+type Compiled struct {
+	// Node holds the rules that mention the functional variable; Global
+	// the rest.
+	Node, Global []Rule
+	// GroundTerms lists the distinct ground terms mentioned by rules, in
+	// precedence order.
+	GroundTerms []term.Term
+	// PushFns is the set of symbols occurring in some Child-level head.
+	PushFns map[symbols.FuncID]bool
+}
+
+// Compile translates the prepared program's rules.
+func Compile(prep *rewrite.Prepared, u *term.Universe) (*Compiled, error) {
+	out := &Compiled{PushFns: make(map[symbols.FuncID]bool)}
+	seenGround := make(map[term.Term]bool)
+
+	compileAtom := func(a *ast.Atom) (Lit, error) {
+		l := Lit{Pred: a.Pred, Args: a.Args}
+		switch {
+		case a.FT == nil:
+			l.Lvl = Data
+		case a.FT.IsGround():
+			t, ok := subst.GroundFTerm(u, a.FT)
+			if !ok {
+				return Lit{}, fmt.Errorf("mixed ground term survived elimination")
+			}
+			l.Lvl = Ground
+			l.GroundTerm = t
+			if !seenGround[t] {
+				seenGround[t] = true
+				out.GroundTerms = append(out.GroundTerms, t)
+			}
+		case a.FT.HasVarBase() && a.FT.Depth() == 0:
+			l.Lvl = Self
+		case a.FT.HasVarBase() && a.FT.Depth() == 1:
+			if len(a.FT.Apps[0].Args) != 0 {
+				return Lit{}, fmt.Errorf("mixed symbol survived elimination")
+			}
+			l.Lvl = Child
+			l.Fn = a.FT.Apps[0].Fn
+		default:
+			return Lit{}, fmt.Errorf("atom is not normal")
+		}
+		return l, nil
+	}
+
+	for i := range prep.Program.Rules {
+		r := &prep.Program.Rules[i]
+		cr := Rule{Src: r}
+		h, err := compileAtom(&r.Head)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Format(prep.Program.Tab), err)
+		}
+		cr.Head = h
+		if h.Lvl == Child {
+			out.PushFns[h.Fn] = true
+		}
+		for j := range r.Body {
+			bl, err := compileAtom(&r.Body[j])
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.Format(prep.Program.Tab), err)
+			}
+			cr.Body = append(cr.Body, bl)
+		}
+		if cr.IsNode() {
+			out.Node = append(out.Node, cr)
+		} else {
+			out.Global = append(out.Global, cr)
+		}
+	}
+	sort.Slice(out.GroundTerms, func(i, j int) bool {
+		return u.Compare(out.GroundTerms[i], out.GroundTerms[j]) < 0
+	})
+	return out, nil
+}

@@ -1,0 +1,104 @@
+// Package params computes the data-complexity parameters of section 2.5 of
+// the paper for a program, and the bounds stated in section 3 in terms of
+// them. They drive the benchmark harness's reporting and give tests a way
+// to check the paper's scope bounds (Lemma 3.2) on concrete programs.
+package params
+
+import (
+	"fmt"
+	"math"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/symbols"
+)
+
+// Params are the section 2.5 quantities.
+type Params struct {
+	// S is the number of predicates in Z and D.
+	S int
+	// K is the maximal predicate arity (counting the functional argument,
+	// as the paper does).
+	K int
+	// D is the number of distinct non-functional constants.
+	D int
+	// C is the depth of the largest ground functional term (0 if none).
+	C int
+	// N is the database size: the number of facts.
+	N int
+	// M is the number of successors of any state: the number of pure
+	// function symbols after mixed elimination would apply; for a program
+	// with mixed symbols of data arity r this is bounded by
+	// pure + mixed*D^r per symbol.
+	M int
+}
+
+// Of computes the parameters of a program.
+func Of(p *ast.Program) Params {
+	var pr Params
+	preds := make(map[symbols.PredID]bool)
+	p.Atoms(func(a *ast.Atom) {
+		if !preds[a.Pred] {
+			preds[a.Pred] = true
+			info := p.Tab.PredInfo(a.Pred)
+			arity := info.Arity
+			if info.Functional {
+				arity++
+			}
+			if arity > pr.K {
+				pr.K = arity
+			}
+		}
+	})
+	pr.S = len(preds)
+	pr.D = len(p.ConstsUsed())
+	pr.C = p.GroundDepth()
+	pr.N = len(p.Facts)
+	for _, f := range p.FuncsUsed() {
+		r := p.Tab.FuncInfo(f).DataArity
+		if r == 0 {
+			pr.M++
+			continue
+		}
+		m := 1
+		for i := 0; i < r; i++ {
+			m *= pr.D
+		}
+		pr.M += m
+	}
+	return pr
+}
+
+// GSize bounds the generalized database size: the number of possible tuples
+// over the predicates of the program and the ground terms of the database,
+// at most (s+1) * n^(k+1) (section 2.5). The n here follows the paper in
+// using the database size; for bound-checking we use the larger of N and D
+// so the bound is meaningful for rule-heavy programs too.
+func (p Params) GSize() float64 {
+	n := float64(p.N)
+	if float64(p.D) > n {
+		n = float64(p.D)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return float64(p.S+1) * math.Pow(n, float64(p.K+1))
+}
+
+// EquivalenceScopeBound is the section 3.1 bound on the number of
+// state-equivalence classes: 2^gsize (capped to +Inf on overflow).
+func (p Params) EquivalenceScopeBound() float64 {
+	return math.Pow(2, p.GSize())
+}
+
+// CongruenceScopeBound is Lemma 3.2's bound on the number of clusters:
+// 1 + m*c + m*2^gsize.
+func (p Params) CongruenceScopeBound() float64 {
+	m := float64(p.M)
+	return 1 + m*float64(p.C) + m*p.EquivalenceScopeBound()
+}
+
+// String renders the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("s=%d k=%d d=%d c=%d n=%d m=%d gsize<=%.0f",
+		p.S, p.K, p.D, p.C, p.N, p.M, p.GSize())
+}

@@ -1,0 +1,73 @@
+package params
+
+import (
+	"testing"
+
+	"funcdb/internal/datagen"
+	"funcdb/internal/parser"
+)
+
+func TestMeetingsParams(t *testing.T) {
+	p := Of(parser.MustParse(`
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`).Program)
+	if p.S != 2 {
+		t.Errorf("s = %d, want 2", p.S)
+	}
+	if p.K != 2 {
+		t.Errorf("k = %d, want 2", p.K)
+	}
+	if p.D != 2 {
+		t.Errorf("d = %d, want 2 (tony, jan)", p.D)
+	}
+	if p.C != 0 {
+		t.Errorf("c = %d, want 0", p.C)
+	}
+	if p.N != 3 {
+		t.Errorf("n = %d, want 3", p.N)
+	}
+	if p.M != 1 {
+		t.Errorf("m = %d, want 1 (succ)", p.M)
+	}
+}
+
+func TestListsParamsCountMixed(t *testing.T) {
+	p := Of(parser.MustParse(datagen.SubsetsSrc(3)).Program)
+	// ext/1 over 3 constants contributes 3 successors.
+	if p.M != 3 {
+		t.Errorf("m = %d, want 3", p.M)
+	}
+	if p.C != 0 {
+		t.Errorf("c = %d, want 0", p.C)
+	}
+}
+
+func TestGSizeGrowsWithArity(t *testing.T) {
+	small := Of(parser.MustParse(`P(a). P(b).`).Program)
+	big := Of(parser.MustParse(`Q(a, b, a). Q(b, a, b).`).Program)
+	if small.GSize() >= big.GSize() {
+		t.Errorf("gsize should grow with arity: %v vs %v", small.GSize(), big.GSize())
+	}
+}
+
+func TestStringMentionsEverything(t *testing.T) {
+	p := Of(parser.MustParse(datagen.CalendarSrc(2)).Program)
+	s := p.String()
+	for _, want := range []string{"s=", "k=", "d=", "c=", "n=", "m=", "gsize"} {
+		if !contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,424 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Result is the output of Parse: a validated program plus any queries that
+// appeared in the source.
+type Result struct {
+	Program *ast.Program
+	Queries []ast.Query
+}
+
+// Parse parses a complete funcdb source text.
+func Parse(src string) (*Result, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	b := newBuilder()
+	if err := b.infer(raw); err != nil {
+		return nil, err
+	}
+	return b.build(raw)
+}
+
+// MustParse is Parse for tests and examples with known-good sources.
+func MustParse(src string) *Result {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseQuery parses a single "?- ... ." query against an existing program's
+// symbol table, using the program to resolve predicate functionality.
+func ParseQuery(prog *ast.Program, src string) (*ast.Query, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if len(raw.queries) != 1 || len(raw.clauses) != 0 || len(raw.directives) != 0 {
+		return nil, fmt.Errorf("expected exactly one query")
+	}
+	b := newBuilder()
+	b.prog = prog
+	// Seed predicate states from the program's symbol table.
+	for i := 0; i < prog.Tab.NumPreds(); i++ {
+		info := prog.Tab.PredInfo(symbols.PredID(i))
+		total := info.Arity
+		if info.Functional {
+			total++
+		}
+		key := predArityKey(info.Name, total)
+		if info.Functional {
+			b.predState[key] = stateFunctional
+		} else {
+			b.predState[key] = stateData
+		}
+	}
+	if err := b.infer(raw); err != nil {
+		return nil, err
+	}
+	q, err := b.query(&raw.queries[0])
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+const (
+	stateUnknown = iota
+	stateFunctional
+	stateData
+)
+
+type builder struct {
+	prog      *ast.Program
+	predState map[string]int
+	varState  map[string]int
+	fromDir   map[string]bool
+}
+
+func newBuilder() *builder {
+	return &builder{
+		prog:      ast.NewProgram(),
+		predState: make(map[string]int),
+		varState:  make(map[string]int),
+		fromDir:   make(map[string]bool),
+	}
+}
+
+func predArityKey(name string, totalArity int) string {
+	return name + "/" + strconv.Itoa(totalArity)
+}
+
+func (b *builder) setPred(key string, s int, where string) error {
+	cur := b.predState[key]
+	if cur != stateUnknown && cur != s {
+		return fmt.Errorf("%s: predicate %s is used both with and without a functional argument", where, key)
+	}
+	b.predState[key] = s
+	return nil
+}
+
+func (b *builder) setVar(name string, s int, where string) error {
+	cur := b.varState[name]
+	if cur != stateUnknown && cur != s {
+		return fmt.Errorf("%s: variable %s is used both functionally and non-functionally", where, name)
+	}
+	b.varState[name] = s
+	return nil
+}
+
+// termForcesFunctional reports whether a first-argument term syntactically
+// forces its predicate to be functional.
+func termForcesFunctional(t *rawTerm) bool {
+	return t.kind == rApp || t.plus > 0
+}
+
+// markDataVars records the roles of variables whose position alone decides
+// them: anything outside a functional position is non-functional; a
+// variable with +n sugar, or sitting in the first argument of a function
+// application (insideApp), is functional regardless of how the enclosing
+// predicate resolves. Only a bare variable in an atom's first argument
+// stays open, to be settled by predicate propagation.
+func (b *builder) markDataVars(t *rawTerm, functionalPos, insideApp bool, where string) error {
+	switch t.kind {
+	case rVar:
+		if !functionalPos {
+			if err := b.setVar(t.name, stateData, where); err != nil {
+				return err
+			}
+		} else if t.plus > 0 || insideApp {
+			if err := b.setVar(t.name, stateFunctional, where); err != nil {
+				return err
+			}
+		}
+	case rApp:
+		for i := range t.args {
+			if err := b.markDataVars(&t.args[i], functionalPos && i == 0, true, where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// infer resolves which predicates carry a functional first argument:
+// directives first, then syntactic forcing, then propagation through shared
+// variables to a fixpoint; anything still unknown is non-functional.
+func (b *builder) infer(raw *rawProgram) error {
+	for _, d := range raw.directives {
+		key := predArityKey(d.pred, d.arity)
+		s := stateData
+		if d.kind == "functional" {
+			if d.arity == 0 {
+				return fmt.Errorf("line %d: @functional %s: a functional predicate needs at least one argument", d.line, key)
+			}
+			s = stateFunctional
+		}
+		if err := b.setPred(key, s, fmt.Sprintf("line %d", d.line)); err != nil {
+			return err
+		}
+		b.fromDir[key] = true
+	}
+
+	all := make([]*rawAtom, 0, 16)
+	collect := func(cl *rawClause) {
+		if cl.head != nil {
+			all = append(all, cl.head)
+		}
+		for i := range cl.body {
+			all = append(all, &cl.body[i])
+		}
+	}
+	for i := range raw.clauses {
+		collect(&raw.clauses[i])
+	}
+	for i := range raw.queries {
+		collect(&raw.queries[i])
+	}
+
+	// Syntactic forcing and unconditional variable roles.
+	for _, a := range all {
+		where := fmt.Sprintf("%d:%d", a.line, a.col)
+		key := predArityKey(a.name, len(a.args))
+		for i := range a.args {
+			t := &a.args[i]
+			if i == 0 && termForcesFunctional(t) {
+				if err := b.setPred(key, stateFunctional, where); err != nil {
+					return err
+				}
+			}
+			if err := b.markDataVars(t, i == 0, false, where); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Propagate through shared first-argument variables to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range all {
+			if len(a.args) == 0 {
+				continue
+			}
+			where := fmt.Sprintf("%d:%d", a.line, a.col)
+			key := predArityKey(a.name, len(a.args))
+			t := &a.args[0]
+			if t.kind != rVar || t.plus > 0 {
+				if t.plus > 0 && b.predState[key] == stateUnknown {
+					b.predState[key] = stateFunctional
+					changed = true
+				}
+				continue
+			}
+			ps := b.predState[key]
+			vs := b.varState[t.name]
+			switch {
+			case ps != stateUnknown && vs == stateUnknown:
+				b.varState[t.name] = ps
+				changed = true
+			case vs != stateUnknown && ps == stateUnknown:
+				b.predState[key] = vs
+				changed = true
+			case ps != stateUnknown && vs != stateUnknown && ps != vs:
+				return fmt.Errorf("%s: variable %s conflicts with predicate %s on functionality", where, t.name, key)
+			}
+		}
+	}
+	return nil
+}
+
+func (b *builder) predFunctional(a *rawAtom) bool {
+	return b.predState[predArityKey(a.name, len(a.args))] == stateFunctional
+}
+
+// succ returns the interned temporal successor symbol.
+func (b *builder) succ() symbols.FuncID {
+	return b.prog.Tab.Func(term.SuccName, 0)
+}
+
+func (b *builder) dterm(t *rawTerm) (ast.DTerm, error) {
+	where := fmt.Sprintf("%d:%d", t.line, t.col)
+	if t.plus > 0 {
+		return ast.DTerm{}, fmt.Errorf("%s: '+' is only allowed in functional positions", where)
+	}
+	switch t.kind {
+	case rVar:
+		return ast.V(b.prog.Tab.Var(t.name)), nil
+	case rConst:
+		return ast.C(b.prog.Tab.Const(t.name)), nil
+	case rNum:
+		return ast.C(b.prog.Tab.Const(strconv.Itoa(t.num))), nil
+	case rApp:
+		return ast.DTerm{}, fmt.Errorf("%s: function application %s(...) is only allowed in functional positions", where, t.name)
+	}
+	return ast.DTerm{}, fmt.Errorf("%s: invalid term", where)
+}
+
+func (b *builder) fterm(t *rawTerm) (*ast.FTerm, error) {
+	where := fmt.Sprintf("%d:%d", t.line, t.col)
+	var out *ast.FTerm
+	switch t.kind {
+	case rNum:
+		out = ast.FZero()
+		s := b.succ()
+		for i := 0; i < t.num; i++ {
+			out = out.Apply(s)
+		}
+	case rVar:
+		out = ast.FVar(b.prog.Tab.Var(t.name))
+	case rConst:
+		return nil, fmt.Errorf("%s: constant %s cannot appear in a functional position", where, t.name)
+	case rApp:
+		if len(t.args) == 0 {
+			return nil, fmt.Errorf("%s: function %s needs a functional argument", where, t.name)
+		}
+		inner, err := b.fterm(&t.args[0])
+		if err != nil {
+			return nil, err
+		}
+		dargs := make([]ast.DTerm, 0, len(t.args)-1)
+		for i := 1; i < len(t.args); i++ {
+			d, err := b.dterm(&t.args[i])
+			if err != nil {
+				return nil, err
+			}
+			dargs = append(dargs, d)
+		}
+		fn := b.prog.Tab.Func(t.name, len(dargs))
+		out = inner.Apply(fn, dargs...)
+	}
+	if t.plus > 0 {
+		s := b.succ()
+		for i := 0; i < t.plus; i++ {
+			out = out.Apply(s)
+		}
+	}
+	return out, nil
+}
+
+func (b *builder) atom(a *rawAtom) (ast.Atom, error) {
+	functional := b.predFunctional(a)
+	arity := len(a.args)
+	if functional {
+		arity--
+	}
+	pred := b.prog.Tab.Pred(a.name, arity, functional)
+	out := ast.Atom{Pred: pred}
+	start := 0
+	if functional {
+		ft, err := b.fterm(&a.args[0])
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		out.FT = ft
+		start = 1
+	}
+	for i := start; i < len(a.args); i++ {
+		d, err := b.dterm(&a.args[i])
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		out.Args = append(out.Args, d)
+	}
+	return out, nil
+}
+
+func (b *builder) query(cl *rawClause) (*ast.Query, error) {
+	q := &ast.Query{}
+	seen := make(map[symbols.VarID]bool)
+	for i := range cl.body {
+		a, err := b.atom(&cl.body[i])
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	// Free variables: every named (non-underscore) variable, in order of
+	// first occurrence.
+	addVar := func(v symbols.VarID) {
+		name := b.prog.Tab.VarName(v)
+		if name[0] == '_' || seen[v] {
+			return
+		}
+		seen[v] = true
+		q.Free = append(q.Free, v)
+	}
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		if a.FT != nil && a.FT.HasVarBase() {
+			addVar(a.FT.Base)
+		}
+		if a.FT != nil {
+			for _, app := range a.FT.Apps {
+				for _, d := range app.Args {
+					if d.IsVar() {
+						addVar(d.Var)
+					}
+				}
+			}
+		}
+		for _, d := range a.Args {
+			if d.IsVar() {
+				addVar(d.Var)
+			}
+		}
+	}
+	return q, nil
+}
+
+func (b *builder) build(raw *rawProgram) (*Result, error) {
+	res := &Result{Program: b.prog}
+	for i := range raw.clauses {
+		cl := &raw.clauses[i]
+		head, err := b.atom(cl.head)
+		if err != nil {
+			return nil, err
+		}
+		if !cl.isRule {
+			if !head.IsGround() {
+				return nil, fmt.Errorf("line %d: fact %s is not ground", cl.line, head.Format(b.prog.Tab))
+			}
+			b.prog.Facts = append(b.prog.Facts, head)
+			continue
+		}
+		r := ast.Rule{Head: head}
+		for j := range cl.body {
+			a, err := b.atom(&cl.body[j])
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, a)
+		}
+		b.prog.Rules = append(b.prog.Rules, r)
+	}
+	for i := range raw.queries {
+		q, err := b.query(&raw.queries[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Queries = append(res.Queries, *q)
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

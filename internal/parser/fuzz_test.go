@@ -1,0 +1,46 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics, and that accepted programs
+// survive a print/reparse round trip with stable output. Run with
+// go test -fuzz=FuzzParse ./internal/parser; the seed corpus also runs as a
+// plain test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		meetingsSrc,
+		listsSrc,
+		plannerSrc,
+		"Even(0).\nEven(T) -> Even(T+2).\n",
+		"@functional P/1.\nP(0).\nP(f(g(S))) -> P(S).\n",
+		"?- Member(S, a).",
+		"% just a comment\n",
+		"P(a",
+		"P(a)->",
+		"P(a). -> Q(b).",
+		"@data X/0.",
+		"P('').",
+		"P(_).",
+		"A(0+3, x1).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := res.Program.Format()
+		res2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of accepted program failed: %v\noriginal: %q\nprinted:\n%s",
+				err, src, printed)
+		}
+		if got := res2.Program.Format(); got != printed {
+			t.Fatalf("print/reparse not stable:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}

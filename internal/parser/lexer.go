@@ -1,0 +1,229 @@
+// Package parser implements the surface syntax of funcdb programs.
+//
+// The syntax follows the paper's notation with Prolog-style variable
+// conventions:
+//
+//	% the advisor-meetings example from section 1
+//	Meets(0, tony).
+//	Next(tony, jan).
+//	Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+//	?- Meets(T, X).
+//
+// Identifiers beginning with an upper-case letter or underscore are
+// variables; lower-case identifiers are constants (in argument positions)
+// or function symbols (when applied); the functor of an atom is a predicate
+// regardless of case. Non-negative integers in functional positions denote
+// succ-chains over the functional constant 0, and T+n is sugar for n
+// applications of succ to T. Whether a predicate's first argument is
+// functional is inferred from the program (any function application or +n
+// term in first position forces it, and the property propagates through
+// shared variables); the directives "@functional P/k." and "@data P/k."
+// (k the total argument count) override the inference.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow  // ->
+	tokPlus   // +
+	tokQuery  // ?-
+	tokAt     // @
+	tokSlash  // /
+	tokLArrow // <- (alternative rule syntax: H <- B.)
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "'->'"
+	case tokPlus:
+		return "'+'"
+	case tokQuery:
+		return "'?-'"
+	case tokAt:
+		return "'@'"
+	case tokSlash:
+		return "'/'"
+	case tokLArrow:
+		return "'<-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case c == '(':
+		l.advance()
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, line: line, col: col}, nil
+	case c == '.':
+		l.advance()
+		return token{kind: tokDot, line: line, col: col}, nil
+	case c == '+':
+		l.advance()
+		return token{kind: tokPlus, line: line, col: col}, nil
+	case c == '@':
+		l.advance()
+		return token{kind: tokAt, line: line, col: col}, nil
+	case c == '/':
+		l.advance()
+		return token{kind: tokSlash, line: line, col: col}, nil
+	case c == '-':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '>' {
+			l.advance()
+			return token{kind: tokArrow, line: line, col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected '-'")
+	case c == '<':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '-' {
+			l.advance()
+			return token{kind: tokLArrow, line: line, col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected '<'")
+	case c == '?':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '-' {
+			l.advance()
+			return token{kind: tokQuery, line: line, col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected '?'")
+	case c >= '0' && c <= '9':
+		n := 0
+		for {
+			c, ok := l.peekByte()
+			if !ok || c < '0' || c > '9' {
+				break
+			}
+			n = n*10 + int(c-'0')
+			if n > 1<<30 {
+				return token{}, l.errf(line, col, "number too large")
+			}
+			l.advance()
+		}
+		return token{kind: tokNumber, num: n, line: line, col: col}, nil
+	case isIdentStart(c):
+		var b strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", c)
+}

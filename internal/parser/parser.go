@@ -1,0 +1,327 @@
+package parser
+
+import (
+	"fmt"
+)
+
+// Raw syntax trees, produced before predicate functionality is known.
+
+type rawKind int
+
+const (
+	rVar rawKind = iota
+	rConst
+	rNum
+	rApp
+)
+
+type rawTerm struct {
+	kind rawKind
+	name string    // rVar, rConst, rApp
+	num  int       // rNum
+	args []rawTerm // rApp
+	plus int       // trailing +n sugar
+	line int
+	col  int
+}
+
+type rawAtom struct {
+	name string
+	args []rawTerm
+	line int
+	col  int
+}
+
+type rawClause struct {
+	head   *rawAtom // nil for a query
+	body   []rawAtom
+	isRule bool
+	line   int
+}
+
+type rawDirective struct {
+	kind  string // "functional" or "data"
+	pred  string
+	arity int // total argument count, paper-style
+	line  int
+}
+
+type rawProgram struct {
+	clauses    []rawClause
+	queries    []rawClause
+	directives []rawDirective
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("%d:%d: expected %s, found %s",
+			p.tok.line, p.tok.col, k, p.tok.kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*rawProgram, error) {
+	out := &rawProgram{}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokAt:
+			d, err := p.parseDirective()
+			if err != nil {
+				return nil, err
+			}
+			out.directives = append(out.directives, d)
+		case tokQuery:
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			out.queries = append(out.queries, q)
+		default:
+			c, err := p.parseClause()
+			if err != nil {
+				return nil, err
+			}
+			out.clauses = append(out.clauses, c)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseDirective() (rawDirective, error) {
+	line := p.tok.line
+	if _, err := p.expect(tokAt); err != nil {
+		return rawDirective{}, err
+	}
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return rawDirective{}, err
+	}
+	if kw.text != "functional" && kw.text != "data" {
+		return rawDirective{}, fmt.Errorf("%d:%d: unknown directive @%s (want @functional or @data)",
+			kw.line, kw.col, kw.text)
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return rawDirective{}, err
+	}
+	if _, err := p.expect(tokSlash); err != nil {
+		return rawDirective{}, err
+	}
+	ar, err := p.expect(tokNumber)
+	if err != nil {
+		return rawDirective{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return rawDirective{}, err
+	}
+	return rawDirective{kind: kw.text, pred: name.text, arity: ar.num, line: line}, nil
+}
+
+func (p *parser) parseQuery() (rawClause, error) {
+	line := p.tok.line
+	if _, err := p.expect(tokQuery); err != nil {
+		return rawClause{}, err
+	}
+	atoms, err := p.parseAtomList()
+	if err != nil {
+		return rawClause{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return rawClause{}, err
+	}
+	return rawClause{body: atoms, line: line}, nil
+}
+
+// parseClause parses either "B1, ..., Bn -> H." (a rule), "H <- B1, ..., Bn."
+// (the same rule head-first), or "F." (a fact).
+func (p *parser) parseClause() (rawClause, error) {
+	line := p.tok.line
+	atoms, err := p.parseAtomList()
+	if err != nil {
+		return rawClause{}, err
+	}
+	switch p.tok.kind {
+	case tokArrow:
+		if err := p.advance(); err != nil {
+			return rawClause{}, err
+		}
+		head, err := p.parseAtom()
+		if err != nil {
+			return rawClause{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return rawClause{}, err
+		}
+		return rawClause{head: &head, body: atoms, isRule: true, line: line}, nil
+	case tokLArrow:
+		if len(atoms) != 1 {
+			return rawClause{}, fmt.Errorf("%d: a '<-' rule must have exactly one head atom", line)
+		}
+		if err := p.advance(); err != nil {
+			return rawClause{}, err
+		}
+		body, err := p.parseAtomList()
+		if err != nil {
+			return rawClause{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return rawClause{}, err
+		}
+		return rawClause{head: &atoms[0], body: body, isRule: true, line: line}, nil
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return rawClause{}, err
+		}
+		if len(atoms) != 1 {
+			return rawClause{}, fmt.Errorf("%d: a fact must be a single atom", line)
+		}
+		return rawClause{head: &atoms[0], line: line}, nil
+	}
+	return rawClause{}, fmt.Errorf("%d:%d: expected '->', '<-' or '.', found %s",
+		p.tok.line, p.tok.col, p.tok.kind)
+}
+
+func (p *parser) parseAtomList() ([]rawAtom, error) {
+	var atoms []rawAtom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if p.tok.kind != tokComma {
+			return atoms, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAtom() (rawAtom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return rawAtom{}, err
+	}
+	a := rawAtom{name: name.text, line: name.line, col: name.col}
+	if p.tok.kind != tokLParen {
+		return a, nil // 0-ary atom
+	}
+	if err := p.advance(); err != nil {
+		return rawAtom{}, err
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return rawAtom{}, err
+		}
+		a.args = append(a.args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return rawAtom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return rawAtom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTerm() (rawTerm, error) {
+	t, err := p.parsePrimary()
+	if err != nil {
+		return rawTerm{}, err
+	}
+	for p.tok.kind == tokPlus {
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return rawTerm{}, err
+		}
+		t.plus += n.num
+	}
+	return t, nil
+}
+
+func isVarName(s string) bool {
+	c := s[0]
+	return c == '_' || (c >= 'A' && c <= 'Z')
+}
+
+func (p *parser) parsePrimary() (rawTerm, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		t := rawTerm{kind: rNum, num: p.tok.num, line: p.tok.line, col: p.tok.col}
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		return t, nil
+	case tokIdent:
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return rawTerm{}, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return rawTerm{}, err
+			}
+			app := rawTerm{kind: rApp, name: name.text, line: name.line, col: name.col}
+			for {
+				arg, err := p.parseTerm()
+				if err != nil {
+					return rawTerm{}, err
+				}
+				app.args = append(app.args, arg)
+				if p.tok.kind == tokComma {
+					if err := p.advance(); err != nil {
+						return rawTerm{}, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return rawTerm{}, err
+			}
+			return app, nil
+		}
+		k := rConst
+		if isVarName(name.text) {
+			k = rVar
+		}
+		return rawTerm{kind: k, name: name.text, line: name.line, col: name.col}, nil
+	}
+	return rawTerm{}, fmt.Errorf("%d:%d: expected a term, found %s",
+		p.tok.line, p.tok.col, p.tok.kind)
+}

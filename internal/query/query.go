@@ -1,0 +1,430 @@
+// Package query implements section 5: finite relational specifications of
+// infinite query answers.
+//
+// A functional query is a positive conjunction of atoms with at most one
+// functional variable. Answers are represented against a graph
+// specification in one of two ways:
+//
+//   - Incremental (Theorem 5.1): for uniform queries — those whose only
+//     non-ground functional term is the bare variable — the query is simply
+//     evaluated against every slice of the primary database, yielding
+//     (Q(B), T) with the successor mappings unchanged.
+//   - Recompute: for arbitrary queries, a fresh QUERY rule is added to the
+//     rule set and the specification of the enlarged program is built.
+//
+// Either way the result is an Answers value: a finite object that decides
+// membership of any ground answer tuple and enumerates the answer set to
+// any term depth.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// IsUniform reports whether every functional term of the query is either
+// ground (and free of mixed symbols, so it can be interned directly) or the
+// bare functional variable (no applications above it). Ground terms with
+// mixed symbols are handled by Recompute, whose preparation pipeline
+// eliminates them.
+func IsUniform(q *ast.Query) bool {
+	for i := range q.Atoms {
+		ft := q.Atoms[i].FT
+		if ft == nil {
+			continue
+		}
+		if ft.IsGround() {
+			pure := true
+			for _, app := range ft.Apps {
+				if len(app.Args) != 0 {
+					pure = false
+				}
+			}
+			if pure {
+				continue
+			}
+			return false
+		}
+		if ft.HasVarBase() && len(ft.Apps) == 0 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// FunctionalVar returns the query's functional variable, if any.
+func FunctionalVar(q *ast.Query) (symbols.VarID, bool) {
+	for i := range q.Atoms {
+		ft := q.Atoms[i].FT
+		if ft != nil && ft.HasVarBase() {
+			return ft.Base, true
+		}
+	}
+	return symbols.NoVar, false
+}
+
+// Answers is a finite relational specification of a (possibly infinite)
+// query answer.
+type Answers struct {
+	Query *ast.Query
+	Spec  *specgraph.Spec
+	// Free lists the answer variables; FnVar is the functional one among
+	// them (NoVar if the answer tuples are purely non-functional).
+	Free  []symbols.VarID
+	FnVar symbols.VarID
+
+	dataFree []symbols.VarID // Free minus FnVar, in order
+	// perRep[rep] holds the data-variable bindings of answers whose
+	// functional component falls in rep's cluster. For queries without a
+	// functional variable everything is keyed under term.None.
+	perRep map[term.Term][]facts.TupleID
+	seen   map[repTuple]bool
+}
+
+type repTuple struct {
+	rep term.Term
+	tu  facts.TupleID
+}
+
+func newAnswers(q *ast.Query, sp *specgraph.Spec) *Answers {
+	a := &Answers{
+		Query:  q,
+		Spec:   sp,
+		Free:   q.Free,
+		FnVar:  symbols.NoVar,
+		perRep: make(map[term.Term][]facts.TupleID),
+		seen:   make(map[repTuple]bool),
+	}
+	if v, ok := FunctionalVar(q); ok {
+		for _, f := range q.Free {
+			if f == v {
+				a.FnVar = v
+			}
+		}
+	}
+	for _, f := range q.Free {
+		if f != a.FnVar {
+			a.dataFree = append(a.dataFree, f)
+		}
+	}
+	return a
+}
+
+func (a *Answers) add(rep term.Term, tu facts.TupleID) {
+	key := repTuple{rep, tu}
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.perRep[rep] = append(a.perRep[rep], tu)
+}
+
+// Incremental evaluates a uniform query against each slice of the primary
+// database (Theorem 5.1). The successor mappings of the underlying
+// specification are reused unchanged.
+func Incremental(sp *specgraph.Spec, q *ast.Query) (*Answers, error) {
+	if !IsUniform(q) {
+		return nil, fmt.Errorf("query: %s is not uniform; use Recompute", q.Format(sp.Eng.Prep.Program.Tab))
+	}
+	a := newAnswers(q, sp)
+	fnVar, hasFn := FunctionalVar(q)
+	freeFn := a.FnVar != symbols.NoVar
+
+	eval := func(rep term.Term) error {
+		var b subst.Binding
+		if hasFn {
+			b.BindTerm(fnVar, rep)
+		}
+		return a.matchConj(q.Atoms, 0, &b, func(b *subst.Binding) {
+			key := term.None
+			if freeFn {
+				key = rep
+			}
+			a.add(key, a.dataTuple(b))
+		})
+	}
+	if hasFn {
+		// An existential functional variable still ranges over every
+		// cluster: one evaluation per representative covers all terms.
+		for _, rep := range sp.Reps {
+			if err := eval(rep); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := eval(term.None); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// dataTuple interns the bindings of the non-functional free variables.
+func (a *Answers) dataTuple(b *subst.Binding) facts.TupleID {
+	consts := make([]symbols.ConstID, len(a.dataFree))
+	for i, v := range a.dataFree {
+		c, _ := b.Const(v)
+		consts[i] = c
+	}
+	return a.Spec.W.Tuple(consts)
+}
+
+// matchConj joins the query atoms against the specification under b.
+func (a *Answers) matchConj(atoms []ast.Atom, i int, b *subst.Binding, yield func(*subst.Binding)) error {
+	if i == len(atoms) {
+		yield(b)
+		return nil
+	}
+	at := &atoms[i]
+	w := a.Spec.W
+	if at.FT == nil {
+		// Non-functional atom: read the global facts.
+		for _, f := range a.Spec.Eng.Global().ByPred(at.Pred) {
+			nc, nt := b.Mark()
+			if matchTuple(w, at.Args, f, b) {
+				if err := a.matchConj(atoms, i+1, b, yield); err != nil {
+					return err
+				}
+			}
+			b.Undo(nc, nt)
+		}
+		return nil
+	}
+	// Functional atom: resolve the term to a representative slice.
+	var rep term.Term
+	if at.FT.IsGround() {
+		t, ok := subst.GroundFTerm(a.Spec.U, at.FT)
+		if !ok {
+			return fmt.Errorf("query: mixed ground term in query; eliminate first")
+		}
+		r, err := a.Spec.Representative(t)
+		if err != nil {
+			return err
+		}
+		rep = r
+	} else {
+		t, ok := b.Term(at.FT.Base)
+		if !ok {
+			return fmt.Errorf("query: unbound functional variable")
+		}
+		rep = t
+	}
+	st := a.Spec.StateOfRep(rep)
+	for _, f := range w.StateAtoms(st) {
+		if w.AtomPred(f) != at.Pred {
+			continue
+		}
+		nc, nt := b.Mark()
+		if matchTuple(w, at.Args, f, b) {
+			if err := a.matchConj(atoms, i+1, b, yield); err != nil {
+				return err
+			}
+		}
+		b.Undo(nc, nt)
+	}
+	return nil
+}
+
+func matchTuple(w *facts.World, pats []ast.DTerm, f facts.AtomID, b *subst.Binding) bool {
+	args := w.TupleArgs(w.AtomTuple(f))
+	if len(args) != len(pats) {
+		return false
+	}
+	for i, p := range pats {
+		if !b.MatchData(p, args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Recompute adds a QUERY rule for q to the original program and builds the
+// specification of the enlarged program. It handles arbitrary functional
+// queries, including non-uniform ones.
+func Recompute(prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts specgraph.Options) (*Answers, error) {
+	enlarged := prog.Clone()
+	fnVar, hasFn := FunctionalVar(q)
+	freeFn := false
+	if hasFn {
+		for _, v := range q.Free {
+			if v == fnVar {
+				freeFn = true
+			}
+		}
+	}
+
+	var head ast.Atom
+	var dataFree []symbols.VarID
+	for _, v := range q.Free {
+		if !hasFn || v != fnVar {
+			dataFree = append(dataFree, v)
+		}
+	}
+	if freeFn {
+		p := enlarged.Tab.FreshPred("QUERY", len(dataFree), true)
+		head = ast.Atom{Pred: p, FT: ast.FVar(fnVar)}
+	} else {
+		p := enlarged.Tab.FreshPred("QUERY", len(dataFree), false)
+		head = ast.Atom{Pred: p}
+	}
+	for _, v := range dataFree {
+		head.Args = append(head.Args, ast.V(v))
+	}
+	rule := ast.Rule{Head: head, Body: q.Atoms}
+	if !rule.IsRangeRestricted() {
+		return nil, fmt.Errorf("query: free variables must occur in the query body")
+	}
+	enlarged.Rules = append(enlarged.Rules, rule)
+
+	prep, err := rewrite.Prepare(enlarged)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(prep, term.NewUniverse(), facts.NewWorld(), engOpts)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := specgraph.Build(eng, specOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	a := newAnswers(q, sp)
+	w := sp.W
+	if freeFn {
+		for _, rep := range sp.Reps {
+			st := sp.StateOfRep(rep)
+			for _, f := range w.StateAtoms(st) {
+				if w.AtomPred(f) == head.Pred {
+					a.add(rep, w.AtomTuple(f))
+				}
+			}
+		}
+	} else {
+		for _, f := range eng.Global().ByPred(head.Pred) {
+			a.add(term.None, w.AtomTuple(f))
+		}
+	}
+	return a, nil
+}
+
+// HasFunctionalAnswers reports whether answer tuples carry a functional
+// component.
+func (a *Answers) HasFunctionalAnswers() bool { return a.FnVar != symbols.NoVar }
+
+// Contains decides whether the ground tuple (ft, dataArgs) — dataArgs in
+// the order of the non-functional free variables — belongs to the answer.
+// For answers without a functional component pass term.None.
+func (a *Answers) Contains(ft term.Term, dataArgs []symbols.ConstID) (bool, error) {
+	tu := a.Spec.W.Tuple(dataArgs)
+	key := term.None
+	if a.HasFunctionalAnswers() {
+		rep, err := a.Spec.Representative(ft)
+		if err != nil {
+			return false, err
+		}
+		key = rep
+	}
+	return a.seen[repTuple{key, tu}], nil
+}
+
+// IsEmpty reports whether the answer set is empty.
+func (a *Answers) IsEmpty() bool { return len(a.seen) == 0 }
+
+// TuplesAt returns the data tuples whose functional component falls in
+// rep's cluster.
+func (a *Answers) TuplesAt(rep term.Term) []facts.TupleID { return a.perRep[rep] }
+
+// Enumerate yields ground answers with functional components of depth at
+// most maxDepth, in precedence order of the functional component. For
+// purely non-functional answers it yields each tuple once with term.None.
+// It stops early when yield returns false.
+func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []symbols.ConstID) bool) error {
+	w := a.Spec.W
+	if !a.HasFunctionalAnswers() {
+		for _, tu := range a.perRep[term.None] {
+			if !yield(term.None, w.TupleArgs(tu)) {
+				return nil
+			}
+		}
+		return nil
+	}
+	u := a.Spec.U
+	level := []term.Term{term.Zero}
+	for d := 0; d <= maxDepth; d++ {
+		for _, t := range level {
+			rep, err := a.Spec.Representative(t)
+			if err != nil {
+				return err
+			}
+			for _, tu := range a.perRep[rep] {
+				if !yield(t, w.TupleArgs(tu)) {
+					return nil
+				}
+			}
+		}
+		if d == maxDepth {
+			break
+		}
+		var next []term.Term
+		for _, t := range level {
+			for _, f := range a.Spec.Alphabet {
+				next = append(next, u.Apply(f, t))
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+// Dump renders the answer specification: the QUERY extension per
+// representative (the incremental primary database Q(B)).
+func (a *Answers) Dump() string {
+	tab := a.Spec.Eng.Prep.Program.Tab
+	var b strings.Builder
+	fmt.Fprintf(&b, "answer specification for %s\n", a.Query.Format(tab))
+	if !a.HasFunctionalAnswers() {
+		for _, tu := range a.perRep[term.None] {
+			b.WriteString("  QUERY(")
+			writeArgs(&b, a.Spec.W, tab, tu)
+			b.WriteString(")\n")
+		}
+		return b.String()
+	}
+	reps := make([]term.Term, 0, len(a.perRep))
+	for r := range a.perRep {
+		reps = append(reps, r)
+	}
+	sort.Slice(reps, func(i, j int) bool { return a.Spec.U.Compare(reps[i], reps[j]) < 0 })
+	for _, r := range reps {
+		for _, tu := range a.perRep[r] {
+			fmt.Fprintf(&b, "  QUERY(%s", a.Spec.U.CompactString(r, tab))
+			if len(a.Spec.W.TupleArgs(tu)) > 0 {
+				b.WriteString(", ")
+				writeArgs(&b, a.Spec.W, tab, tu)
+			}
+			b.WriteString(")\n")
+		}
+	}
+	return b.String()
+}
+
+func writeArgs(b *strings.Builder, w *facts.World, tab *symbols.Table, tu facts.TupleID) {
+	for i, c := range w.TupleArgs(tu) {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(tab.ConstName(c))
+	}
+}

@@ -1,0 +1,209 @@
+// Package repl implements the interactive shell behind fdbc -i: a loaded
+// database is interrogated with queries and commands, each answered from
+// the compiled relational specification.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"funcdb/internal/core"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+const helpText = `commands:
+  ?- Atom, Atom.       answer a query (specification of the answer set)
+  ask ?- Atom.         yes-no answer
+  explain ?- Atom.     justify a ground atom's verdict (Link-rule trace)
+  add Fact(args).      insert a ground fact and re-solve (monotone update)
+  rule Body -> Head.   add a rule and recompile
+  enum N ?- Atom.      enumerate ground answers to term depth N
+  dump graph|eq|temporal|canonical|congr|min
+  stats                specification sizes and engine work
+  lint                 dead rules and empty predicates
+  help                 this text
+  quit                 leave
+`
+
+// Run reads commands from r and writes results to w until EOF or quit.
+func Run(db *core.Database, r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	fmt.Fprint(w, "funcdb> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		quit, err := Execute(db, line, w)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		if quit {
+			return nil
+		}
+		fmt.Fprint(w, "funcdb> ")
+	}
+	fmt.Fprintln(w)
+	return sc.Err()
+}
+
+// Execute runs one command line and reports whether the session should end.
+func Execute(db *core.Database, line string, w io.Writer) (quit bool, err error) {
+	switch {
+	case line == "" || strings.HasPrefix(line, "%"):
+		return false, nil
+	case line == "quit" || line == "exit":
+		return true, nil
+	case line == "help":
+		fmt.Fprint(w, helpText)
+		return false, nil
+	case line == "lint":
+		fs, err := db.Lint()
+		if err != nil {
+			return false, err
+		}
+		if len(fs) == 0 {
+			fmt.Fprintln(w, "no findings")
+		}
+		for _, f := range fs {
+			fmt.Fprintln(w, f)
+		}
+		return false, nil
+	case line == "stats":
+		st, err := db.Stats()
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "temporal %v, c=%d, seed=%d, %d reps, %d edges, %d tuples, |R|=%d\n",
+			st.Temporal, st.C, st.SeedDepth, st.Reps, st.Edges, st.Tuples, st.Equations)
+		return false, nil
+	case strings.HasPrefix(line, "dump"):
+		return false, dump(db, strings.TrimSpace(strings.TrimPrefix(line, "dump")), w)
+	case strings.HasPrefix(line, "add "):
+		if err := db.Extend(strings.TrimSpace(strings.TrimPrefix(line, "add "))); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(w, "ok")
+		return false, nil
+	case strings.HasPrefix(line, "rule "):
+		if err := db.ExtendRules(strings.TrimSpace(strings.TrimPrefix(line, "rule "))); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(w, "ok (recompiled)")
+		return false, nil
+	case strings.HasPrefix(line, "explain"):
+		q := strings.TrimSpace(strings.TrimPrefix(line, "explain"))
+		exs, err := db.Explain(q)
+		if err != nil {
+			return false, err
+		}
+		for _, ex := range exs {
+			fmt.Fprint(w, ex.String())
+		}
+		return false, nil
+	case strings.HasPrefix(line, "ask"):
+		q := strings.TrimSpace(strings.TrimPrefix(line, "ask"))
+		yes, err := db.Ask(q)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintln(w, yes)
+		return false, nil
+	case strings.HasPrefix(line, "enum"):
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "enum"))
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return false, fmt.Errorf("usage: enum N ?- Atom.")
+		}
+		depth, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return false, fmt.Errorf("bad depth %q", fields[0])
+		}
+		return false, enumerate(db, fields[1], depth, w)
+	case strings.HasPrefix(line, "?-"):
+		ans, err := db.Answers(line)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprint(w, ans.Dump())
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown command %q (try help)", line)
+}
+
+func enumerate(db *core.Database, qsrc string, depth int, w io.Writer) error {
+	ans, err := db.Answers(qsrc)
+	if err != nil {
+		return err
+	}
+	count := 0
+	err = ans.Enumerate(depth, func(ft term.Term, args []symbols.ConstID) bool {
+		count++
+		fmt.Fprint(w, "  ")
+		first := true
+		if ft != term.None {
+			fmt.Fprint(w, db.Universe().String(ft, db.Tab()))
+			first = false
+		}
+		for _, c := range args {
+			if !first {
+				fmt.Fprint(w, ", ")
+			}
+			first = false
+			fmt.Fprint(w, db.Tab().ConstName(c))
+		}
+		fmt.Fprintln(w)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d answers to depth %d\n", count, depth)
+	return nil
+}
+
+func dump(db *core.Database, kind string, w io.Writer) error {
+	switch kind {
+	case "graph":
+		sp, err := db.Graph()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, sp.Dump())
+	case "eq":
+		eq, err := db.Equational()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, eq.Dump(db.Tab()))
+	case "temporal":
+		ts, err := db.Temporal()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, ts.Dump())
+	case "canonical":
+		form, err := db.Canonical()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, form.DatabaseC())
+	case "congr":
+		form, err := db.Canonical()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, form.CongrRules())
+	case "min":
+		m, err := db.Minimized()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, m.Dump())
+	default:
+		return fmt.Errorf("unknown dump kind %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package rewrite implements the program transformations of sections 2.4
+// and the Appendix: rule normalization, elimination of mixed function
+// symbols, and the preparation pipeline that the evaluation engine and the
+// specification builders run on.
+//
+// Normalization rewrites an arbitrary set of functional rules into an
+// equivalent set of normal rules: each rule has at most one functional
+// variable and every non-ground functional term in it has depth at most one
+// above the variable. The construction introduces fresh helper predicates:
+//
+//   - Deep body atoms P(f_d(...f_1(s)...), x̄) are lowered one application
+//     at a time through fresh predicates, so the main rule joins everything
+//     at the variable itself.
+//   - A deep head term is raised one application at a time from a fresh
+//     predicate derived at the variable.
+//   - Atoms over additional functional variables are projected onto the
+//     data variables they share with the rest of the rule through fresh
+//     "exists" predicates, which is sound because the extra variable is
+//     existentially quantified in the body.
+//
+// Every generated rule is normal and range-restricted, so normalization
+// preserves domain-independence, and the transformed program is equivalent
+// to the original with respect to the original predicates.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/symbols"
+)
+
+// Normalize returns a program whose rules are all normal and which is
+// equivalent to p on p's predicates. Facts are copied unchanged (ground
+// terms of any depth are allowed in normal rules). The returned program
+// shares p's symbol table.
+func Normalize(p *ast.Program) (*ast.Program, error) {
+	out := &ast.Program{Tab: p.Tab}
+	out.Facts = make([]ast.Atom, len(p.Facts))
+	for i, f := range p.Facts {
+		out.Facts[i] = f.Clone()
+	}
+	n := &normalizer{tab: p.Tab, out: out}
+	for i := range p.Rules {
+		if err := n.rule(p.Rules[i].Clone()); err != nil {
+			return nil, fmt.Errorf("rule %s: %w", p.Rules[i].Format(p.Tab), err)
+		}
+	}
+	return out, nil
+}
+
+type normalizer struct {
+	tab *symbols.Table
+	out *ast.Program
+}
+
+func (n *normalizer) emit(r ast.Rule) { n.out.Rules = append(n.out.Rules, r) }
+
+// rule normalizes one rule, possibly emitting helper rules.
+func (n *normalizer) rule(r ast.Rule) error {
+	if !r.IsRangeRestricted() {
+		return fmt.Errorf("not range-restricted (domain-dependent)")
+	}
+	r, err := n.splitFunctionalVars(r)
+	if err != nil {
+		return err
+	}
+	r = n.lowerDeepBodyAtoms(r)
+	r = n.raiseDeepHead(r)
+	n.emit(r)
+	return nil
+}
+
+// mainVar picks the functional variable the rule is normalized around: the
+// head's, if the head is functional with a variable base, else the first
+// functional variable.
+func mainVar(r *ast.Rule) symbols.VarID {
+	if r.Head.FT != nil && r.Head.FT.HasVarBase() {
+		return r.Head.FT.Base
+	}
+	vs := r.FunctionalVars()
+	if len(vs) == 0 {
+		return symbols.NoVar
+	}
+	return vs[0]
+}
+
+// dataVarsOfAtom collects the non-functional variables of a.
+func dataVarsOfAtom(a *ast.Atom, into map[symbols.VarID]bool) {
+	for _, d := range a.Args {
+		if d.IsVar() {
+			into[d.Var] = true
+		}
+	}
+	if a.FT != nil {
+		for _, app := range a.FT.Apps {
+			for _, d := range app.Args {
+				if d.IsVar() {
+					into[d.Var] = true
+				}
+			}
+		}
+	}
+}
+
+func sortedVars(m map[symbols.VarID]bool) []symbols.VarID {
+	out := make([]symbols.VarID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// splitFunctionalVars projects every functional variable other than the
+// main one out of the rule through fresh exists-predicates, recursively
+// normalizing the projection rules.
+func (n *normalizer) splitFunctionalVars(r ast.Rule) (ast.Rule, error) {
+	vars := r.FunctionalVars()
+	if len(vars) <= 1 {
+		return r, nil
+	}
+	main := mainVar(&r)
+	// Group body atoms by their functional variable.
+	groups := make(map[symbols.VarID][]ast.Atom)
+	var rest []ast.Atom
+	for _, a := range r.Body {
+		if a.FT != nil && a.FT.HasVarBase() && a.FT.Base != main {
+			v := a.FT.Base
+			groups[v] = append(groups[v], a)
+			continue
+		}
+		rest = append(rest, a)
+	}
+	var groupVars []symbols.VarID
+	for v := range groups {
+		groupVars = append(groupVars, v)
+	}
+	sort.Slice(groupVars, func(i, j int) bool { return groupVars[i] < groupVars[j] })
+
+	// Data variables of the remainder of the rule (head + kept atoms).
+	outside := make(map[symbols.VarID]bool)
+	dataVarsOfAtom(&r.Head, outside)
+	for i := range rest {
+		dataVarsOfAtom(&rest[i], outside)
+	}
+	// Variables shared among two groups also need to flow through the
+	// exists-predicates.
+	seenIn := make(map[symbols.VarID]int)
+	for _, v := range groupVars {
+		local := make(map[symbols.VarID]bool)
+		for i := range groups[v] {
+			dataVarsOfAtom(&groups[v][i], local)
+		}
+		for dv := range local {
+			seenIn[dv]++
+		}
+	}
+
+	for _, v := range groupVars {
+		group := groups[v]
+		local := make(map[symbols.VarID]bool)
+		for i := range group {
+			dataVarsOfAtom(&group[i], local)
+		}
+		shared := make(map[symbols.VarID]bool)
+		for dv := range local {
+			if outside[dv] || seenIn[dv] > 1 {
+				shared[dv] = true
+			}
+		}
+		args := sortedVars(shared)
+		ex := n.tab.FreshPred("Ex", len(args), false)
+		head := ast.Atom{Pred: ex}
+		for _, dv := range args {
+			head.Args = append(head.Args, ast.V(dv))
+		}
+		// The projection rule has one functional variable (v); normalize it
+		// recursively in case its atoms are deep.
+		if err := n.rule(ast.Rule{Head: head, Body: group}); err != nil {
+			return ast.Rule{}, err
+		}
+		rest = append(rest, head.Clone())
+	}
+	r.Body = rest
+	return r, nil
+}
+
+// chainVars returns the data variables occurring in apps[lo:hi].
+func chainVars(apps []ast.FApp, lo, hi int) map[symbols.VarID]bool {
+	m := make(map[symbols.VarID]bool)
+	for i := lo; i < hi; i++ {
+		for _, d := range apps[i].Args {
+			if d.IsVar() {
+				m[d.Var] = true
+			}
+		}
+	}
+	return m
+}
+
+// excessDepth returns how many applications of t exceed the normal-form
+// budget: at most one application above a variable base, or one above the
+// ground prefix for terms with a constant base.
+func excessDepth(t *ast.FTerm) int {
+	if t == nil {
+		return 0
+	}
+	var budget int
+	if t.HasVarBase() {
+		budget = 1
+	} else {
+		if t.IsGround() {
+			return 0 // ground terms of any depth are normal
+		}
+		budget = t.GroundPrefixDepth() + 1
+	}
+	if d := t.Depth(); d > budget {
+		return d - budget
+	}
+	return 0
+}
+
+// lowerDeepBodyAtoms replaces every too-deep body atom by a fresh predicate
+// at the rule's variable (or ground prefix), emitting one peel rule per
+// application removed. Each peel rule
+//
+//	L_j(f_j(U, z̄_j), ȳ_j) -> L_{j-1}(U, ȳ_j ∪ vars(z̄_j))
+//
+// is normal and range-restricted, and L_0 holds of exactly the instances
+// the original atom held of.
+func (n *normalizer) lowerDeepBodyAtoms(r ast.Rule) ast.Rule {
+	for bi := range r.Body {
+		a := &r.Body[bi]
+		excess := excessDepth(a.FT)
+		if excess == 0 {
+			continue
+		}
+		ft := a.FT
+		keep := ft.Depth() - excess // innermost applications that may remain
+
+		// Carried data arguments: the atom's own args plus, progressively,
+		// the variables of peeled applications.
+		carried := append([]ast.DTerm(nil), a.Args...)
+		curPred := a.Pred
+		for j := ft.Depth(); j > keep; j-- {
+			app := ft.Apps[j-1]
+			u := n.tab.FreshVar("U")
+			// Pattern: curPred(app(U, args...), carried...)
+			pat := ast.FVar(u).Apply(app.Fn, app.Args...)
+			bodyAtom := ast.Atom{Pred: curPred, FT: pat, Args: carried}
+
+			nextCarried := append([]ast.DTerm(nil), carried...)
+			seen := make(map[symbols.VarID]bool)
+			for _, d := range carried {
+				if d.IsVar() {
+					seen[d.Var] = true
+				}
+			}
+			for _, d := range app.Args {
+				if d.IsVar() && !seen[d.Var] {
+					seen[d.Var] = true
+					nextCarried = append(nextCarried, d)
+				}
+			}
+			lo := n.tab.FreshPred("Lo", len(nextCarried), true)
+			headAtom := ast.Atom{Pred: lo, FT: ast.FVar(u), Args: nextCarried}
+			n.emit(ast.Rule{Head: headAtom, Body: []ast.Atom{bodyAtom}})
+			curPred = lo
+			carried = nextCarried
+		}
+		// Replace the original atom by the lowered one at the remaining term.
+		*a = ast.Atom{
+			Pred: curPred,
+			FT:   &ast.FTerm{Base: ft.Base, Apps: append([]ast.FApp(nil), ft.Apps[:keep]...)},
+			Args: carried,
+		}
+	}
+	return r
+}
+
+// raiseDeepHead rewrites a rule with a too-deep head term into a seed rule
+// deriving a fresh predicate at the shallow end plus one raise rule per
+// extra application.
+func (n *normalizer) raiseDeepHead(r ast.Rule) ast.Rule {
+	excess := excessDepth(r.Head.FT)
+	if excess == 0 {
+		return r
+	}
+	ft := r.Head.FT
+	keep := ft.Depth() - excess
+
+	// All data variables the raise chain and the final head need.
+	needed := make(map[symbols.VarID]bool)
+	for _, d := range r.Head.Args {
+		if d.IsVar() {
+			needed[d.Var] = true
+		}
+	}
+	for v := range chainVars(ft.Apps, keep, ft.Depth()) {
+		needed[v] = true
+	}
+	carried := sortedVars(needed)
+	carriedTerms := make([]ast.DTerm, len(carried))
+	for i, v := range carried {
+		carriedTerms[i] = ast.V(v)
+	}
+
+	// Seed rule: original body derives R_0 at the shallow prefix.
+	r0 := n.tab.FreshPred("Ra", len(carried), true)
+	seedHead := ast.Atom{
+		Pred: r0,
+		FT:   &ast.FTerm{Base: ft.Base, Apps: append([]ast.FApp(nil), ft.Apps[:keep]...)},
+		Args: carriedTerms,
+	}
+	seed := ast.Rule{Head: seedHead, Body: r.Body}
+
+	// Raise rules: R_i(U, ȳ) -> R_{i+1}(f(U, z̄), ȳ), final one derives the
+	// original head predicate.
+	cur := r0
+	for j := keep; j < ft.Depth(); j++ {
+		app := ft.Apps[j]
+		u := n.tab.FreshVar("U")
+		body := ast.Atom{Pred: cur, FT: ast.FVar(u), Args: carriedTerms}
+		var head ast.Atom
+		if j == ft.Depth()-1 {
+			head = ast.Atom{Pred: r.Head.Pred, FT: ast.FVar(u).Apply(app.Fn, app.Args...), Args: r.Head.Args}
+		} else {
+			next := n.tab.FreshPred("Ra", len(carried), true)
+			head = ast.Atom{Pred: next, FT: ast.FVar(u).Apply(app.Fn, app.Args...), Args: carriedTerms}
+			cur = next
+		}
+		n.emit(ast.Rule{Head: head, Body: []ast.Atom{body}})
+	}
+	return seed
+}

@@ -1,0 +1,278 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/parser"
+)
+
+const listsSrc = `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`
+
+// TestEliminateListsMatchesPaper reproduces the section 3 transformation of
+// the list-processing program: two constants a, b turn the three mixed
+// rules into six pure ones over ext'a and ext'b.
+func TestEliminateListsMatchesPaper(t *testing.T) {
+	p := parser.MustParse(listsSrc).Program
+	out, err := EliminateMixed(p)
+	if err != nil {
+		t.Fatalf("EliminateMixed: %v", err)
+	}
+	if len(out.Rules) != 6 {
+		t.Fatalf("got %d rules, want 6:\n%s", len(out.Rules), out.Format())
+	}
+	if out.HasMixed() {
+		t.Fatalf("mixed symbols remain:\n%s", out.Format())
+	}
+	text := out.Format()
+	for _, want := range []string{
+		"P(a) -> Member(ext'a(0), a).",
+		"P(b) -> Member(ext'b(0), b).",
+		"P(a), Member(S, X) -> Member(ext'a(S), a).",
+		"P(b), Member(S, X) -> Member(ext'b(S), b).",
+		"P(a), Member(S, X) -> Member(ext'a(S), X).",
+		"P(b), Member(S, X) -> Member(ext'b(S), X).",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing transformed rule %q in:\n%s", want, text)
+		}
+	}
+	if !out.IsNormal() {
+		t.Errorf("elimination must preserve normality")
+	}
+}
+
+func TestEliminateGroundFact(t *testing.T) {
+	src := `
+Member(ext(0, a), a).
+Member(S, X) -> Member(ext(S, b), X).
+`
+	p := parser.MustParse(src).Program
+	out, err := EliminateMixed(p)
+	if err != nil {
+		t.Fatalf("EliminateMixed: %v", err)
+	}
+	if len(out.Facts) != 1 {
+		t.Fatalf("facts = %d", len(out.Facts))
+	}
+	if got := out.Facts[0].Format(p.Tab); got != "Member(ext'a(0), a)" {
+		t.Fatalf("fact = %q", got)
+	}
+}
+
+// TestNormalizeAppendixRule normalizes the Appendix rule
+// P(S), W(X) -> P1(g(f(S), X)). The paper's construction introduces helper
+// predicates to break the depth-2 head; ours does the same with a raise
+// chain. The output must be normal and mention only normal terms.
+func TestNormalizeAppendixRule(t *testing.T) {
+	src := `
+@functional P/1.
+@functional P1/1.
+P(S), W(X) -> P1(g(f(S), X)).
+`
+	p := parser.MustParse(src).Program
+	out, err := Normalize(p)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !out.IsNormal() {
+		t.Fatalf("output not normal:\n%s", out.Format())
+	}
+	if len(out.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2 (seed + raise):\n%s", len(out.Rules), out.Format())
+	}
+	// The raise rule rebuilds the original head predicate.
+	found := false
+	for i := range out.Rules {
+		if out.Rules[i].Head.Pred == p.Rules[0].Head.Pred {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rule derives the original head predicate:\n%s", out.Format())
+	}
+}
+
+func TestNormalizeDeepBody(t *testing.T) {
+	src := `
+@functional P/1.
+@functional Q/1.
+P(g(f(S))) -> Q(S).
+`
+	p := parser.MustParse(src).Program
+	out, err := Normalize(p)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !out.IsNormal() {
+		t.Fatalf("output not normal:\n%s", out.Format())
+	}
+	if len(out.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2 (peel + main):\n%s", len(out.Rules), out.Format())
+	}
+}
+
+func TestNormalizeExtraFunctionalVariables(t *testing.T) {
+	src := `
+@functional P/1.
+@functional Q/2.
+@functional R/1.
+P(S), Q(S2, X) -> R(S).
+`
+	p := parser.MustParse(src).Program
+	out, err := Normalize(p)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !out.IsNormal() {
+		t.Fatalf("output not normal:\n%s", out.Format())
+	}
+	// One projection rule (Q(S2, X) -> Ex) and the rewritten main rule.
+	if len(out.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2:\n%s", len(out.Rules), out.Format())
+	}
+	for i := range out.Rules {
+		if got := len(out.Rules[i].FunctionalVars()); got > 1 {
+			t.Fatalf("rule still has %d functional variables: %s",
+				got, out.Rules[i].Format(p.Tab))
+		}
+	}
+}
+
+// TestNormalizeSharedDataVarAcrossGroups checks that a data variable shared
+// between an extra functional variable's group and the main rule flows
+// through the exists-predicate.
+func TestNormalizeSharedDataVarAcrossGroups(t *testing.T) {
+	src := `
+@functional P/1.
+@functional Q/2.
+@functional R/2.
+P(S), Q(S2, X) -> R(S, X).
+`
+	p := parser.MustParse(src).Program
+	out, err := Normalize(p)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !out.IsNormal() {
+		t.Fatalf("not normal:\n%s", out.Format())
+	}
+	// The projection predicate must carry X (arity 1).
+	carried := false
+	for i := range out.Rules {
+		h := out.Rules[i].Head
+		if p.Tab.PredName(h.Pred) != "R" && h.FT == nil && len(h.Args) == 1 {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Fatalf("shared variable not carried through projection:\n%s", out.Format())
+	}
+	if !out.IsDomainIndependent() {
+		t.Fatalf("normalization broke range-restriction:\n%s", out.Format())
+	}
+}
+
+func TestNormalizeDeepMixedCombination(t *testing.T) {
+	src := `
+@functional Mem/2.
+Mem(S, X), D(Y) -> Mem(cons(cons(S, X), Y), Y).
+D(a). D(b).
+`
+	p := parser.MustParse(src).Program
+	norm, err := Normalize(p)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if !norm.IsNormal() {
+		t.Fatalf("not normal:\n%s", norm.Format())
+	}
+	if !norm.IsDomainIndependent() {
+		t.Fatalf("not range-restricted:\n%s", norm.Format())
+	}
+	pure, err := EliminateMixed(norm)
+	if err != nil {
+		t.Fatalf("EliminateMixed: %v", err)
+	}
+	if pure.HasMixed() || !pure.IsNormal() {
+		t.Fatalf("pipeline output broken:\n%s", pure.Format())
+	}
+}
+
+func TestNormalizeRejectsDomainDependent(t *testing.T) {
+	p := ast.NewProgram()
+	fp := p.Tab.Pred("P", 0, true)
+	g := p.Tab.Func("g", 0)
+	vS := p.Tab.Var("S")
+	vW := p.Tab.Var("W")
+	p.Rules = append(p.Rules, ast.Rule{
+		Head: ast.Atom{Pred: fp, FT: ast.FVar(vW).Apply(g)},
+		Body: []ast.Atom{{Pred: fp, FT: ast.FVar(vS)}},
+	})
+	if _, err := Normalize(p); err == nil {
+		t.Fatalf("domain-dependent rule accepted")
+	}
+}
+
+func TestPrepareMeetings(t *testing.T) {
+	src := `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+	p := parser.MustParse(src).Program
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !prep.Temporal {
+		t.Fatalf("meetings is temporal")
+	}
+	if prep.C != 0 || prep.SeedDepth != 0 {
+		t.Fatalf("C=%d seed=%d, want 0, 0", prep.C, prep.SeedDepth)
+	}
+	if len(prep.Funcs) != 1 {
+		t.Fatalf("alphabet = %d symbols, want 1 (succ)", len(prep.Funcs))
+	}
+	meets, _ := p.Tab.LookupPred("Meets", 1, true)
+	if !prep.OriginalPreds[meets] {
+		t.Fatalf("Meets missing from OriginalPreds")
+	}
+}
+
+func TestPrepareLists(t *testing.T) {
+	p := parser.MustParse(listsSrc).Program
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if prep.Temporal {
+		t.Fatalf("lists is not temporal")
+	}
+	if prep.C != 0 || prep.SeedDepth != 1 {
+		t.Fatalf("C=%d seed=%d, want 0, 1", prep.C, prep.SeedDepth)
+	}
+	if len(prep.Funcs) != 2 {
+		t.Fatalf("alphabet = %d symbols, want 2 (ext'a, ext'b)", len(prep.Funcs))
+	}
+}
+
+func TestPrepareRejectsDomainDependent(t *testing.T) {
+	src := `
+@functional P/1.
+R(a).
+P(S) -> P(g(S, W)).
+`
+	p := parser.MustParse(src).Program
+	if _, err := Prepare(p); err == nil {
+		t.Fatalf("domain-dependent program accepted")
+	}
+}

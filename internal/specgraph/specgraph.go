@@ -1,0 +1,330 @@
+// Package specgraph implements Algorithm Q (Figure 1 of the paper): the
+// construction of the graph specification (B, T) of an infinite least
+// fixpoint.
+//
+// The algorithm explores ground functional terms breadth-first in the
+// precedence ordering, starting at the seed depth (c+1 in general, c for
+// temporal programs). A Potential term becomes Active — a representative
+// term — when no earlier Active term is state-equivalent to it; only Active
+// terms are extended. Terms below the seed depth form singleton clusters.
+// The successor mappings T map every representative and function symbol to
+// the representative of the child's cluster, and the primary database B
+// stores the slice L[t] of every representative t.
+//
+// Membership P(t0, ā) ∈ L is decided by running the successor DFA on t0's
+// symbol string (the paper's Link rules) and looking the resulting
+// representative up in B.
+package specgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Options bound the construction.
+type Options struct {
+	// MaxReps aborts when more representative terms than this have been
+	// found (0 = no limit). Theorem 4.2: the number of clusters can be
+	// exponential in the database size.
+	MaxReps int
+}
+
+// Merge records one non-Active Potential term and the Active representative
+// of its cluster; these pairs are exactly the relation R of the equational
+// specification (section 3.5).
+type Merge struct {
+	Rep       term.Term
+	Potential term.Term
+}
+
+// Spec is a computed graph specification.
+type Spec struct {
+	Eng *engine.Engine
+	U   *term.Universe
+	W   *facts.World
+
+	// SeedDepth is where breadth-first exploration started.
+	SeedDepth int
+	// Alphabet is the successor alphabet, ascending.
+	Alphabet []symbols.FuncID
+	// Reps lists every representative term: all terms of depth below
+	// SeedDepth (singleton clusters) followed by the Active terms, in
+	// precedence order.
+	Reps []term.Term
+	// Active lists just the Active terms found by the algorithm.
+	Active []term.Term
+	// Potentials lists every term the algorithm examined at or beyond the
+	// seed depth, in examination (precedence) order.
+	Potentials []term.Term
+	// Merges are the (Active, Potential) equivalences found; see Merge.
+	Merges []Merge
+
+	succ   map[edgeKey]term.Term
+	repSet map[term.Term]bool
+	state  map[term.Term]facts.StateID
+}
+
+type edgeKey struct {
+	from term.Term
+	fn   symbols.FuncID
+}
+
+// Build runs Algorithm Q against a solved engine.
+func Build(eng *engine.Engine, opts Options) (*Spec, error) {
+	if err := eng.Solve(); err != nil {
+		return nil, err
+	}
+	sp := &Spec{
+		Eng:       eng,
+		U:         eng.U,
+		W:         eng.W,
+		SeedDepth: eng.Prep.SeedDepth,
+		succ:      make(map[edgeKey]term.Term),
+		repSet:    make(map[term.Term]bool),
+		state:     make(map[term.Term]facts.StateID),
+	}
+	sp.Alphabet = append(sp.Alphabet, eng.Prep.Funcs...)
+	sort.Slice(sp.Alphabet, func(i, j int) bool { return sp.Alphabet[i] < sp.Alphabet[j] })
+
+	addRep := func(t term.Term) error {
+		sp.Reps = append(sp.Reps, t)
+		sp.repSet[t] = true
+		s, err := eng.StateOf(t)
+		if err != nil {
+			return err
+		}
+		sp.state[t] = s
+		if opts.MaxReps > 0 && len(sp.Reps) > opts.MaxReps {
+			return fmt.Errorf("specgraph: more than %d representative terms", opts.MaxReps)
+		}
+		return nil
+	}
+
+	// Singleton clusters: every term of depth < SeedDepth.
+	level := []term.Term{term.Zero}
+	if sp.SeedDepth > 0 {
+		if err := addRep(term.Zero); err != nil {
+			return nil, err
+		}
+	}
+	for d := 1; d < sp.SeedDepth; d++ {
+		var next []term.Term
+		for _, t := range level {
+			for _, f := range sp.Alphabet {
+				child := sp.U.Apply(f, t)
+				if err := addRep(child); err != nil {
+					return nil, err
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+
+	// Seed the queue with all terms of depth SeedDepth, in precedence order.
+	var queue []term.Term
+	if sp.SeedDepth == 0 {
+		queue = append(queue, term.Zero)
+	} else {
+		for _, t := range level {
+			for _, f := range sp.Alphabet {
+				queue = append(queue, sp.U.Apply(f, t))
+			}
+		}
+	}
+
+	// Breadth-first Potential/Active loop.
+	activeByState := make(map[facts.StateID]term.Term)
+	for qi := 0; qi < len(queue); qi++ {
+		t := queue[qi]
+		sp.Potentials = append(sp.Potentials, t)
+		s, err := eng.StateOf(t)
+		if err != nil {
+			return nil, err
+		}
+		if rep, ok := activeByState[s]; ok {
+			sp.Merges = append(sp.Merges, Merge{Rep: rep, Potential: t})
+			continue
+		}
+		activeByState[s] = t
+		sp.Active = append(sp.Active, t)
+		if err := addRep(t); err != nil {
+			return nil, err
+		}
+		for _, f := range sp.Alphabet {
+			queue = append(queue, sp.U.Apply(f, t))
+		}
+	}
+
+	// Successor mappings for every representative.
+	for _, t := range sp.Reps {
+		for _, f := range sp.Alphabet {
+			child := sp.U.Apply(f, t)
+			var target term.Term
+			if sp.U.Depth(child) < sp.SeedDepth {
+				target = child // itself a singleton representative
+			} else {
+				s, err := eng.StateOf(child)
+				if err != nil {
+					return nil, err
+				}
+				rep, ok := activeByState[s]
+				if !ok {
+					return nil, fmt.Errorf("specgraph: no representative for state of %s",
+						sp.U.CompactString(child, eng.Prep.Program.Tab))
+				}
+				target = rep
+			}
+			sp.succ[edgeKey{t, f}] = target
+		}
+	}
+	return sp, nil
+}
+
+// Successor returns the representative of f applied to the cluster of rep.
+func (sp *Spec) Successor(rep term.Term, f symbols.FuncID) (term.Term, bool) {
+	t, ok := sp.succ[edgeKey{rep, f}]
+	return t, ok
+}
+
+// IsRep reports whether t is a representative term.
+func (sp *Spec) IsRep(t term.Term) bool { return sp.repSet[t] }
+
+// Representative runs the successor DFA (the paper's Link rules) on t's
+// symbol string and returns the representative of t's cluster.
+func (sp *Spec) Representative(t term.Term) (term.Term, error) {
+	cur := term.Zero
+	for _, f := range sp.U.Symbols(t) {
+		next, ok := sp.succ[edgeKey{cur, f}]
+		if !ok {
+			return term.None, fmt.Errorf("specgraph: symbol %v is not in the specification's alphabet", f)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// StateOfRep returns the full interned state of a representative.
+func (sp *Spec) StateOfRep(rep term.Term) facts.StateID { return sp.state[rep] }
+
+// Has decides P(t, args) ∈ L from the specification alone.
+func (sp *Spec) Has(pred symbols.PredID, t term.Term, args []symbols.ConstID) (bool, error) {
+	rep, err := sp.Representative(t)
+	if err != nil {
+		return false, err
+	}
+	a := sp.W.Atom(pred, sp.W.Tuple(args))
+	return sp.W.StateContains(sp.state[rep], a), nil
+}
+
+// HasData decides a non-functional fact from the specification.
+func (sp *Spec) HasData(pred symbols.PredID, args []symbols.ConstID) bool {
+	return sp.Eng.HasGlobal(pred, args)
+}
+
+// Slice returns the primary-database slice B[rep]: the function-free atoms
+// at rep, restricted to the original program's predicates, sorted.
+func (sp *Spec) Slice(rep term.Term) []facts.AtomID {
+	var out []facts.AtomID
+	for _, a := range sp.W.StateAtoms(sp.state[rep]) {
+		if sp.Eng.Prep.OriginalPreds[sp.W.AtomPred(a)] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ClusterView lets an invariant inspect one cluster's slice.
+type ClusterView struct {
+	sp  *Spec
+	rep term.Term
+}
+
+// Rep returns the cluster's representative term — a concrete witness for
+// every term in the cluster.
+func (v ClusterView) Rep() term.Term { return v.rep }
+
+// Has reports whether pred(·, args) holds throughout the cluster.
+func (v ClusterView) Has(pred symbols.PredID, args []symbols.ConstID) bool {
+	a := v.sp.W.Atom(pred, v.sp.W.Tuple(args))
+	return v.sp.W.StateContains(v.sp.state[v.rep], a)
+}
+
+// CheckAll decides a universal property: whether inv holds of every ground
+// functional term of the (infinite) Herbrand universe. Because congruent
+// terms satisfy exactly the same facts, checking one representative per
+// cluster covers them all — a query form the paper's positive-existential
+// language cannot express, but which the finite specification makes
+// decidable. On failure the returned term is a concrete counterexample.
+func (sp *Spec) CheckAll(inv func(ClusterView) bool) (bool, term.Term) {
+	for _, rep := range sp.Reps {
+		if !inv(ClusterView{sp: sp, rep: rep}) {
+			return false, rep
+		}
+	}
+	return true, term.None
+}
+
+// Size returns the specification's size measures: representatives, edges
+// and primary-database tuples.
+func (sp *Spec) Size() (reps, edges, tuples int) {
+	reps = len(sp.Reps)
+	edges = len(sp.succ)
+	for _, t := range sp.Reps {
+		tuples += len(sp.Slice(t))
+	}
+	return reps, edges, tuples
+}
+
+// FormatAtom renders a function-free atom with rep as functional component.
+func (sp *Spec) FormatAtom(a facts.AtomID, rep term.Term) string {
+	tab := sp.Eng.Prep.Program.Tab
+	var b strings.Builder
+	b.WriteString(tab.PredName(sp.W.AtomPred(a)))
+	b.WriteByte('(')
+	b.WriteString(sp.U.CompactString(rep, tab))
+	for _, c := range sp.W.TupleArgs(sp.W.AtomTuple(a)) {
+		b.WriteString(", ")
+		b.WriteString(tab.ConstName(c))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dump renders the whole specification in a readable, stable form: the
+// representatives with their primary-database slices, then the successor
+// table.
+func (sp *Spec) Dump() string {
+	tab := sp.Eng.Prep.Program.Tab
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph specification: %d representatives, seed depth %d\n",
+		len(sp.Reps), sp.SeedDepth)
+	b.WriteString("primary database:\n")
+	for _, t := range sp.Reps {
+		fmt.Fprintf(&b, "  L[%s] = {", sp.U.CompactString(t, tab))
+		slice := sp.Slice(t)
+		for i, a := range slice {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sp.FormatAtom(a, t))
+		}
+		b.WriteString("}\n")
+	}
+	b.WriteString("successor mappings:\n")
+	for _, t := range sp.Reps {
+		for _, f := range sp.Alphabet {
+			if next, ok := sp.succ[edgeKey{t, f}]; ok {
+				fmt.Fprintf(&b, "  succ_%s(%s) = %s\n",
+					tab.FuncName(f), sp.U.CompactString(t, tab), sp.U.CompactString(next, tab))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package specio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/parser"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+func buildSpec(t *testing.T, src string) *specgraph.Spec {
+	t.Helper()
+	prog := parser.MustParse(src).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	eng, err := engine.New(prep, term.NewUniverse(), facts.NewWorld(), engine.Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	sp, err := specgraph.Build(eng, specgraph.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sp
+}
+
+const meetingsSrc = `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+const listsSrc = `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`
+
+func roundTrip(t *testing.T, src string) (*specgraph.Spec, *Standalone) {
+	t.Helper()
+	sp := buildSpec(t, src)
+	doc := FromSpec(sp)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	doc2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	st, err := Load(doc2)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return sp, st
+}
+
+func TestRoundTripMeetings(t *testing.T) {
+	sp, st := roundTrip(t, meetingsSrc)
+	if st.NumReps() != len(sp.Reps) {
+		t.Fatalf("reps = %d, want %d", st.NumReps(), len(sp.Reps))
+	}
+	succ, ok := st.Tab().LookupFunc("succ", 0)
+	if !ok {
+		t.Fatalf("standalone table lost the successor symbol")
+	}
+	day := func(n int) term.Term { return st.Universe().Number(n, succ) }
+	for n := 0; n <= 9; n++ {
+		wantTony := n%2 == 0
+		got, err := st.Has("Meets", day(n), "tony")
+		if err != nil {
+			t.Fatalf("Has: %v", err)
+		}
+		if got != wantTony {
+			t.Errorf("standalone Meets(%d, tony) = %v, want %v", n, got, wantTony)
+		}
+		if gotEq := st.HasViaCongruence("Meets", day(n), "tony"); gotEq != wantTony {
+			t.Errorf("congruence Meets(%d, tony) = %v, want %v", n, gotEq, wantTony)
+		}
+	}
+	if !st.HasData("Next", "tony", "jan") {
+		t.Errorf("global Next(tony, jan) lost in round trip")
+	}
+	if st.HasData("Next", "jan", "bob") {
+		t.Errorf("phantom global fact")
+	}
+}
+
+// TestStandaloneMatchesSpec checks that the loaded document answers every
+// membership question identically to the original specification — with the
+// rules genuinely absent on the standalone side.
+func TestStandaloneMatchesSpec(t *testing.T) {
+	sp, st := roundTrip(t, listsSrc)
+	tab := sp.Eng.Prep.Program.Tab
+	member, _ := tab.LookupPred("Member", 1, true)
+	aC, _ := tab.LookupConst("a")
+	bC, _ := tab.LookupConst("b")
+
+	extA2, _ := st.Tab().LookupFunc("ext'a", 0)
+	extB2, _ := st.Tab().LookupFunc("ext'b", 0)
+	extA1, _ := tab.LookupFunc("ext'a", 0)
+	extB1, _ := tab.LookupFunc("ext'b", 0)
+
+	// Enumerate all terms to depth 4 in both universes in parallel and
+	// compare every membership answer.
+	var walk func(orig, stand term.Term, depth int)
+	walk = func(orig, stand term.Term, depth int) {
+		for _, el := range []struct {
+			c    symbols.ConstID
+			name string
+		}{{aC, "a"}, {bC, "b"}} {
+			want, err := sp.Has(member, orig, []symbols.ConstID{el.c})
+			if err != nil {
+				t.Fatalf("spec Has: %v", err)
+			}
+			got, err := st.Has("Member", stand, el.name)
+			if err != nil {
+				t.Fatalf("standalone Has: %v", err)
+			}
+			if got != want {
+				t.Errorf("mismatch for Member(%s, %s): spec %v, standalone %v",
+					sp.U.CompactString(orig, tab), el.name, want, got)
+			}
+			if gotEq := st.HasViaCongruence("Member", stand, el.name); gotEq != want {
+				t.Errorf("congruence mismatch for Member(%s, %s)",
+					sp.U.CompactString(orig, tab), el.name)
+			}
+		}
+		if depth == 4 {
+			return
+		}
+		walk(sp.U.Apply(extA1, orig), st.Universe().Apply(extA2, stand), depth+1)
+		walk(sp.U.Apply(extB1, orig), st.Universe().Apply(extB2, stand), depth+1)
+	}
+	walk(term.Zero, term.Zero, 0)
+}
+
+func TestReadRejectsBadFormat(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"format":"other/v9"}`)); err == nil {
+		t.Fatalf("unknown format accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatalf("non-JSON accepted")
+	}
+}
+
+func TestLoadRejectsCorruptDocuments(t *testing.T) {
+	sp := buildSpec(t, meetingsSrc)
+	base := FromSpec(sp)
+
+	bad1 := *base
+	bad1.Edges = append([]EdgeDoc(nil), base.Edges...)
+	bad1.Edges[0].To = 99
+	if _, err := Load(&bad1); err == nil {
+		t.Errorf("out-of-range edge accepted")
+	}
+
+	bad2 := *base
+	bad2.Edges = append([]EdgeDoc(nil), base.Edges...)
+	bad2.Edges[0].Fn = "nosuch"
+	if _, err := Load(&bad2); err == nil {
+		t.Errorf("edge over unknown symbol accepted")
+	}
+
+	bad3 := *base
+	bad3.Slices = append([]SliceDoc(nil), base.Slices...)
+	bad3.Slices[0].Rep = -1
+	if _, err := Load(&bad3); err == nil {
+		t.Errorf("out-of-range slice accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	sp := buildSpec(t, meetingsSrc)
+	doc := FromSpec(sp)
+	dot := doc.DOT()
+	for _, want := range []string{"digraph spec", "n0 -> n1", "n1 -> n0", `label="succ"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDocumentCarriesEquations(t *testing.T) {
+	sp := buildSpec(t, `
+Even(0).
+Even(T) -> Even(T+2).
+`)
+	doc := FromSpec(sp)
+	if len(doc.Equations) != 1 {
+		t.Fatalf("equations = %d, want 1", len(doc.Equations))
+	}
+	eq := doc.Equations[0]
+	if len(eq.Left) != 0 || len(eq.Right) != 2 {
+		t.Errorf("equation = %v ~ %v, want 0 ~ succ.succ", eq.Left, eq.Right)
+	}
+	if !doc.Temporal {
+		t.Errorf("temporal flag lost")
+	}
+}

@@ -1,0 +1,219 @@
+package subst
+
+import (
+	"testing"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+func setup() (*symbols.Table, *term.Universe) {
+	return symbols.NewTable(), term.NewUniverse()
+}
+
+func TestBindConsistency(t *testing.T) {
+	tab, u := setup()
+	var b Binding
+	x := tab.Var("X")
+	a := tab.Const("a")
+	c := tab.Const("c")
+	if !b.BindConst(x, a) {
+		t.Fatalf("first bind failed")
+	}
+	if !b.BindConst(x, a) {
+		t.Fatalf("rebind with same value failed")
+	}
+	if b.BindConst(x, c) {
+		t.Fatalf("conflicting rebind succeeded")
+	}
+	s := tab.Var("S")
+	f := tab.Func("f", 0)
+	t1 := u.Apply(f, term.Zero)
+	if !b.BindTerm(s, t1) || b.BindTerm(s, term.Zero) {
+		t.Fatalf("term binding consistency broken")
+	}
+	if got, ok := b.Term(s); !ok || got != t1 {
+		t.Fatalf("Term lookup = %v, %v", got, ok)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestMarkUndo(t *testing.T) {
+	tab, u := setup()
+	var b Binding
+	x := tab.Var("X")
+	s := tab.Var("S")
+	a := tab.Const("a")
+	b.BindConst(x, a)
+	nc, nt := b.Mark()
+	b.BindConst(tab.Var("Y"), a)
+	b.BindTerm(s, u.Apply(tab.Func("f", 0), term.Zero))
+	b.Undo(nc, nt)
+	if b.Len() != 1 {
+		t.Fatalf("Undo did not restore: Len = %d", b.Len())
+	}
+	if _, ok := b.Term(s); ok {
+		t.Fatalf("term binding survived Undo")
+	}
+}
+
+func TestMatchData(t *testing.T) {
+	tab, _ := setup()
+	var b Binding
+	a := tab.Const("a")
+	c := tab.Const("c")
+	x := tab.Var("X")
+	if !b.MatchData(ast.C(a), a) || b.MatchData(ast.C(a), c) {
+		t.Fatalf("constant matching broken")
+	}
+	if !b.MatchData(ast.V(x), a) {
+		t.Fatalf("variable match failed")
+	}
+	if b.MatchData(ast.V(x), c) {
+		t.Fatalf("bound variable matched different constant")
+	}
+}
+
+func TestMatchFTerm(t *testing.T) {
+	tab, u := setup()
+	f := tab.Func("f", 0)
+	g := tab.Func("g", 0)
+	s := tab.Var("S")
+
+	gf0 := u.ApplyString(term.Zero, f, g) // g(f(0))
+
+	// Pattern g(S) against g(f(0)) binds S = f(0).
+	var b Binding
+	pat := ast.FVar(s).Apply(g)
+	if !b.MatchFTerm(u, pat, gf0) {
+		t.Fatalf("g(S) should match g(f(0))")
+	}
+	if got, _ := b.Term(s); got != u.Apply(f, term.Zero) {
+		t.Fatalf("S bound to %v", got)
+	}
+
+	// Pattern f(S) does not match g(f(0)).
+	b.Reset()
+	if b.MatchFTerm(u, ast.FVar(s).Apply(f), gf0) {
+		t.Fatalf("f(S) must not match g(f(0))")
+	}
+
+	// Ground pattern g(f(0)) matches exactly.
+	b.Reset()
+	if !b.MatchFTerm(u, ast.FZero().Apply(f).Apply(g), gf0) {
+		t.Fatalf("ground pattern failed")
+	}
+	b.Reset()
+	if b.MatchFTerm(u, ast.FZero().Apply(g), gf0) {
+		t.Fatalf("depth-1 ground pattern matched depth-2 term")
+	}
+
+	// Bare variable matches anything, including 0.
+	b.Reset()
+	if !b.MatchFTerm(u, ast.FVar(s), term.Zero) {
+		t.Fatalf("bare variable should match 0")
+	}
+
+	// Ground base pattern 0 against deeper term fails.
+	b.Reset()
+	if b.MatchFTerm(u, ast.FZero(), gf0) {
+		t.Fatalf("0 matched a deep term")
+	}
+}
+
+func TestMatchFTermRejectsMixed(t *testing.T) {
+	tab, u := setup()
+	ext := tab.Func("ext", 1)
+	a := tab.Const("a")
+	var b Binding
+	pat := ast.FZero().Apply(ext, ast.C(a))
+	if b.MatchFTerm(u, pat, term.Zero) {
+		t.Fatalf("mixed pattern must be rejected")
+	}
+}
+
+func TestApplyFTerm(t *testing.T) {
+	tab, u := setup()
+	f := tab.Func("f", 0)
+	g := tab.Func("g", 0)
+	s := tab.Var("S")
+	var b Binding
+	b.BindTerm(s, u.Apply(f, term.Zero))
+	got, ok := b.ApplyFTerm(u, ast.FVar(s).Apply(g))
+	if !ok || got != u.ApplyString(term.Zero, f, g) {
+		t.Fatalf("ApplyFTerm = %v, %v", got, ok)
+	}
+	// Unbound variable fails.
+	if _, ok := b.ApplyFTerm(u, ast.FVar(tab.Var("T"))); ok {
+		t.Fatalf("unbound functional variable applied")
+	}
+}
+
+func TestApplyData(t *testing.T) {
+	tab, _ := setup()
+	var b Binding
+	a := tab.Const("a")
+	x := tab.Var("X")
+	if got, ok := b.ApplyData(ast.C(a)); !ok || got != a {
+		t.Fatalf("constant apply failed")
+	}
+	if _, ok := b.ApplyData(ast.V(x)); ok {
+		t.Fatalf("unbound data variable applied")
+	}
+	b.BindConst(x, a)
+	if got, ok := b.ApplyData(ast.V(x)); !ok || got != a {
+		t.Fatalf("bound data variable apply failed")
+	}
+}
+
+func TestGroundFTerm(t *testing.T) {
+	tab, u := setup()
+	f := tab.Func("f", 0)
+	got, ok := GroundFTerm(u, ast.FZero().Apply(f))
+	if !ok || got != u.Apply(f, term.Zero) {
+		t.Fatalf("GroundFTerm = %v, %v", got, ok)
+	}
+	if _, ok := GroundFTerm(u, ast.FVar(tab.Var("S"))); ok {
+		t.Fatalf("non-ground term grounded")
+	}
+}
+
+// TestMatchApplyInverse checks that applying a pattern after matching
+// reproduces the original ground term.
+func TestMatchApplyInverse(t *testing.T) {
+	tab, u := setup()
+	f := tab.Func("f", 0)
+	g := tab.Func("g", 0)
+	s := tab.Var("S")
+	pats := []*ast.FTerm{
+		ast.FVar(s),
+		ast.FVar(s).Apply(f),
+		ast.FVar(s).Apply(g).Apply(f),
+		ast.FZero().Apply(f).Apply(g),
+	}
+	alphabet := []symbols.FuncID{f, g}
+	var terms []term.Term
+	for i := 0; i < 32; i++ {
+		tm := term.Zero
+		for j := 0; j < 5; j++ {
+			tm = u.Apply(alphabet[(i>>j)&1], tm)
+			terms = append(terms, tm)
+		}
+	}
+	for _, pat := range pats {
+		for _, tm := range terms {
+			var b Binding
+			if !b.MatchFTerm(u, pat, tm) {
+				continue
+			}
+			back, ok := b.ApplyFTerm(u, pat)
+			if !ok || back != tm {
+				t.Fatalf("match/apply not inverse: pat=%s term=%v back=%v",
+					pat.Format(tab), tm, back)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package symbols
+
+import "testing"
+
+func TestPredInterning(t *testing.T) {
+	tab := NewTable()
+	p1 := tab.Pred("Meets", 1, true)
+	p2 := tab.Pred("Meets", 1, true)
+	if p1 != p2 {
+		t.Fatalf("same signature interned twice: %d vs %d", p1, p2)
+	}
+	p3 := tab.Pred("Meets", 2, true)
+	if p3 == p1 {
+		t.Fatalf("different arity must intern differently")
+	}
+	p4 := tab.Pred("Meets", 1, false)
+	if p4 == p1 {
+		t.Fatalf("different functionality must intern differently")
+	}
+	info := tab.PredInfo(p1)
+	if info.Name != "Meets" || info.Arity != 1 || !info.Functional {
+		t.Fatalf("bad PredInfo: %+v", info)
+	}
+	if tab.NumPreds() != 3 {
+		t.Fatalf("NumPreds = %d, want 3", tab.NumPreds())
+	}
+}
+
+func TestLookupPred(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.LookupPred("P", 0, false); ok {
+		t.Fatalf("lookup on empty table succeeded")
+	}
+	id := tab.Pred("P", 0, false)
+	got, ok := tab.LookupPred("P", 0, false)
+	if !ok || got != id {
+		t.Fatalf("LookupPred = %v, %v; want %v, true", got, ok, id)
+	}
+}
+
+func TestFuncInterning(t *testing.T) {
+	tab := NewTable()
+	f := tab.Func("succ", 0)
+	if tab.Func("succ", 0) != f {
+		t.Fatalf("same function interned twice")
+	}
+	g := tab.Func("ext", 1)
+	if g == f {
+		t.Fatalf("distinct functions share an id")
+	}
+	if tab.FuncInfo(g).DataArity != 1 {
+		t.Fatalf("DataArity = %d, want 1", tab.FuncInfo(g).DataArity)
+	}
+	if tab.FuncInfo(f).Derived {
+		t.Fatalf("plain symbol marked derived")
+	}
+	d := tab.DerivedFunc("ext_a")
+	if !tab.FuncInfo(d).Derived {
+		t.Fatalf("DerivedFunc not marked derived")
+	}
+}
+
+func TestPureFuncs(t *testing.T) {
+	tab := NewTable()
+	f := tab.Func("f", 0)
+	tab.Func("ext", 2)
+	g := tab.Func("g", 0)
+	pure := tab.PureFuncs()
+	if len(pure) != 2 || pure[0] != f || pure[1] != g {
+		t.Fatalf("PureFuncs = %v, want [%v %v]", pure, f, g)
+	}
+}
+
+func TestConstAndVarInterning(t *testing.T) {
+	tab := NewTable()
+	a := tab.Const("tony")
+	if tab.Const("tony") != a {
+		t.Fatalf("constant interned twice")
+	}
+	if tab.ConstName(a) != "tony" {
+		t.Fatalf("ConstName = %q", tab.ConstName(a))
+	}
+	if _, ok := tab.LookupConst("jan"); ok {
+		t.Fatalf("missing constant found")
+	}
+	x := tab.Var("X")
+	if tab.Var("X") != x {
+		t.Fatalf("variable interned twice")
+	}
+	if tab.VarName(x) != "X" {
+		t.Fatalf("VarName = %q", tab.VarName(x))
+	}
+}
+
+func TestFreshSymbols(t *testing.T) {
+	tab := NewTable()
+	v1 := tab.FreshVar("S")
+	v2 := tab.FreshVar("S")
+	if v1 == v2 {
+		t.Fatalf("fresh variables collide")
+	}
+	if tab.VarName(v1) == tab.VarName(v2) {
+		t.Fatalf("fresh variable names collide: %q", tab.VarName(v1))
+	}
+	p1 := tab.FreshPred("Aux", 2, true)
+	p2 := tab.FreshPred("Aux", 2, true)
+	if p1 == p2 {
+		t.Fatalf("fresh predicates collide")
+	}
+}

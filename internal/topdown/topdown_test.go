@@ -1,0 +1,288 @@
+package topdown
+
+import (
+	"testing"
+
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/parser"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+func build(t *testing.T, src string) (*Evaluator, *engine.Engine) {
+	t.Helper()
+	prog := parser.MustParse(src).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	u := term.NewUniverse()
+	w := facts.NewWorld()
+	ev, err := New(prep, u, w, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng, err := engine.New(prep, u, w, engine.Options{})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if err := eng.Solve(); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return ev, eng
+}
+
+const meetingsSrc = `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+func TestProveMeetings(t *testing.T) {
+	ev, _ := build(t, meetingsSrc)
+	tab := ev.prep.Program.Tab
+	meets, _ := tab.LookupPred("Meets", 1, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	tony, _ := tab.LookupConst("tony")
+	for n := 0; n <= 10; n++ {
+		want := n%2 == 0
+		got, err := ev.Prove(meets, ev.u.Number(n, succ), []symbols.ConstID{tony})
+		if err != nil {
+			t.Fatalf("Prove: %v", err)
+		}
+		if got != want {
+			t.Errorf("Meets(%d, tony) = %v, want %v", n, got, want)
+		}
+	}
+	if !ev.Complete() {
+		t.Errorf("meetings run should be complete")
+	}
+}
+
+// TestGoalDirectedExploresLess: on the branching robot workload, proving a
+// single deep goal must demand far fewer tables than the full bottom-up
+// frontier at that depth.
+func TestGoalDirectedExploresLess(t *testing.T) {
+	ev, _ := build(t, `
+At(0, p0).
+Connected(p0, p1).
+Connected(p1, p2).
+Connected(p2, p0).
+At(S, P1), Connected(P1, P2) -> At(move(S, P1, P2), P2).
+`)
+	tab := ev.prep.Program.Tab
+	at, _ := tab.LookupPred("At", 1, true)
+	p0, _ := tab.LookupConst("p0")
+	m01, _ := tab.LookupFunc("move'p0'p1", 0)
+	m12, _ := tab.LookupFunc("move'p1'p2", 0)
+	m20, _ := tab.LookupFunc("move'p2'p0", 0)
+	// Two full cycles: depth 6.
+	plan := ev.u.ApplyString(term.Zero, m01, m12, m20, m01, m12, m20)
+	got, err := ev.Prove(at, plan, []symbols.ConstID{p0})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if !got {
+		t.Errorf("two full cycles should end at p0")
+	}
+	// The alphabet has 9 move symbols: the full frontier to depth 6 has
+	// ~9^6 terms; the goal chase stays on the plan's spine.
+	if st := ev.Stats(); st.Tables > 40 {
+		t.Errorf("demanded %d tables; goal-directed evaluation should stay near the spine", st.Tables)
+	}
+}
+
+// TestDifferentialAgainstEngine compares Prove with the exact engine on
+// every atom/term combination up to depth 4 for programs where the
+// evaluator reports completeness.
+func TestDifferentialAgainstEngine(t *testing.T) {
+	sources := []string{
+		meetingsSrc,
+		`
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`,
+		`
+Even(0).
+Even(T) -> Even(T+2).
+Even(T+2) -> Back(T).
+`,
+	}
+	for _, src := range sources {
+		ev, eng := build(t, src)
+		if !ev.Complete() {
+			// Completeness must be known before proving anything that
+			// depends on witness rules; these programs have none.
+			t.Fatalf("expected a complete configuration for\n%s", src)
+		}
+		tab := ev.prep.Program.Tab
+		// Collect candidate atoms from the engine's representative states.
+		var walk func(tm term.Term)
+		walk = func(tm term.Term) {
+			st, err := eng.StateOf(tm)
+			if err != nil {
+				t.Fatalf("StateOf: %v", err)
+			}
+			for _, a := range ev.w.StateAtoms(st) {
+				p := ev.w.AtomPred(a)
+				if !ev.prep.OriginalPreds[p] {
+					continue
+				}
+				args := ev.w.TupleArgs(ev.w.AtomTuple(a))
+				got, err := ev.Prove(p, tm, args)
+				if err != nil {
+					t.Fatalf("Prove: %v", err)
+				}
+				if !got {
+					t.Errorf("topdown missing %s at %s in\n%s",
+						tab.PredName(p), ev.u.CompactString(tm, tab), src)
+				}
+			}
+			if ev.u.Depth(tm) < 4 {
+				for _, f := range ev.prep.Funcs {
+					walk(ev.u.Apply(f, tm))
+				}
+			}
+		}
+		walk(term.Zero)
+		// Negative spot checks: topdown must not over-derive.
+		for p := symbols.PredID(0); int(p) < tab.NumPreds(); p++ {
+			info := tab.PredInfo(p)
+			if !info.Functional || !ev.prep.OriginalPreds[p] || info.Arity != 0 {
+				continue
+			}
+			for _, f := range ev.prep.Funcs {
+				tm := ev.u.Apply(f, ev.u.Apply(f, term.Zero))
+				got, err := ev.Prove(p, tm, nil)
+				if err != nil {
+					t.Fatalf("Prove: %v", err)
+				}
+				want, err := eng.HasAt(p, tm, nil)
+				if err != nil {
+					t.Fatalf("HasAt: %v", err)
+				}
+				if got != want {
+					t.Errorf("topdown %v engine %v for %s at depth 2 in\n%s",
+						got, want, tab.PredName(p), src)
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessRulesMarkIncomplete(t *testing.T) {
+	ev, _ := build(t, `
+Deep(0).
+Deep(T) -> Deep2(T+1).
+Deep2(T) -> Deep3(T+1).
+Deep3(T) -> FoundIt.
+`)
+	if ev.Complete() {
+		t.Fatalf("data head over a functional body needs a witness search")
+	}
+	tab := ev.prep.Program.Tab
+	found, _ := tab.LookupPred("FoundIt", 0, false)
+	// Proving the data goal alone finds no witness (the demanded region is
+	// empty): sound but incomplete, which Complete() reports.
+	got, err := ev.Prove(found, term.None, nil)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if got {
+		t.Fatalf("witness search without a demanded region should fail soundly")
+	}
+	// Demanding the spine first puts the witness in range.
+	deep3, _ := tab.LookupPred("Deep3", 0, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	if ok, err := ev.Prove(deep3, ev.u.Number(2, succ), nil); err != nil || !ok {
+		t.Fatalf("Deep3(2) = %v, %v", ok, err)
+	}
+	got, err = ev.Prove(found, term.None, nil)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if !got {
+		t.Errorf("FoundIt should be provable once the witness region is demanded")
+	}
+}
+
+func TestDepthCapMarksIncomplete(t *testing.T) {
+	prog := parser.MustParse(`
+Even(0).
+Even(T) -> Even(T+2).
+Even(T+2) -> Back(T).
+`).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	u := term.NewUniverse()
+	w := facts.NewWorld()
+	ev, err := New(prep, u, w, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tab := prog.Tab
+	back, _ := tab.LookupPred("Back", 0, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	// Back(2) needs Even(4), beyond the cap of 3.
+	got, err := ev.Prove(back, u.Number(2, succ), nil)
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if got {
+		t.Fatalf("cap should cut the proof")
+	}
+	if ev.Complete() {
+		t.Errorf("cap hit must mark the run incomplete")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	ev, _ := build(t, `
+P(a).
+P(b).
+P(X) -> Member(ext(0, X), X).
+P(Y), Member(S, X) -> Member(ext(S, Y), Y).
+P(Y), Member(S, X) -> Member(ext(S, Y), X).
+`)
+	tab := ev.prep.Program.Tab
+	member, _ := tab.LookupPred("Member", 1, true)
+	extA, _ := tab.LookupFunc("ext'a", 0)
+	extB, _ := tab.LookupFunc("ext'b", 0)
+	ab := ev.u.ApplyString(term.Zero, extA, extB)
+	tuples, err := ev.Slice(member, ab)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("|slice| = %d, want 2 (a and b are members of ab)", len(tuples))
+	}
+}
+
+func TestMaxTablesGuard(t *testing.T) {
+	prog := parser.MustParse(meetingsSrc).Program
+	prep, err := rewrite.Prepare(prog)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	u := term.NewUniverse()
+	w := facts.NewWorld()
+	ev, err := New(prep, u, w, Options{MaxTables: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tab := prog.Tab
+	meets, _ := tab.LookupPred("Meets", 1, true)
+	succ, _ := tab.LookupFunc("succ", 0)
+	tony, _ := tab.LookupConst("tony")
+	if _, err := ev.Prove(meets, u.Number(9, succ), []symbols.ConstID{tony}); err == nil {
+		t.Fatalf("MaxTables guard did not trip")
+	}
+}
