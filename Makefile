@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz tables examples clean
+.PHONY: all check build test vet race bench fuzz tables examples clean
 
-all: build vet test
+all: check
+
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -12,6 +14,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,109 @@
+// Command fdbd serves compiled relational specifications over HTTP — the
+// daemon face of the paper's claim that a finite specification keeps
+// answering queries about the infinite fixpoint after the rules are
+// forgotten. It hosts a hot-reloadable catalog of named databases (package
+// registry) behind a JSON API (package server).
+//
+// Usage:
+//
+//	fdbd [-addr HOST:PORT] [-preload DIR] [-cache N] [-timeout D] [-max-body N]
+//
+// Flags:
+//
+//	-addr      listen address (default 127.0.0.1:8344)
+//	-preload   directory of *.fdb programs and *.json spec documents to
+//	           load at startup, named after the file without extension
+//	-cache     answer-cache capacity in entries; negative disables caching
+//	-timeout   per-request deadline (e.g. 5s); negative disables it
+//	-max-body  largest accepted request body in bytes
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests. Query it with fdbq -remote, or curl:
+//
+//	curl -X PUT  localhost:8344/v1/db/even --data 'Even(0). Even(T) -> Even(T+2).'
+//	curl -X POST localhost:8344/v1/db/even/ask -d '{"query":"?- Even(4)."}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fdbd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	preload := fs.String("preload", "", "directory of *.fdb / *.json artifacts to load at startup")
+	cacheSize := fs.Int("cache", server.DefaultCacheSize, "answer-cache capacity (entries); negative disables")
+	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request deadline; negative disables")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body (bytes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody}
+	return serve(ctx, ln, cfg, *preload, out)
+}
+
+// serve runs the daemon on ln until ctx is cancelled, then drains in-flight
+// requests. The listener is always closed on return.
+func serve(ctx context.Context, ln net.Listener, cfg server.Config, preloadDir string, out io.Writer) error {
+	reg := registry.New(core.Options{})
+	if preloadDir != "" {
+		n, err := reg.LoadDir(preloadDir)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("preload %s: %w", preloadDir, err)
+		}
+		fmt.Fprintf(out, "fdbd: preloaded %d database(s) from %s\n", n, preloadDir)
+	}
+	srv := &http.Server{
+		Handler:           server.New(reg, cfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(out, "fdbd: listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "fdbd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

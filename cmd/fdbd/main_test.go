@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"funcdb/internal/server"
+)
+
+// startDaemon runs serve on an ephemeral port and returns its base URL and
+// a shutdown function that waits for a clean exit.
+func startDaemon(t *testing.T, cfg server.Config, preloadDir string) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ctx, ln, cfg, preloadDir, &out) }()
+	base := "http://" + ln.Addr().String()
+	// Wait for the listener to answer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return base, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("daemon did not shut down")
+		}
+	}
+}
+
+func TestServePreloadAskAndGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "even.fdb"),
+		[]byte("Even(0).\nEven(T) -> Even(T+2).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := startDaemon(t, server.Config{}, dir)
+	resp, err := http.Post(base+"/v1/db/even/ask", "application/json",
+		strings.NewReader(`{"query":"?- Even(6)."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r struct {
+		Answer bool `json:"answer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !r.Answer {
+		t.Fatalf("ask = %d answer %v", resp.StatusCode, r.Answer)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port is released after shutdown.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still answering after shutdown")
+	}
+}
+
+func TestServePreloadFailure(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.fdb"), []byte("Even("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = serve(context.Background(), ln, server.Config{}, dir, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "preload") {
+		t.Fatalf("serve with broken preload = %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"stray"}, io.Discard); err == nil {
+		t.Error("stray argument accepted")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -1,34 +1,44 @@
 // Command fdbq answers membership queries from an exported specification
 // document — no program, no rules, no fixpoint engine. It is the consumer
-// side of fdbc -export.
+// side of fdbc -export, and doubles as a thin client for a running fdbd
+// daemon.
 //
 // Usage:
 //
 //	fdbq -spec spec.json [flags] [QUERY ...]
+//	fdbq -remote http://host:port -db NAME [flags] [QUERY ...]
 //
-// Each QUERY is one function-free-plus-term atom:
+// In local mode each QUERY is one function-free-plus-term atom:
 //
 //	Pred(TERM)            e.g. Even(4)
 //	Pred(TERM, arg, ...)  e.g. Member(ext'a.ext'b, a)
 //
 // TERM is either a decimal number (a succ-chain over 0), the constant 0, or
-// the term's function symbols innermost-first separated by dots. Flags:
+// the term's function symbols innermost-first separated by dots. In remote
+// mode each QUERY is sent verbatim to POST /v1/db/NAME/ask: a daemon entry
+// loaded from a program expects surface syntax ("?- Even(4)."), one loaded
+// from a spec document expects the local syntax above. Flags:
 //
-//	-spec FILE   the document written by fdbc -export (required)
-//	-cc          answer through congruence closure instead of the DFA walk
-//	-info        print the document's predicates, alphabet and sizes
-//	-dot         print the successor automaton as Graphviz DOT
+//	-spec FILE     the document written by fdbc -export
+//	-remote URL    base URL of a running fdbd daemon (instead of -spec)
+//	-db NAME       with -remote: the database name on the daemon
+//	-cc            answer through congruence closure instead of the DFA walk
+//	-info          print the document's (or daemon's) description
+//	-dot           print the successor automaton as Graphviz DOT
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
-	"strconv"
 	"strings"
+	"time"
 
 	"funcdb/internal/specio"
-	"funcdb/internal/term"
 )
 
 func main() {
@@ -38,17 +48,25 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fdbq", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "specification document (JSON)")
+	remote := fs.String("remote", "", "base URL of a running fdbd daemon")
+	dbName := fs.String("db", "", "with -remote: database name on the daemon")
 	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
-	info := fs.Bool("info", false, "describe the document")
+	info := fs.Bool("info", false, "describe the document or daemon database")
 	dot := fs.Bool("dot", false, "print the automaton as Graphviz DOT")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *remote != "" {
+		if *specPath != "" {
+			return fmt.Errorf("-spec and -remote are mutually exclusive")
+		}
+		return runRemote(*remote, *dbName, *useCC, *info, fs.Args(), out)
+	}
 	if *specPath == "" {
-		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]")
+		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]\n       fdbq -remote http://host:port -db NAME [QUERY ...]")
 	}
 	f, err := os.Open(*specPath)
 	if err != nil {
@@ -86,7 +104,7 @@ func run(args []string, out *os.File) error {
 	}
 
 	for _, q := range fs.Args() {
-		pred, tm, dataArgs, err := parseQuery(st, q)
+		pred, tm, dataArgs, err := st.ParseGroundQuery(q)
 		if err != nil {
 			return fmt.Errorf("%s: %w", q, err)
 		}
@@ -104,44 +122,77 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// parseQuery parses Pred(TERM[, args...]).
-func parseQuery(st *specio.Standalone, q string) (pred string, tm term.Term, args []string, err error) {
-	q = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(q), "."))
-	open := strings.IndexByte(q, '(')
-	if open <= 0 || !strings.HasSuffix(q, ")") {
-		return "", 0, nil, fmt.Errorf("want Pred(TERM, args...)")
+// runRemote answers the queries through a running fdbd daemon.
+func runRemote(base, db string, useCC, info bool, queries []string, out io.Writer) error {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	if info {
+		path := base + "/v1/dbs"
+		if db != "" {
+			path = base + "/v1/db/" + db
+		}
+		body, err := get(client, path)
+		if err != nil {
+			return err
+		}
+		out.Write(append(bytes.TrimRight(body, "\n"), '\n'))
 	}
-	pred = q[:open]
-	inner := q[open+1 : len(q)-1]
-	parts := strings.Split(inner, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
+	if len(queries) > 0 && db == "" {
+		return fmt.Errorf("-remote queries need -db NAME")
 	}
-	if len(parts) == 0 || parts[0] == "" {
-		return "", 0, nil, fmt.Errorf("missing term")
+	for _, q := range queries {
+		req := map[string]any{"query": q}
+		if useCC {
+			req["via"] = "cc"
+		}
+		payload, _ := json.Marshal(req)
+		resp, err := client.Post(base+"/v1/db/"+db+"/ask", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", q, remoteError(body, resp.StatusCode))
+		}
+		var r struct {
+			Answer bool `json:"answer"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return fmt.Errorf("%s: bad response: %w", q, err)
+		}
+		fmt.Fprintf(out, "%-40s %v\n", q, r.Answer)
 	}
-	tm, err = parseTerm(st, parts[0])
-	if err != nil {
-		return "", 0, nil, err
-	}
-	return pred, tm, parts[1:], nil
+	return nil
 }
 
-// parseTerm parses 0, a decimal number, or dot-separated symbol names
-// innermost-first.
-func parseTerm(st *specio.Standalone, s string) (term.Term, error) {
-	if s == "0" {
-		return term.Zero, nil
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
 	}
-	if n, err := strconv.Atoi(s); err == nil {
-		if n < 0 {
-			return 0, fmt.Errorf("negative term %d", n)
-		}
-		succ, ok := st.Tab().LookupFunc(term.SuccName, 0)
-		if !ok {
-			return 0, fmt.Errorf("the specification has no successor symbol; use dotted symbols")
-		}
-		return st.Universe().Number(n, succ), nil
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
 	}
-	return st.Term(strings.Split(s, ".")...)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, remoteError(body, resp.StatusCode))
+	}
+	return body, nil
+}
+
+// remoteError extracts the daemon's {"error": ...} message, falling back to
+// the HTTP status.
+func remoteError(body []byte, status int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return http.StatusText(status)
 }

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"funcdb"
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/server"
 )
 
 // exportSpec compiles a program and writes its specification to a file.
@@ -118,5 +122,69 @@ Even(T) -> Even(T+2).
 		if err := run(args, tmp); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
+	}
+}
+
+// startRemote serves a registry with one program database "even" over an
+// httptest server for remote-mode tests.
+func startRemote(t *testing.T) string {
+	t.Helper()
+	reg := registry.New(core.Options{})
+	if _, err := reg.PutProgram("even", []byte("Even(0).\nEven(T) -> Even(T+2).\n")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRemoteQueries(t *testing.T) {
+	url := startRemote(t)
+	out := capture(t, []string{"-remote", url, "-db", "even", "?- Even(4).", "?- Even(5)."})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[0], "true") || !strings.HasSuffix(lines[1], "false") {
+		t.Fatalf("remote answers:\n%s", out)
+	}
+	// The congruence-closure route agrees.
+	out = capture(t, []string{"-remote", url, "-db", "even", "-cc", "?- Even(4)."})
+	if !strings.HasSuffix(strings.TrimSpace(out), "true") {
+		t.Fatalf("remote -cc answer:\n%s", out)
+	}
+}
+
+func TestRemoteInfo(t *testing.T) {
+	url := startRemote(t)
+	out := capture(t, []string{"-remote", url, "-info"})
+	if !strings.Contains(out, `"even"`) {
+		t.Fatalf("-info list:\n%s", out)
+	}
+	out = capture(t, []string{"-remote", url, "-db", "even", "-info"})
+	if !strings.Contains(out, `"kind":"program"`) {
+		t.Fatalf("-info db:\n%s", out)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	url := startRemote(t)
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	// Unknown database surfaces the daemon's error message.
+	err = run([]string{"-remote", url, "-db", "nope", "?- Even(4)."}, tmp)
+	if err == nil || !strings.Contains(err.Error(), "no database named") {
+		t.Fatalf("unknown db error = %v", err)
+	}
+	// Queries without -db are rejected client-side.
+	if err := run([]string{"-remote", url, "?- Even(4)."}, tmp); err == nil {
+		t.Error("query without -db accepted")
+	}
+	// -spec and -remote are mutually exclusive.
+	if err := run([]string{"-remote", url, "-spec", "x.json"}, tmp); err == nil {
+		t.Error("-spec with -remote accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package funcdb_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -55,6 +56,59 @@ func TestConcurrentMembership(t *testing.T) {
 				}
 				if form.Has(meets, tm, []funcdb.ConstID{s0}) != want {
 					t.Errorf("goroutine %d: canonical disagrees at %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentAskAnswers exercises the stronger contract documented on
+// core.Database: Ask, Answers, Explain and Answers.Enumerate may run from
+// many goroutines with no external synchronization, including the very
+// first use (which builds the graph specification lazily). Run under -race.
+func TestConcurrentAskAnswers(t *testing.T) {
+	db, err := funcdb.Open(datagen.CalendarSrc(3), funcdb.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				n := (g + i) % 12
+				want := n%3 == 0
+				got, err := db.Ask(fmt.Sprintf("?- Meets(%d, s0).", n))
+				if err != nil {
+					t.Errorf("Ask: %v", err)
+					return
+				}
+				if got != want {
+					t.Errorf("Meets(%d, s0) = %v, want %v", n, got, want)
+					return
+				}
+				ans, err := db.Answers("?- Meets(T, s0).")
+				if err != nil {
+					t.Errorf("Answers: %v", err)
+					return
+				}
+				count := 0
+				if err := ans.Enumerate(6, func(funcdb.Term, []funcdb.ConstID) bool {
+					count++
+					return true
+				}); err != nil {
+					t.Errorf("Enumerate: %v", err)
+					return
+				}
+				if count == 0 {
+					t.Error("Enumerate yielded nothing")
+					return
+				}
+				if _, err := db.Explain(fmt.Sprintf("?- Meets(%d, s0).", n)); err != nil {
+					t.Errorf("Explain: %v", err)
 					return
 				}
 			}

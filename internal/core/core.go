@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"funcdb/internal/ast"
 	"funcdb/internal/canonical"
@@ -47,10 +48,29 @@ type Options struct {
 }
 
 // Database is a compiled functional deductive database.
+//
+// A Database is safe for concurrent readers: the lazily built
+// specifications (Graph, Equational, Temporal, Canonical) are constructed
+// exactly once under an internal mutex, and every query path that interns
+// new terms, tuples or symbols — Ask, Answers, Explain, Export, Stats,
+// Lint — serializes through the same mutex, so any number of goroutines
+// may query one Database at once. Answers values returned by Answers and
+// AnswersQuery share the guard and are likewise safe. The mutators Extend
+// and ExtendRules also take the mutex, but code that reads the exported
+// Source/Prep/Engine fields directly must not run concurrently with them;
+// Prover evaluators are single-goroutine (see Prover). A plain mutex is
+// used rather than sync.Once because Extend/ExtendRules invalidate and
+// rebuild the cached specifications.
 type Database struct {
 	Source *ast.Program
 	Prep   *rewrite.Prepared
 	Engine *engine.Engine
+
+	// mu guards the lazy specification fields and serializes every
+	// operation that may mutate the shared symbol table, term universe or
+	// fact world. Public methods lock it; unexported *Locked variants
+	// assume it is held.
+	mu sync.Mutex
 
 	opts     Options
 	graph    *specgraph.Spec
@@ -110,6 +130,12 @@ func (db *Database) Tab() *symbols.Table { return db.Source.Tab }
 
 // Graph builds (once) and returns the graph specification (B, T).
 func (db *Database) Graph() (*specgraph.Spec, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graphLocked()
+}
+
+func (db *Database) graphLocked() (*specgraph.Spec, error) {
 	if db.graph != nil {
 		return db.graph, nil
 	}
@@ -125,10 +151,12 @@ func (db *Database) Graph() (*specgraph.Spec, error) {
 // relation R with its congruence-closure solver. The primary database B is
 // shared with the graph specification.
 func (db *Database) Equational() (*congruence.EqSpec, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.eq != nil {
 		return db.eq, nil
 	}
-	sp, err := db.Graph()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -143,13 +171,15 @@ func (db *Database) Equational() (*congruence.EqSpec, error) {
 // Temporal builds (once) and returns the lasso specification. It errors on
 // non-temporal programs or when the temporal path is disabled.
 func (db *Database) Temporal() (*temporal.Spec, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.lasso != nil {
 		return db.lasso, nil
 	}
 	if db.opts.DisableTemporal {
 		return nil, fmt.Errorf("core: temporal fast path disabled")
 	}
-	sp, err := db.Graph()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -163,10 +193,16 @@ func (db *Database) Temporal() (*temporal.Spec, error) {
 
 // Canonical builds (once) and returns the canonical form (C, CONGR).
 func (db *Database) Canonical() (*canonical.Form, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.canonicalLocked()
+}
+
+func (db *Database) canonicalLocked() (*canonical.Form, error) {
 	if db.canon != nil {
 		return db.canon, nil
 	}
-	sp, err := db.Graph()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -176,22 +212,32 @@ func (db *Database) Canonical() (*canonical.Form, error) {
 
 // ParseQuery parses a query against this database's symbols.
 func (db *Database) ParseQuery(src string) (*ast.Query, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return parser.ParseQuery(db.Source, src)
 }
 
 // Ask answers a yes-no query: for a ground query, membership of each atom;
 // for an open query, non-emptiness of the answer set.
 func (db *Database) Ask(src string) (bool, error) {
-	q, err := db.ParseQuery(src)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	q, err := parser.ParseQuery(db.Source, src)
 	if err != nil {
 		return false, err
 	}
-	return db.AskQuery(q)
+	return db.askQueryLocked(q)
 }
 
 // AskQuery is Ask for a pre-parsed query.
 func (db *Database) AskQuery(q *ast.Query) (bool, error) {
-	sp, err := db.Graph()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.askQueryLocked(q)
+}
+
+func (db *Database) askQueryLocked(q *ast.Query) (bool, error) {
+	sp, err := db.graphLocked()
 	if err != nil {
 		return false, err
 	}
@@ -214,7 +260,7 @@ func (db *Database) AskQuery(q *ast.Query) (bool, error) {
 		}
 		return true, nil
 	}
-	ans, err := db.AnswersQuery(q)
+	ans, err := db.answersQueryLocked(q)
 	if err != nil {
 		return false, err
 	}
@@ -222,12 +268,26 @@ func (db *Database) AskQuery(q *ast.Query) (bool, error) {
 }
 
 func (db *Database) hasGroundAtom(sp *specgraph.Spec, a *ast.Atom) (bool, error) {
+	t, args, err := db.groundAtomParts(a)
+	if err != nil {
+		return false, err
+	}
+	if t == term.None {
+		return sp.HasData(a.Pred, args), nil
+	}
+	return sp.Has(a.Pred, t, args)
+}
+
+// groundAtomParts interns a ground atom's functional term (term.None for a
+// non-functional atom) and data arguments, eliminating mixed symbols on
+// the fly. Callers must hold db.mu.
+func (db *Database) groundAtomParts(a *ast.Atom) (term.Term, []symbols.ConstID, error) {
 	args := make([]symbols.ConstID, len(a.Args))
 	for i, d := range a.Args {
 		args[i] = d.Const
 	}
 	if a.FT == nil {
-		return sp.HasData(a.Pred, args), nil
+		return term.None, args, nil
 	}
 	// Mixed ground terms may appear in queries against programs that had
 	// mixed symbols; eliminate on the fly by renaming applications.
@@ -236,15 +296,52 @@ func (db *Database) hasGroundAtom(sp *specgraph.Spec, a *ast.Atom) (bool, error)
 		p := &ast.Program{Tab: db.Source.Tab, Facts: []ast.Atom{{Pred: a.Pred, FT: ft, Args: a.Args}}}
 		pure, err := rewrite.EliminateMixed(p)
 		if err != nil {
-			return false, err
+			return term.None, nil, err
 		}
 		ft = pure.Facts[0].FT
 	}
 	t, ok := subst.GroundFTerm(db.universe, ft)
 	if !ok {
-		return false, fmt.Errorf("core: atom is not ground")
+		return term.None, nil, fmt.Errorf("core: atom is not ground")
 	}
-	return sp.Has(a.Pred, t, args)
+	return t, args, nil
+}
+
+// AskCC answers a ground query through the equational specification: each
+// functional atom's membership is decided by congruence closure against
+// the relation R of the canonical form (§3.5), never by the DFA walk.
+// Non-functional atoms are looked up in the global database as usual.
+func (db *Database) AskCC(src string) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	q, err := parser.ParseQuery(db.Source, src)
+	if err != nil {
+		return false, err
+	}
+	form, err := db.canonicalLocked()
+	if err != nil {
+		return false, err
+	}
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		if !a.IsGround() {
+			return false, fmt.Errorf("core: the congruence-closure path needs a ground query; %s has variables", a.Format(db.Tab()))
+		}
+		t, args, err := db.groundAtomParts(a)
+		if err != nil {
+			return false, err
+		}
+		var ok bool
+		if t == term.None {
+			ok = form.HasData(a.Pred, args)
+		} else {
+			ok = form.Has(a.Pred, t, args)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 func ftIsPure(ft *ast.FTerm) bool {
@@ -260,30 +357,54 @@ func ftIsPure(ft *ast.FTerm) bool {
 // using the incremental construction for uniform queries (Theorem 5.1) and
 // recomputation otherwise.
 func (db *Database) Answers(src string) (*query.Answers, error) {
-	q, err := db.ParseQuery(src)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	q, err := parser.ParseQuery(db.Source, src)
 	if err != nil {
 		return nil, err
 	}
-	return db.AnswersQuery(q)
+	return db.answersQueryLocked(q)
 }
 
 // AnswersQuery is Answers for a pre-parsed query.
 func (db *Database) AnswersQuery(q *ast.Query) (*query.Answers, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.answersQueryLocked(q)
+}
+
+func (db *Database) answersQueryLocked(q *ast.Query) (*query.Answers, error) {
+	var ans *query.Answers
+	var err error
 	if query.IsUniform(q) {
-		sp, err := db.Graph()
+		var sp *specgraph.Spec
+		sp, err = db.graphLocked()
 		if err != nil {
 			return nil, err
 		}
-		return query.Incremental(sp, q)
+		ans, err = query.Incremental(sp, q)
+	} else {
+		ans, err = query.Recompute(db.Source, q, db.opts.Engine, db.opts.Spec)
 	}
-	return query.Recompute(db.Source, q, db.opts.Engine, db.opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Contains/Enumerate/Dump intern terms and tuples; share this
+	// database's guard so the Answers value is concurrency-safe too.
+	ans.Guard(&db.mu)
+	return ans, nil
 }
 
 // Prover builds a goal-directed (tabled top-down) evaluator over this
 // database's program, sharing its term universe. Use it when only a few
 // ground goals are needed and building the full specification would be
-// wasteful; see package topdown for the completeness contract.
+// wasteful; see package topdown for the completeness contract. The
+// returned evaluator mutates the shared universe on every proof and is
+// NOT safe for concurrent use — drive it from a single goroutine, with no
+// concurrent queries on the Database.
 func (db *Database) Prover(opts topdown.Options) (*topdown.Evaluator, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return topdown.New(db.Prep, db.universe, db.world, opts)
 }
 
@@ -302,7 +423,9 @@ type Stats struct {
 
 // Stats returns size and work measures; it forces the graph specification.
 func (db *Database) Stats() (Stats, error) {
-	sp, err := db.Graph()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return Stats{}, err
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"funcdb/internal/ast"
 	"funcdb/internal/explain"
+	"funcdb/internal/parser"
 	"funcdb/internal/rewrite"
 	"funcdb/internal/subst"
 	"funcdb/internal/symbols"
@@ -12,12 +14,39 @@ import (
 
 // Explain answers a ground query and justifies each atom's verdict with the
 // Link-rule trace of package explain.
+//
+// The returned Explanations hold references into this database's interning
+// structures, so rendering them (String) is NOT safe concurrently with other
+// queries on the same database; use ExplainText for a concurrency-safe
+// rendered trace.
 func (db *Database) Explain(src string) ([]*explain.Explanation, error) {
-	q, err := db.ParseQuery(src)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.explainLocked(src)
+}
+
+// ExplainText is Explain with the traces rendered to text under the
+// database lock, making it safe for concurrent use.
+func (db *Database) ExplainText(src string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	exs, err := db.explainLocked(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, ex := range exs {
+		b.WriteString(ex.String())
+	}
+	return b.String(), nil
+}
+
+func (db *Database) explainLocked(src string) ([]*explain.Explanation, error) {
+	q, err := parser.ParseQuery(db.Source, src)
 	if err != nil {
 		return nil, err
 	}
-	sp, err := db.Graph()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}

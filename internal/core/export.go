@@ -11,16 +11,18 @@ import (
 // the equations R and the global facts) as a self-contained JSON document.
 // The document can later be answered without the rules via specio.Load.
 func (db *Database) Export(w io.Writer) error {
-	sp, err := db.Graph()
+	doc, err := db.Document()
 	if err != nil {
 		return err
 	}
-	return specio.FromSpec(sp).Write(w)
+	return doc.Write(w)
 }
 
 // Document returns the serializable form of the specification.
 func (db *Database) Document() (*specio.Document, error) {
-	sp, err := db.Graph()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -30,7 +32,9 @@ func (db *Database) Document() (*specio.Document, error) {
 // Minimized builds the observable-equivalence quotient of the graph
 // specification (package minimize).
 func (db *Database) Minimized() (*minimize.Minimized, error) {
-	sp, err := db.Graph()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,8 @@ import (
 // both transparently; either way the graph/equational/temporal/canonical
 // views are rebuilt lazily on next access.
 func (db *Database) Extend(factsSrc string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	res, err := parser.Parse(factsSrc)
 	if err != nil {
 		return err
@@ -97,6 +99,8 @@ func (db *Database) Extend(factsSrc string) error {
 // Unlike fact insertion, new rules change the program itself, so there is
 // no monotone fast path; every compiled view is rebuilt.
 func (db *Database) ExtendRules(rulesSrc string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	merged := db.Source.Format() + "\n" + rulesSrc
 	res, err := parser.Parse(merged)
 	if err != nil {

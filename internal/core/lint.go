@@ -24,7 +24,9 @@ func (f LintFinding) String() string { return f.Kind + ": " + f.Detail }
 // an unsatisfiable condition is found even if it looks plausible. Dead
 // rules are reported in their normalized form (the form the engine runs).
 func (db *Database) Lint() ([]LintFinding, error) {
-	sp, err := db.Graph()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, err := db.graphLocked()
 	if err != nil {
 		return nil, err
 	}

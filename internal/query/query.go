@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"funcdb/internal/ast"
 	"funcdb/internal/engine"
@@ -90,6 +91,28 @@ type Answers struct {
 	// functional variable everything is keyed under term.None.
 	perRep map[term.Term][]facts.TupleID
 	seen   map[repTuple]bool
+	// mu, when set via Guard, is held by the methods that intern into the
+	// shared universe or world (Contains, Enumerate, Dump).
+	mu *sync.Mutex
+}
+
+// Guard installs mu as the lock protecting the specification's shared
+// universe and world. core.Database passes its own mutex so that Answers
+// values are safe for concurrent use alongside other queries on the same
+// database; Answers built directly by Incremental/Recompute have no guard
+// and are single-goroutine.
+func (a *Answers) Guard(mu *sync.Mutex) { a.mu = mu }
+
+func (a *Answers) lock() {
+	if a.mu != nil {
+		a.mu.Lock()
+	}
+}
+
+func (a *Answers) unlock() {
+	if a.mu != nil {
+		a.mu.Unlock()
+	}
 }
 
 type repTuple struct {
@@ -327,6 +350,8 @@ func (a *Answers) HasFunctionalAnswers() bool { return a.FnVar != symbols.NoVar 
 // the order of the non-functional free variables — belongs to the answer.
 // For answers without a functional component pass term.None.
 func (a *Answers) Contains(ft term.Term, dataArgs []symbols.ConstID) (bool, error) {
+	a.lock()
+	defer a.unlock()
 	tu := a.Spec.W.Tuple(dataArgs)
 	key := term.None
 	if a.HasFunctionalAnswers() {
@@ -351,6 +376,8 @@ func (a *Answers) TuplesAt(rep term.Term) []facts.TupleID { return a.perRep[rep]
 // purely non-functional answers it yields each tuple once with term.None.
 // It stops early when yield returns false.
 func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []symbols.ConstID) bool) error {
+	a.lock()
+	defer a.unlock()
 	w := a.Spec.W
 	if !a.HasFunctionalAnswers() {
 		for _, tu := range a.perRep[term.None] {
@@ -391,6 +418,8 @@ func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []sy
 // Dump renders the answer specification: the QUERY extension per
 // representative (the incremental primary database Q(B)).
 func (a *Answers) Dump() string {
+	a.lock()
+	defer a.unlock()
 	tab := a.Spec.Eng.Prep.Program.Tab
 	var b strings.Builder
 	fmt.Fprintf(&b, "answer specification for %s\n", a.Query.Format(tab))

@@ -1,0 +1,329 @@
+// Package registry is a concurrent-safe, versioned catalog of named
+// compiled databases — the serving substrate behind the fdbd daemon.
+//
+// The paper's central promise is that a finite specification answers
+// queries about an infinite fixpoint "after the rules are forgotten"; the
+// compiled artifact is therefore exactly the unit a server loads, names and
+// hot-swaps. An Entry is either a full program (compiled by internal/core,
+// with its graph/equational/temporal specifications built lazily on first
+// query, race-free under the Database's internal lock) or a standalone
+// specification document (package specio), which answers membership with
+// the rules genuinely absent.
+//
+// The catalog itself is a copy-on-write snapshot behind an atomic pointer:
+// readers resolve names lock-free on every request, writers clone the map,
+// swap it atomically and bump the entry's version. A version never repeats
+// for a name within one registry, which lets response caches key on
+// (name, version) and survive hot reloads without invalidation scans.
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"funcdb/internal/core"
+	"funcdb/internal/specio"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Kind discriminates what an Entry was loaded from.
+type Kind string
+
+const (
+	// KindProgram marks an entry compiled from .fdb rule source.
+	KindProgram Kind = "program"
+	// KindSpec marks an entry loaded from a specio JSON document (no
+	// rules available: membership only).
+	KindSpec Kind = "spec"
+)
+
+// Entry is one immutable catalog slot: once published it is never modified,
+// only replaced wholesale by a reload. All query methods are safe for
+// concurrent use.
+type Entry struct {
+	// Name is the catalog key.
+	Name string
+	// Version counts loads of this name, starting at 1.
+	Version uint64
+	// Kind reports what the entry was loaded from.
+	Kind Kind
+	// SourceBytes is the size of the uploaded artifact.
+	SourceBytes int
+
+	db  *core.Database    // KindProgram
+	st  *specio.Standalone // KindSpec
+	doc *specio.Document   // KindSpec
+}
+
+// AnswerTuple is one ground answer: the rendered functional component
+// (empty for purely relational answers) and the data constants.
+type AnswerTuple struct {
+	Term string   `json:"term,omitempty"`
+	Args []string `json:"args,omitempty"`
+}
+
+// Database returns the compiled database of a program entry (nil for spec
+// entries).
+func (e *Entry) Database() *core.Database { return e.db }
+
+// Document returns the loaded document of a spec entry (nil for program
+// entries).
+func (e *Entry) Document() *specio.Document { return e.doc }
+
+// Ask answers a yes-no query. Program entries take surface syntax
+// ("?- Even(4)."); spec entries take the ground-query syntax of
+// specio.ParseGroundQuery ("Even(4)"), answered by the DFA walk, or by
+// congruence closure when viaCC is set.
+func (e *Entry) Ask(q string, viaCC bool) (bool, error) {
+	switch e.Kind {
+	case KindProgram:
+		if viaCC {
+			return e.db.AskCC(q)
+		}
+		return e.db.Ask(q)
+	case KindSpec:
+		pred, tm, args, err := e.st.ParseGroundQuery(q)
+		if err != nil {
+			return false, err
+		}
+		if viaCC {
+			return e.st.HasViaCongruence(pred, tm, args...), nil
+		}
+		return e.st.Has(pred, tm, args...)
+	}
+	return false, fmt.Errorf("registry: unknown entry kind %q", e.Kind)
+}
+
+// Answers evaluates an open query and enumerates ground answers to the
+// given term depth, stopping after limit tuples (limit <= 0 means no cap).
+// It reports whether enumeration was truncated by the limit. Spec entries
+// carry no rules and cannot evaluate open queries.
+func (e *Entry) Answers(q string, depth, limit int) (tuples []AnswerTuple, truncated bool, err error) {
+	if e.Kind != KindProgram {
+		return nil, false, fmt.Errorf("registry: %q is a standalone specification; open queries need a program entry", e.Name)
+	}
+	ans, err := e.db.Answers(q)
+	if err != nil {
+		return nil, false, err
+	}
+	u := e.db.Universe()
+	tab := e.db.Tab()
+	err = ans.Enumerate(depth, func(ft term.Term, args []symbols.ConstID) bool {
+		if limit > 0 && len(tuples) >= limit {
+			truncated = true
+			return false
+		}
+		tu := AnswerTuple{}
+		if ft != term.None {
+			tu.Term = u.CompactString(ft, tab)
+		}
+		for _, c := range args {
+			tu.Args = append(tu.Args, tab.ConstName(c))
+		}
+		tuples = append(tuples, tu)
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return tuples, truncated, nil
+}
+
+// Explain justifies a ground query's verdict with the Link-rule trace.
+func (e *Entry) Explain(q string) (string, error) {
+	if e.Kind != KindProgram {
+		return "", fmt.Errorf("registry: %q is a standalone specification; explain needs a program entry", e.Name)
+	}
+	return e.db.ExplainText(q)
+}
+
+// Stats returns the specification sizes of a program entry, forcing the
+// graph specification on first use.
+func (e *Entry) Stats() (core.Stats, error) {
+	if e.Kind != KindProgram {
+		return core.Stats{}, fmt.Errorf("registry: %q has no engine statistics", e.Name)
+	}
+	return e.db.Stats()
+}
+
+// snapshot is the immutable catalog state; Registry swaps whole snapshots.
+type snapshot struct {
+	entries map[string]*Entry
+}
+
+// Registry is the catalog. The zero value is not usable; call New.
+type Registry struct {
+	// mu serializes writers only; readers go through the atomic snapshot.
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+	// versions outlives entry removal so a name re-added after Remove
+	// still never repeats a version.
+	versions map[string]uint64
+	opts     core.Options
+}
+
+// New returns an empty registry; opts configure compilation of program
+// entries.
+func New(opts core.Options) *Registry {
+	r := &Registry{versions: make(map[string]uint64), opts: opts}
+	r.snap.Store(&snapshot{entries: map[string]*Entry{}})
+	return r
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidName reports whether name is an acceptable catalog key.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Get resolves a name lock-free against the current snapshot.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	e, ok := r.snap.Load().entries[name]
+	return e, ok
+}
+
+// Len returns the number of entries in the current snapshot.
+func (r *Registry) Len() int { return len(r.snap.Load().entries) }
+
+// List returns the current entries sorted by name.
+func (r *Registry) List() []*Entry {
+	snap := r.snap.Load()
+	out := make([]*Entry, 0, len(snap.entries))
+	for _, e := range snap.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PutProgram compiles .fdb source and publishes it under name, replacing
+// any existing entry atomically (in-flight queries keep using the old
+// entry; new requests see the new one).
+func (r *Registry) PutProgram(name string, src []byte) (*Entry, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("registry: invalid database name %q", name)
+	}
+	db, err := core.Open(string(src), r.opts)
+	if err != nil {
+		return nil, fmt.Errorf("registry: compile %q: %w", name, err)
+	}
+	e := &Entry{Name: name, Kind: KindProgram, SourceBytes: len(src), db: db}
+	r.publish(e)
+	return e, nil
+}
+
+// PutSpec parses a specio JSON document and publishes it under name.
+func (r *Registry) PutSpec(name string, raw []byte) (*Entry, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("registry: invalid database name %q", name)
+	}
+	doc, err := specio.Read(strings.NewReader(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
+	st, err := specio.Load(doc)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
+	e := &Entry{Name: name, Kind: KindSpec, SourceBytes: len(raw), st: st, doc: doc}
+	r.publish(e)
+	return e, nil
+}
+
+// Put sniffs the payload: a JSON object is a specification document,
+// anything else is program source.
+func (r *Registry) Put(name string, raw []byte) (*Entry, error) {
+	if looksLikeJSON(raw) {
+		return r.PutSpec(name, raw)
+	}
+	return r.PutProgram(name, raw)
+}
+
+func looksLikeJSON(raw []byte) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// publish installs e in a fresh copy-on-write snapshot under the writer
+// lock, assigning the next version for its name.
+func (r *Registry) publish(e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[e.Name]++
+	e.Version = r.versions[e.Name]
+	old := r.snap.Load()
+	next := &snapshot{entries: make(map[string]*Entry, len(old.entries)+1)}
+	for k, v := range old.entries {
+		next.entries[k] = v
+	}
+	next.entries[e.Name] = e
+	r.snap.Store(next)
+}
+
+// Remove deletes name from the catalog, reporting whether it was present.
+// The version counter is retained so a later re-add does not reuse
+// versions.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	if _, ok := old.entries[name]; !ok {
+		return false
+	}
+	next := &snapshot{entries: make(map[string]*Entry, len(old.entries))}
+	for k, v := range old.entries {
+		if k != name {
+			next.entries[k] = v
+		}
+	}
+	r.snap.Store(next)
+	return true
+}
+
+// LoadDir preloads every *.fdb (program) and *.json (spec document) file
+// in dir, named after the file without its extension. It stops at the
+// first failing file.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(names)
+	n := 0
+	for _, path := range names {
+		ext := filepath.Ext(path)
+		if ext != ".fdb" && ext != ".json" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return n, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ext)
+		if ext == ".fdb" {
+			_, err = r.PutProgram(name, raw)
+		} else {
+			_, err = r.PutSpec(name, raw)
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,254 @@
+package registry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"funcdb/internal/core"
+)
+
+const evenSrc = `
+Even(0).
+Even(T) -> Even(T+2).
+`
+
+const meetingsSrc = `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+func exportDoc(t *testing.T, src string) []byte {
+	t.Helper()
+	db, err := core.Open(src, core.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := db.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestPutProgramAndAsk(t *testing.T) {
+	r := New(core.Options{})
+	e, err := r.PutProgram("even", []byte(evenSrc))
+	if err != nil {
+		t.Fatalf("PutProgram: %v", err)
+	}
+	if e.Version != 1 || e.Kind != KindProgram {
+		t.Fatalf("entry = %+v", e)
+	}
+	for q, want := range map[string]bool{
+		"?- Even(4).": true,
+		"?- Even(5).": false,
+	} {
+		got, err := e.Ask(q, false)
+		if err != nil {
+			t.Fatalf("Ask(%s): %v", q, err)
+		}
+		if got != want {
+			t.Errorf("Ask(%s) = %v, want %v", q, got, want)
+		}
+		// The congruence-closure path must agree.
+		gotCC, err := e.Ask(q, true)
+		if err != nil {
+			t.Fatalf("Ask cc(%s): %v", q, err)
+		}
+		if gotCC != want {
+			t.Errorf("Ask cc(%s) = %v, want %v", q, gotCC, want)
+		}
+	}
+}
+
+func TestPutSpecAndAsk(t *testing.T) {
+	r := New(core.Options{})
+	e, err := r.PutSpec("even", exportDoc(t, evenSrc))
+	if err != nil {
+		t.Fatalf("PutSpec: %v", err)
+	}
+	if e.Kind != KindSpec {
+		t.Fatalf("kind = %v", e.Kind)
+	}
+	got, err := e.Ask("Even(4)", false)
+	if err != nil || !got {
+		t.Fatalf("Ask(Even(4)) = %v, %v", got, err)
+	}
+	got, err = e.Ask("Even(5)", true)
+	if err != nil || got {
+		t.Fatalf("Ask cc(Even(5)) = %v, %v", got, err)
+	}
+	// Spec entries cannot evaluate open queries or explain.
+	if _, _, err := e.Answers("?- Even(T).", 4, 0); err == nil {
+		t.Error("Answers on a spec entry succeeded")
+	}
+	if _, err := e.Explain("?- Even(4)."); err == nil {
+		t.Error("Explain on a spec entry succeeded")
+	}
+}
+
+func TestPutSniffsKind(t *testing.T) {
+	r := New(core.Options{})
+	if e, err := r.Put("a", []byte(evenSrc)); err != nil || e.Kind != KindProgram {
+		t.Fatalf("Put program: %v, %v", e, err)
+	}
+	if e, err := r.Put("b", exportDoc(t, evenSrc)); err != nil || e.Kind != KindSpec {
+		t.Fatalf("Put spec: %v, %v", e, err)
+	}
+}
+
+func TestVersioningAcrossReloadAndRemove(t *testing.T) {
+	r := New(core.Options{})
+	e1, err := r.PutProgram("db", []byte(evenSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r.PutProgram("db", []byte(meetingsSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e2.Version != 2 {
+		t.Fatalf("versions = %d, %d", e1.Version, e2.Version)
+	}
+	// The old entry still answers after the swap (copy-on-write).
+	if got, err := e1.Ask("?- Even(4).", false); err != nil || !got {
+		t.Fatalf("old entry broken after reload: %v, %v", got, err)
+	}
+	if !r.Remove("db") {
+		t.Fatal("Remove returned false")
+	}
+	if r.Remove("db") {
+		t.Fatal("second Remove returned true")
+	}
+	e3, err := r.PutProgram("db", []byte(evenSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Version != 3 {
+		t.Fatalf("version after re-add = %d, want 3", e3.Version)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	r := New(core.Options{})
+	if _, err := r.PutProgram("bad name!", []byte(evenSrc)); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if _, err := r.PutProgram("x", []byte("Even(")); err == nil {
+		t.Error("unparsable program accepted")
+	}
+	if _, err := r.PutSpec("x", []byte(`{"format":"nope"}`)); err == nil {
+		t.Error("bad spec document accepted")
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Error("failed Put left an entry behind")
+	}
+}
+
+func TestLoadDirAndList(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "even.fdb"), []byte(evenSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "evenspec.json"), exportDoc(t, evenSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(core.Options{})
+	n, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if n != 2 || r.Len() != 2 {
+		t.Fatalf("loaded %d entries, registry has %d", n, r.Len())
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].Name != "even" || list[1].Name != "evenspec" {
+		t.Fatalf("List = %v", list)
+	}
+}
+
+func TestAnswersEnumeration(t *testing.T) {
+	r := New(core.Options{})
+	e, err := r.PutProgram("meet", []byte(meetingsSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, truncated, err := e.Answers("?- Meets(T, X).", 4, 0)
+	if err != nil {
+		t.Fatalf("Answers: %v", err)
+	}
+	if truncated || len(tuples) != 5 {
+		t.Fatalf("tuples = %v (truncated %v), want 5 days", tuples, truncated)
+	}
+	if tuples[0].Term != "0" || tuples[0].Args[0] != "tony" {
+		t.Fatalf("first tuple = %+v", tuples[0])
+	}
+	short, truncated, err := e.Answers("?- Meets(T, X).", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(short) != 2 {
+		t.Fatalf("limited tuples = %v (truncated %v)", short, truncated)
+	}
+	ex, err := e.Explain("?- Meets(2, tony).")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(ex, "true") {
+		t.Fatalf("explanation = %q", ex)
+	}
+}
+
+// TestConcurrentGetPut hammers the copy-on-write snapshot: readers resolve
+// and query entries while writers hot-reload the same name. Run under -race.
+func TestConcurrentGetPut(t *testing.T) {
+	r := New(core.Options{})
+	if _, err := r.PutProgram("db", []byte(evenSrc)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				e, ok := r.Get("db")
+				if !ok {
+					t.Error("entry vanished")
+					return
+				}
+				if _, err := e.Ask("?- Even(4).", false); err != nil {
+					t.Errorf("Ask: %v", err)
+					return
+				}
+				r.List()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := r.PutProgram("db", []byte(evenSrc)); err != nil {
+					t.Errorf("PutProgram: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e, _ := r.Get("db")
+	if e.Version != 21 {
+		t.Fatalf("final version = %d, want 21", e.Version)
+	}
+}

@@ -1,0 +1,428 @@
+// Package server exposes a registry of compiled specifications over a JSON
+// HTTP API — the daemon face of the paper's "rules may be forgotten" claim:
+// every request is answered by a finite relational specification, with a
+// bounded LRU in front keyed on (database version, canonical query) so hot
+// reloads self-invalidate without cache scans.
+//
+// Everything is stdlib: net/http with Go 1.22 method patterns, a
+// container/list LRU, atomic counters with expvar-style text exposition at
+// /metrics, http.TimeoutHandler for deadlines and http.MaxBytesReader for
+// upload limits.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"funcdb/internal/registry"
+)
+
+// Config tunes the server; zero values pick the documented defaults.
+type Config struct {
+	// CacheSize bounds the answer LRU (entries). Negative disables
+	// caching; zero means DefaultCacheSize.
+	CacheSize int
+	// Timeout bounds request handling end to end; zero means
+	// DefaultTimeout, negative disables the deadline.
+	Timeout time.Duration
+	// MaxBodyBytes bounds uploaded documents and query bodies; zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxDepth caps the depth accepted by /answers; zero means
+	// DefaultMaxDepth.
+	MaxDepth int
+	// MaxTuples caps enumeration when the request sends no limit (or a
+	// larger one); zero means DefaultMaxTuples.
+	MaxTuples int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCacheSize    = 1024
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxBodyBytes = 4 << 20
+	DefaultMaxDepth     = 64
+	DefaultMaxTuples    = 10_000
+)
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.Timeout == 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = DefaultMaxDepth
+	}
+	if c.MaxTuples == 0 {
+		c.MaxTuples = DefaultMaxTuples
+	}
+	return c
+}
+
+// Server serves a registry over HTTP. Create with New, mount Handler.
+type Server struct {
+	reg     *registry.Registry
+	cfg     Config
+	cache   *answerCache
+	met     *metrics
+	handler http.Handler
+
+	// slow, when set, runs at the start of ask handling; tests use it to
+	// force the request past the deadline deterministically.
+	slow func()
+}
+
+// New wires a server around reg.
+func New(reg *registry.Registry, cfg Config) *Server {
+	s := &Server{
+		reg: reg,
+		cfg: cfg.withDefaults(),
+		met: newMetrics("ask", "answers", "explain", "dbs", "db", "put", "delete", "healthz", "metrics"),
+	}
+	s.cache = newAnswerCache(s.cfg.CacheSize)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/dbs", s.instrument("dbs", s.handleList))
+	mux.HandleFunc("GET /v1/db/{name}", s.instrument("db", s.handleInfo))
+	mux.HandleFunc("PUT /v1/db/{name}", s.instrument("put", s.handlePut))
+	mux.HandleFunc("DELETE /v1/db/{name}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/db/{name}/ask", s.instrument("ask", s.handleAsk))
+	mux.HandleFunc("POST /v1/db/{name}/answers", s.instrument("answers", s.handleAnswers))
+	mux.HandleFunc("GET /v1/db/{name}/explain", s.instrument("explain", s.handleExplain))
+
+	var h http.Handler = mux
+	if s.cfg.Timeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.Timeout, `{"error":"request timed out"}`)
+	}
+	s.handler = h
+	return s
+}
+
+// Handler returns the fully wired root handler (timeout middleware
+// included); mount it on an http.Server or httptest.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// apiError carries an HTTP status alongside the message sent to the client.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument adapts a handler returning an error into an http.HandlerFunc,
+// recording request counts, error counts and latency for the endpoint and
+// rendering errors as {"error": ...} JSON.
+func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	em := s.met.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		err := h(w, r)
+		em.observe(time.Since(start), err != nil)
+		if err == nil {
+			return
+		}
+		status := http.StatusInternalServerError
+		var ae *apiError
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.As(err, &mbe):
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("body exceeds %d bytes", mbe.Limit)
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// decodeBody reads at most MaxBodyBytes of JSON into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return errf(http.StatusBadRequest, "invalid request body: %v", err)
+	}
+	return nil
+}
+
+// entry resolves the {name} path value against the registry.
+func (s *Server) entry(r *http.Request) (*registry.Entry, error) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "no database named %q", name)
+	}
+	return e, nil
+}
+
+// normalizeQuery collapses whitespace so trivially different spellings of
+// one query share a cache slot.
+func normalizeQuery(q string) string { return strings.Join(strings.Fields(q), " ") }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "databases": s.reg.Len()})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.render(w, map[string]int64{
+		"databases":     int64(s.reg.Len()),
+		"cache_entries": int64(s.cache.len()),
+	})
+	return nil
+}
+
+// dbInfo is the wire form of one catalog entry.
+type dbInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Version     uint64 `json:"version"`
+	SourceBytes int    `json:"source_bytes"`
+}
+
+func entryInfo(e *registry.Entry) dbInfo {
+	return dbInfo{Name: e.Name, Kind: string(e.Kind), Version: e.Version, SourceBytes: e.SourceBytes}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) error {
+	list := s.reg.List()
+	infos := make([]dbInfo, 0, len(list))
+	for _, e := range list {
+		infos = append(infos, entryInfo(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"databases": infos})
+	return nil
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	resp := map[string]any{
+		"name":         e.Name,
+		"kind":         string(e.Kind),
+		"version":      e.Version,
+		"source_bytes": e.SourceBytes,
+	}
+	switch e.Kind {
+	case registry.KindProgram:
+		st, err := e.Stats()
+		if err != nil {
+			return err
+		}
+		resp["stats"] = map[string]any{
+			"temporal":        st.Temporal,
+			"representatives": st.Reps,
+			"edges":           st.Edges,
+			"tuples":          st.Tuples,
+			"equations":       st.Equations,
+			"seed_depth":      st.SeedDepth,
+		}
+	case registry.KindSpec:
+		doc := e.Document()
+		resp["stats"] = map[string]any{
+			"temporal":        doc.Temporal,
+			"representatives": len(doc.Reps),
+			"edges":           len(doc.Edges),
+			"equations":       len(doc.Equations),
+			"seed_depth":      doc.SeedDepth,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if !registry.ValidName(name) {
+		return errf(http.StatusBadRequest, "invalid database name %q", name)
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return errf(http.StatusBadRequest, "empty body")
+	}
+	_, existed := s.reg.Get(name)
+	e, err := s.reg.Put(name, raw)
+	if err != nil {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, entryInfo(e))
+	return nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		return errf(http.StatusNotFound, "no database named %q", name)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+type askRequest struct {
+	Query string `json:"query"`
+	Via   string `json:"via,omitempty"` // "" (DFA walk) or "cc"
+}
+
+type askResponse struct {
+	Answer  bool   `json:"answer"`
+	Version uint64 `json:"version"`
+	Cached  bool   `json:"cached"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
+	if s.slow != nil {
+		s.slow()
+	}
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	var req askRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return errf(http.StatusBadRequest, "missing query")
+	}
+	if req.Via != "" && req.Via != "cc" {
+		return errf(http.StatusBadRequest, "unknown via %q (want \"\" or \"cc\")", req.Via)
+	}
+	em := s.met.endpoint("ask")
+	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(req.Query), via: req.Via}
+	if v, ok := s.cache.get(key); ok {
+		em.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, askResponse{Answer: v.(bool), Version: e.Version, Cached: true})
+		return nil
+	}
+	em.cacheMisses.Add(1)
+	ans, err := e.Ask(req.Query, req.Via == "cc")
+	if err != nil {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	s.cache.put(key, ans)
+	writeJSON(w, http.StatusOK, askResponse{Answer: ans, Version: e.Version, Cached: false})
+	return nil
+}
+
+type answersRequest struct {
+	Query string `json:"query"`
+	Depth int    `json:"depth,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+type answersResponse struct {
+	Tuples    []registry.AnswerTuple `json:"tuples"`
+	Count     int                    `json:"count"`
+	Truncated bool                   `json:"truncated"`
+	Version   uint64                 `json:"version"`
+	Cached    bool                   `json:"cached"`
+}
+
+// answersResult is the cached portion of an answers response.
+type answersResult struct {
+	tuples    []registry.AnswerTuple
+	truncated bool
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	var req answersRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return errf(http.StatusBadRequest, "missing query")
+	}
+	if req.Depth < 0 || req.Depth > s.cfg.MaxDepth {
+		return errf(http.StatusBadRequest, "depth %d out of range [0, %d]", req.Depth, s.cfg.MaxDepth)
+	}
+	if req.Limit < 0 {
+		return errf(http.StatusBadRequest, "negative limit")
+	}
+	limit := req.Limit
+	if limit == 0 || limit > s.cfg.MaxTuples {
+		limit = s.cfg.MaxTuples
+	}
+	em := s.met.endpoint("answers")
+	key := cacheKey{db: e.Name, version: e.Version, endpoint: "answers",
+		query: normalizeQuery(req.Query), depth: req.Depth, limit: limit}
+	if v, ok := s.cache.get(key); ok {
+		em.cacheHits.Add(1)
+		res := v.(answersResult)
+		writeJSON(w, http.StatusOK, answersResponse{Tuples: res.tuples, Count: len(res.tuples),
+			Truncated: res.truncated, Version: e.Version, Cached: true})
+		return nil
+	}
+	em.cacheMisses.Add(1)
+	tuples, truncated, err := e.Answers(req.Query, req.Depth, limit)
+	if err != nil {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	if tuples == nil {
+		tuples = []registry.AnswerTuple{}
+	}
+	s.cache.put(key, answersResult{tuples: tuples, truncated: truncated})
+	writeJSON(w, http.StatusOK, answersResponse{Tuples: tuples, Count: len(tuples),
+		Truncated: truncated, Version: e.Version, Cached: false})
+	return nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		return errf(http.StatusBadRequest, "missing q parameter")
+	}
+	ex, err := e.Explain(q)
+	if err != nil {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"explanation": ex, "version": e.Version})
+	return nil
+}

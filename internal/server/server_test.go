@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+)
+
+const evenSrc = `
+Even(0).
+Even(T) -> Even(T+2).
+`
+
+const meetingsSrc = `
+Meets(0, tony).
+Next(tony, jan).
+Next(jan, tony).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+func exportDoc(t testing.TB, src string) []byte {
+	t.Helper()
+	db, err := core.Open(src, core.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := db.Export(&buf); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// newTestServer spins up an httptest server over a registry preloaded with
+// a program entry "even" and a spec entry "evenspec".
+func newTestServer(t testing.TB, cfg Config) (*Server, *registry.Registry, *httptest.Server) {
+	t.Helper()
+	reg := registry.New(core.Options{})
+	if _, err := reg.PutProgram("even", []byte(evenSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PutSpec("evenspec", exportDoc(t, evenSrc)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, reg, ts
+}
+
+func doJSON(t testing.TB, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		switch b := body.(type) {
+		case string:
+			rd = strings.NewReader(b)
+		case []byte:
+			rd = bytes.NewReader(b)
+		default:
+			raw, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(raw)
+		}
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if len(raw) > 0 && json.Valid(raw) {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	code, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if code != http.StatusOK || body["status"] != "ok" || body["databases"].(float64) != 2 {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+}
+
+func TestAskProgramAndSpec(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		db, query, via string
+		want           bool
+	}{
+		{"even", "?- Even(4).", "", true},
+		{"even", "?- Even(5).", "", false},
+		{"even", "?- Even(4).", "cc", true},
+		{"evenspec", "Even(4)", "", true},
+		{"evenspec", "Even(5)", "cc", false},
+	} {
+		code, body := doJSON(t, "POST", ts.URL+"/v1/db/"+tc.db+"/ask",
+			map[string]any{"query": tc.query, "via": tc.via})
+		if code != http.StatusOK {
+			t.Fatalf("ask %s %q: %d %v", tc.db, tc.query, code, body)
+		}
+		if body["answer"].(bool) != tc.want {
+			t.Errorf("ask %s %q via %q = %v, want %v", tc.db, tc.query, tc.via, body["answer"], tc.want)
+		}
+	}
+}
+
+func TestAskCacheHitAndReloadInvalidation(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	ask := func() (bool, bool) {
+		code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+		if code != http.StatusOK {
+			t.Fatalf("ask: %d %v", code, body)
+		}
+		return body["answer"].(bool), body["cached"].(bool)
+	}
+	if ans, cached := ask(); !ans || cached {
+		t.Fatalf("first ask = %v cached %v", ans, cached)
+	}
+	if ans, cached := ask(); !ans || !cached {
+		t.Fatalf("second ask = %v cached %v, want cache hit", ans, cached)
+	}
+	// Whitespace differences share the cache slot.
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": " ?-   Even(4).  "})
+	if code != http.StatusOK || body["cached"] != true {
+		t.Fatalf("normalized ask = %d %v, want cache hit", code, body)
+	}
+	// Hot reload bumps the version, so the old slot no longer matches.
+	if code, body := doJSON(t, "PUT", ts.URL+"/v1/db/even", evenSrc); code != http.StatusOK {
+		t.Fatalf("reload: %d %v", code, body)
+	}
+	if ans, cached := ask(); !ans || cached {
+		t.Fatalf("post-reload ask = %v cached %v, want miss", ans, cached)
+	}
+}
+
+func TestAnswersEndpoint(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{})
+	if _, err := reg.PutProgram("meet", []byte(meetingsSrc)); err != nil {
+		t.Fatal(err)
+	}
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/meet/answers",
+		map[string]any{"query": "?- Meets(T, X).", "depth": 4})
+	if code != http.StatusOK {
+		t.Fatalf("answers: %d %v", code, body)
+	}
+	if body["count"].(float64) != 5 || body["truncated"].(bool) {
+		t.Fatalf("answers = %v", body)
+	}
+	first := body["tuples"].([]any)[0].(map[string]any)
+	if first["term"] != "0" || first["args"].([]any)[0] != "tony" {
+		t.Fatalf("first tuple = %v", first)
+	}
+	// Limit truncates and reports it.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/meet/answers",
+		map[string]any{"query": "?- Meets(T, X).", "depth": 4, "limit": 2})
+	if code != http.StatusOK || body["count"].(float64) != 2 || !body["truncated"].(bool) {
+		t.Fatalf("limited answers = %d %v", code, body)
+	}
+	// Second identical request hits the cache.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/meet/answers",
+		map[string]any{"query": "?- Meets(T, X).", "depth": 4, "limit": 2})
+	if code != http.StatusOK || !body["cached"].(bool) {
+		t.Fatalf("repeat answers = %d %v, want cache hit", code, body)
+	}
+	// Spec entries cannot answer open queries.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/evenspec/answers",
+		map[string]any{"query": "?- Even(T).", "depth": 4})
+	if code != http.StatusBadRequest {
+		t.Fatalf("answers on spec = %d %v", code, body)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	code, body := doJSON(t, "GET", ts.URL+"/v1/db/even/explain?q="+
+		"%3F-%20Even(4).", nil)
+	if code != http.StatusOK {
+		t.Fatalf("explain: %d %v", code, body)
+	}
+	if !strings.Contains(body["explanation"].(string), "true") {
+		t.Fatalf("explanation = %v", body["explanation"])
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/db/even/explain", nil); code != http.StatusBadRequest {
+		t.Fatalf("explain without q = %d", code)
+	}
+}
+
+func TestListInfoPutDelete(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	code, body := doJSON(t, "GET", ts.URL+"/v1/dbs", nil)
+	if code != http.StatusOK || len(body["databases"].([]any)) != 2 {
+		t.Fatalf("list = %d %v", code, body)
+	}
+	code, body = doJSON(t, "GET", ts.URL+"/v1/db/even", nil)
+	if code != http.StatusOK || body["kind"] != "program" {
+		t.Fatalf("info = %d %v", code, body)
+	}
+	stats := body["stats"].(map[string]any)
+	if stats["representatives"].(float64) < 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	code, body = doJSON(t, "GET", ts.URL+"/v1/db/evenspec", nil)
+	if code != http.StatusOK || body["kind"] != "spec" {
+		t.Fatalf("spec info = %d %v", code, body)
+	}
+	// Fresh PUT creates (201), reload returns 200.
+	code, body = doJSON(t, "PUT", ts.URL+"/v1/db/fresh", evenSrc)
+	if code != http.StatusCreated || body["version"].(float64) != 1 {
+		t.Fatalf("create = %d %v", code, body)
+	}
+	code, body = doJSON(t, "PUT", ts.URL+"/v1/db/fresh", evenSrc)
+	if code != http.StatusOK || body["version"].(float64) != 2 {
+		t.Fatalf("reload = %d %v", code, body)
+	}
+	// PUT sniffs JSON documents as specs.
+	code, body = doJSON(t, "PUT", ts.URL+"/v1/db/freshspec", exportDoc(t, evenSrc))
+	if code != http.StatusCreated || body["kind"] != "spec" {
+		t.Fatalf("spec create = %d %v", code, body)
+	}
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/v1/db/fresh", nil); code != http.StatusNoContent {
+		t.Fatalf("delete = %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/db/fresh", nil); code != http.StatusNotFound {
+		t.Fatalf("info after delete = %d", code)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	cases := []struct {
+		name, method, path string
+		body               any
+		want               int
+	}{
+		{"ask unknown db", "POST", "/v1/db/nope/ask", map[string]any{"query": "?- Even(0)."}, 404},
+		{"delete unknown db", "DELETE", "/v1/db/nope", nil, 404},
+		{"info unknown db", "GET", "/v1/db/nope", nil, 404},
+		{"explain unknown db", "GET", "/v1/db/nope/explain?q=x", nil, 404},
+		{"ask bad json", "POST", "/v1/db/even/ask", `{"query":`, 400},
+		{"ask empty query", "POST", "/v1/db/even/ask", map[string]any{"query": "  "}, 400},
+		{"ask bad via", "POST", "/v1/db/even/ask", map[string]any{"query": "?- Even(0).", "via": "magic"}, 400},
+		{"ask unparsable query", "POST", "/v1/db/even/ask", map[string]any{"query": "?- Even("}, 400},
+		{"ask unknown field", "POST", "/v1/db/even/ask", `{"query":"?- Even(0).","bogus":1}`, 400},
+		{"answers negative depth", "POST", "/v1/db/even/answers", map[string]any{"query": "?- Even(T).", "depth": -1}, 400},
+		{"answers huge depth", "POST", "/v1/db/even/answers", map[string]any{"query": "?- Even(T).", "depth": 10000}, 400},
+		{"answers negative limit", "POST", "/v1/db/even/answers", map[string]any{"query": "?- Even(T).", "limit": -2}, 400},
+		{"put invalid name", "PUT", "/v1/db/bad%20name!", evenSrc, 400},
+		{"put empty body", "PUT", "/v1/db/empty", "", 400},
+		{"put unparsable program", "PUT", "/v1/db/broken", "Even(", 400},
+		{"put oversized body", "PUT", "/v1/db/big", strings.Repeat("x", 1024), 413},
+		{"ask oversized body", "POST", "/v1/db/even/ask", `{"query":"` + strings.Repeat("x", 1024) + `"}`, 413},
+		{"wrong method", "GET", "/v1/db/even/ask", nil, 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+			if code != tc.want {
+				t.Fatalf("%s %s = %d %v, want %d", tc.method, tc.path, code, body, tc.want)
+			}
+			if tc.want != 405 && body["error"] == "" {
+				t.Fatalf("missing error message: %v", body)
+			}
+		})
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{Timeout: 30 * time.Millisecond})
+	srv.slow = func() { time.Sleep(300 * time.Millisecond) }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("slow ask = %d %v, want 503", code, body)
+	}
+	if body["error"] != "request timed out" {
+		t.Fatalf("timeout body = %v", body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+	doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+	doJSON(t, "POST", ts.URL+"/v1/db/nope/ask", map[string]any{"query": "?- Even(4)."})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		`funcdbd_requests_total{endpoint="ask"} 3`,
+		`funcdbd_errors_total{endpoint="ask"} 1`,
+		`funcdbd_cache_hits_total{endpoint="ask"} 1`,
+		`funcdbd_cache_misses_total{endpoint="ask"} 1`,
+		`funcdbd_databases 2`,
+		`funcdbd_cache_entries 1`,
+		`funcdbd_request_duration_us_count{endpoint="ask"} 3`,
+		`funcdbd_request_duration_us_bucket{endpoint="ask",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentMixedLoad hammers the server with 32+ goroutines mixing
+// ask, answers, explain, list and hot reloads; run under -race.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{})
+	if _, err := reg.PutProgram("meet", []byte(meetingsSrc)); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		readers = 24
+		writers = 8
+		iters   = 15
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					n := (g + i) % 8
+					code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask",
+						map[string]any{"query": fmt.Sprintf("?- Even(%d).", n)})
+					if code != http.StatusOK {
+						t.Errorf("ask: %d %v", code, body)
+						return
+					}
+					if body["answer"].(bool) != (n%2 == 0) {
+						t.Errorf("ask Even(%d) = %v", n, body["answer"])
+						return
+					}
+				case 1:
+					code, body := doJSON(t, "POST", ts.URL+"/v1/db/meet/answers",
+						map[string]any{"query": "?- Meets(T, X).", "depth": 4})
+					if code != http.StatusOK {
+						t.Errorf("answers: %d %v", code, body)
+						return
+					}
+				case 2:
+					code, _ := doJSON(t, "GET", ts.URL+"/v1/db/even/explain?q=%3F-%20Even(2).", nil)
+					if code != http.StatusOK {
+						t.Errorf("explain: %d", code)
+						return
+					}
+				case 3:
+					if code, _ := doJSON(t, "GET", ts.URL+"/v1/dbs", nil); code != http.StatusOK {
+						t.Errorf("list: %d", code)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var code int
+				if g%2 == 0 {
+					code, _ = doJSON(t, "PUT", ts.URL+"/v1/db/even", evenSrc)
+				} else {
+					code, _ = doJSON(t, "PUT", ts.URL+"/v1/db/meet", meetingsSrc)
+				}
+				if code != http.StatusOK && code != http.StatusCreated {
+					t.Errorf("reload: %d", code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

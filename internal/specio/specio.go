@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"funcdb/internal/congruence"
 	"funcdb/internal/specgraph"
@@ -177,21 +179,142 @@ func (d *Document) Write(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// Read parses a document.
+// MaxDocumentBytes bounds the size of a document accepted by Read. It
+// exists so that a hostile or corrupted upload cannot exhaust memory; the
+// default is far above any specification this engine produces.
+var MaxDocumentBytes int64 = 64 << 20
+
+// Read parses and validates a document. Malformed or hostile documents —
+// oversized input, duplicate representatives or slices, out-of-range
+// successor targets, symbols outside the alphabet — are rejected with an
+// explicit error; a document returned by Read always loads.
 func Read(r io.Reader) (*Document, error) {
+	lr := &io.LimitedReader{R: r, N: MaxDocumentBytes + 1}
 	var d Document
-	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		return nil, err
+	if err := json.NewDecoder(lr).Decode(&d); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("specio: document exceeds %d bytes", MaxDocumentBytes)
+		}
+		return nil, fmt.Errorf("specio: %w", err)
 	}
-	if d.Format != "funcdb/spec/v1" {
-		return nil, fmt.Errorf("specio: unsupported format %q", d.Format)
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("specio: document exceeds %d bytes", MaxDocumentBytes)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
 	}
 	return &d, nil
 }
 
+// Validate checks the document's structural invariants: the format tag,
+// index ranges, alphabet closure, and the absence of duplicates that would
+// make the successor automaton ambiguous. Load calls it, so hand-built
+// documents get the same scrutiny as ones arriving through Read.
+func (d *Document) Validate() error {
+	if d.Format != "funcdb/spec/v1" {
+		return fmt.Errorf("specio: unsupported format %q", d.Format)
+	}
+	if d.SeedDepth < 0 {
+		return fmt.Errorf("specio: negative seed depth %d", d.SeedDepth)
+	}
+	alpha := make(map[string]bool, len(d.Alphabet))
+	for _, f := range d.Alphabet {
+		if f == "" {
+			return fmt.Errorf("specio: empty function symbol in alphabet")
+		}
+		if alpha[f] {
+			return fmt.Errorf("specio: duplicate function symbol %q in alphabet", f)
+		}
+		alpha[f] = true
+	}
+	inAlphabet := func(td TermDoc, what string) error {
+		for _, f := range td {
+			if !alpha[f] {
+				return fmt.Errorf("specio: %s uses function symbol %q outside the alphabet", what, f)
+			}
+		}
+		return nil
+	}
+	seenRep := make(map[string]bool, len(d.Reps))
+	hasRoot := false
+	for i, td := range d.Reps {
+		if err := inAlphabet(td, "representative"); err != nil {
+			return err
+		}
+		key := strings.Join(td, "\x00")
+		if seenRep[key] {
+			return fmt.Errorf("specio: duplicate representative at index %d", i)
+		}
+		seenRep[key] = true
+		if len(td) == 0 {
+			hasRoot = true
+		}
+	}
+	if len(d.Reps) > 0 && !hasRoot {
+		return fmt.Errorf("specio: document has no root representative 0")
+	}
+	seenEdge := make(map[EdgeDoc]bool, len(d.Edges))
+	for _, e := range d.Edges {
+		if e.From < 0 || e.From >= len(d.Reps) || e.To < 0 || e.To >= len(d.Reps) {
+			return fmt.Errorf("specio: edge %d -%s-> %d out of range (have %d representatives)",
+				e.From, e.Fn, e.To, len(d.Reps))
+		}
+		if !alpha[e.Fn] {
+			return fmt.Errorf("specio: edge over function symbol %q outside the alphabet", e.Fn)
+		}
+		key := EdgeDoc{From: e.From, Fn: e.Fn}
+		if seenEdge[key] {
+			return fmt.Errorf("specio: duplicate edge from %d over %q", e.From, e.Fn)
+		}
+		seenEdge[key] = true
+	}
+	seenSlice := make(map[int]bool, len(d.Slices))
+	for _, sl := range d.Slices {
+		if sl.Rep < 0 || sl.Rep >= len(d.Reps) {
+			return fmt.Errorf("specio: slice for representative %d out of range (have %d representatives)",
+				sl.Rep, len(d.Reps))
+		}
+		if seenSlice[sl.Rep] {
+			return fmt.Errorf("specio: duplicate slice for representative %d", sl.Rep)
+		}
+		seenSlice[sl.Rep] = true
+		for _, fd := range sl.Facts {
+			if fd.Pred == "" {
+				return fmt.Errorf("specio: fact with empty predicate in slice %d", sl.Rep)
+			}
+		}
+	}
+	for _, fd := range d.Globals {
+		if fd.Pred == "" {
+			return fmt.Errorf("specio: global fact with empty predicate")
+		}
+	}
+	for _, eq := range d.Equations {
+		if err := inAlphabet(eq.Left, "equation"); err != nil {
+			return err
+		}
+		if err := inAlphabet(eq.Right, "equation"); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.Predicates {
+		if p.Name == "" || p.Arity < 0 {
+			return fmt.Errorf("specio: invalid predicate declaration %q/%d", p.Name, p.Arity)
+		}
+	}
+	return nil
+}
+
 // Standalone answers membership queries from a loaded document alone: the
 // original rules are gone, exactly as section 3 promises.
+//
+// A Standalone is safe for concurrent use: query methods that intern terms
+// into its private universe (Term, ParseGroundQuery, ParseTermString, Has,
+// HasViaCongruence, Representative) serialize through an internal mutex.
+// Callers that reach the universe directly via Universe() must provide
+// their own synchronization.
 type Standalone struct {
+	mu       sync.Mutex
 	doc      *Document
 	tab      *symbols.Table
 	u        *term.Universe
@@ -217,6 +340,9 @@ func factKey(pred string, args []string) string {
 
 // Load rebuilds a standalone answerer from a document.
 func Load(doc *Document) (*Standalone, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
 	s := &Standalone{
 		doc:        doc,
 		tab:        symbols.NewTable(),
@@ -298,11 +424,19 @@ func (s *Standalone) Tab() *symbols.Table { return s.tab }
 
 // Term interns the term with the given symbol names, innermost first.
 func (s *Standalone) Term(names ...string) (term.Term, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.term(TermDoc(names))
 }
 
 // Representative runs the DFA on t and returns the representative index.
 func (s *Standalone) Representative(t term.Term) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.representativeLocked(t)
+}
+
+func (s *Standalone) representativeLocked(t term.Term) (int, error) {
 	cur, ok := s.repIdx[term.Zero]
 	if !ok {
 		return 0, fmt.Errorf("specio: document has no root representative")
@@ -319,7 +453,9 @@ func (s *Standalone) Representative(t term.Term) (int, error) {
 
 // Has decides pred(t, args) by the DFA walk.
 func (s *Standalone) Has(pred string, t term.Term, args ...string) (bool, error) {
-	rep, err := s.Representative(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.representativeLocked(t)
 	if err != nil {
 		return false, err
 	}
@@ -329,6 +465,10 @@ func (s *Standalone) Has(pred string, t term.Term, args ...string) (bool, error)
 // HasViaCongruence decides pred(t, args) by the congruence-closure test
 // against the equations R.
 func (s *Standalone) HasViaCongruence(pred string, t term.Term, args ...string) bool {
+	// The solver reads the universe while extending its subterm graph, so
+	// interning elsewhere must be excluded for the duration.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.eq.CongruentToAny(t, s.candidates[factKey(pred, args)])
 }
 
@@ -339,6 +479,52 @@ func (s *Standalone) HasData(pred string, args ...string) bool {
 
 // NumReps returns the number of representatives.
 func (s *Standalone) NumReps() int { return len(s.reps) }
+
+// ParseGroundQuery parses the textual ground-query syntax shared by fdbq
+// and the fdbd daemon: Pred(TERM[, args...]), optionally ending in ".".
+// TERM is parsed by ParseTermString.
+func (s *Standalone) ParseGroundQuery(q string) (pred string, tm term.Term, args []string, err error) {
+	q = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(q), "."))
+	open := strings.IndexByte(q, '(')
+	if open <= 0 || !strings.HasSuffix(q, ")") {
+		return "", term.None, nil, fmt.Errorf("specio: want Pred(TERM, args...)")
+	}
+	pred = q[:open]
+	inner := q[open+1 : len(q)-1]
+	parts := strings.Split(inner, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 0 || parts[0] == "" {
+		return "", term.None, nil, fmt.Errorf("specio: missing term")
+	}
+	tm, err = s.ParseTermString(parts[0])
+	if err != nil {
+		return "", term.None, nil, err
+	}
+	return pred, tm, parts[1:], nil
+}
+
+// ParseTermString parses 0, a non-negative decimal number (a succ-chain
+// over 0), or dot-separated function-symbol names innermost-first.
+func (s *Standalone) ParseTermString(str string) (term.Term, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if str == "0" {
+		return term.Zero, nil
+	}
+	if n, err := strconv.Atoi(str); err == nil {
+		if n < 0 {
+			return term.None, fmt.Errorf("specio: negative term %d", n)
+		}
+		succ, ok := s.tab.LookupFunc(term.SuccName, 0)
+		if !ok {
+			return term.None, fmt.Errorf("specio: the specification has no successor symbol; use dotted symbols")
+		}
+		return s.u.Number(n, succ), nil
+	}
+	return s.term(TermDoc(strings.Split(str, ".")))
+}
 
 // DOT renders the successor automaton in Graphviz DOT form. Nodes are
 // labelled with the representative term and its slice size.

@@ -209,3 +209,123 @@ Even(T) -> Even(T+2).
 		t.Errorf("temporal flag lost")
 	}
 }
+
+// TestReadRejectsMalformed feeds Read hostile or corrupted documents and
+// checks each is rejected with an explicit error, never a panic.
+func TestReadRejectsMalformed(t *testing.T) {
+	// A minimal valid document to mutate: one alphabet symbol, two reps
+	// (0 and f), one edge, one slice.
+	valid := func() *Document {
+		return &Document{
+			Format:   "funcdb/spec/v1",
+			Alphabet: []string{"f"},
+			Reps:     []TermDoc{{}, {"f"}},
+			Edges:    []EdgeDoc{{From: 0, Fn: "f", To: 1}, {From: 1, Fn: "f", To: 1}},
+			Slices:   []SliceDoc{{Rep: 0, Facts: []FactDoc{{Pred: "P"}}}},
+			Predicates: []PredicateDoc{
+				{Name: "P", Arity: 0, Functional: true},
+			},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Document)
+		wantErr string
+	}{
+		{"bad format", func(d *Document) { d.Format = "funcdb/spec/v9" }, "unsupported format"},
+		{"negative seed depth", func(d *Document) { d.SeedDepth = -1 }, "negative seed depth"},
+		{"duplicate alphabet symbol", func(d *Document) { d.Alphabet = []string{"f", "f"} }, "duplicate function symbol"},
+		{"empty alphabet symbol", func(d *Document) { d.Alphabet = []string{""} }, "empty function symbol"},
+		{"duplicate representative", func(d *Document) { d.Reps = append(d.Reps, TermDoc{"f"}) }, "duplicate representative"},
+		{"rep outside alphabet", func(d *Document) { d.Reps[1] = TermDoc{"g"} }, "outside the alphabet"},
+		{"no root representative", func(d *Document) { d.Reps = []TermDoc{{"f"}} }, "no root representative"},
+		{"edge from out of range", func(d *Document) { d.Edges[0].From = 7 }, "out of range"},
+		{"edge to out of range", func(d *Document) { d.Edges[0].To = -2 }, "out of range"},
+		{"edge outside alphabet", func(d *Document) { d.Edges[0].Fn = "g" }, "outside the alphabet"},
+		{"duplicate edge", func(d *Document) { d.Edges = append(d.Edges, EdgeDoc{From: 0, Fn: "f", To: 0}) }, "duplicate edge"},
+		{"slice out of range", func(d *Document) { d.Slices[0].Rep = 2 }, "out of range"},
+		{"duplicate slice", func(d *Document) { d.Slices = append(d.Slices, SliceDoc{Rep: 0}) }, "duplicate slice"},
+		{"empty slice predicate", func(d *Document) { d.Slices[0].Facts[0].Pred = "" }, "empty predicate"},
+		{"empty global predicate", func(d *Document) { d.Globals = []FactDoc{{Pred: ""}} }, "empty predicate"},
+		{"equation outside alphabet", func(d *Document) {
+			d.Equations = []EquationDoc{{Left: TermDoc{"g"}, Right: TermDoc{}}}
+		}, "outside the alphabet"},
+		{"invalid predicate decl", func(d *Document) { d.Predicates[0].Arity = -1 }, "invalid predicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := valid()
+			tc.mutate(d)
+			var buf bytes.Buffer
+			if err := d.Write(&buf); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Read error = %v, want substring %q", err, tc.wantErr)
+			}
+			// Load must reject the same document.
+			if _, err := Load(d); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Load error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("valid document survives", func(t *testing.T) {
+		d := valid()
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if _, err := Load(got); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+	})
+
+	t.Run("not json", func(t *testing.T) {
+		if _, err := Read(strings.NewReader("Meets(0, tony).")); err == nil {
+			t.Fatal("Read accepted non-JSON input")
+		}
+	})
+
+	t.Run("oversized input", func(t *testing.T) {
+		old := MaxDocumentBytes
+		MaxDocumentBytes = 128
+		defer func() { MaxDocumentBytes = old }()
+		big := `{"format":"funcdb/spec/v1","alphabet":["` + strings.Repeat("x", 200) + `"]}`
+		if _, err := Read(strings.NewReader(big)); err == nil || !strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("Read error = %v, want size rejection", err)
+		}
+	})
+}
+
+// TestParseGroundQuery covers the textual query syntax shared with fdbd.
+func TestParseGroundQuery(t *testing.T) {
+	sp := buildSpec(t, listsSrc)
+	st, err := Load(FromSpec(sp))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pred, tm, args, err := st.ParseGroundQuery("Member(ext'a.ext'b, a).")
+	if err != nil {
+		t.Fatalf("ParseGroundQuery: %v", err)
+	}
+	if pred != "Member" || len(args) != 1 || args[0] != "a" {
+		t.Fatalf("got pred=%q args=%v", pred, args)
+	}
+	want, err := st.Term("ext'a", "ext'b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != want {
+		t.Fatalf("term mismatch: %v vs %v", tm, want)
+	}
+	for _, bad := range []string{"", "nope", "P(", "P()", "(x)"} {
+		if _, _, _, err := st.ParseGroundQuery(bad); err == nil {
+			t.Errorf("ParseGroundQuery(%q) accepted", bad)
+		}
+	}
+}
