@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench fuzz tables examples clean
+.PHONY: all check build test vet race bench bench-store fuzz tables examples clean
 
 all: check
 
@@ -20,6 +20,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+bench-store:
+	$(GO) test -run xxx -bench 'SnapshotLoad|RecompileFromSource|SpecioJSONLoad' -benchmem ./internal/store/
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser

@@ -6,19 +6,29 @@
 //
 // Usage:
 //
-//	fdbd [-addr HOST:PORT] [-preload DIR] [-cache N] [-timeout D] [-max-body N]
+//	fdbd [-addr HOST:PORT] [-preload DIR] [-data DIR] [-fsync POLICY]
+//	     [-snapshot-every N] [-cache N] [-timeout D] [-max-body N]
 //
 // Flags:
 //
-//	-addr      listen address (default 127.0.0.1:8344)
-//	-preload   directory of *.fdb programs and *.json spec documents to
-//	           load at startup, named after the file without extension
-//	-cache     answer-cache capacity in entries; negative disables caching
-//	-timeout   per-request deadline (e.g. 5s); negative disables it
-//	-max-body  largest accepted request body in bytes
+//	-addr            listen address (default 127.0.0.1:8344)
+//	-preload         directory of *.fdb programs and *.json spec documents
+//	                 to load at startup, named after the file without
+//	                 extension
+//	-data            durable data directory: every catalog mutation is
+//	                 journaled to a write-ahead log and the catalog is
+//	                 recovered from the latest snapshot plus the log tail
+//	                 at boot (empty disables durability)
+//	-fsync           WAL sync policy: always, interval or never
+//	-snapshot-every  write a snapshot after N journaled mutations
+//	                 (0 only snapshots on graceful shutdown)
+//	-cache           answer-cache capacity in entries; negative disables
+//	-timeout         per-request deadline (e.g. 5s); negative disables it
+//	-max-body        largest accepted request body in bytes
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests. Query it with fdbq -remote, or curl:
+// requests and (with -data) writing a final snapshot. Query it with fdbq
+// -remote, or curl:
 //
 //	curl -X PUT  localhost:8344/v1/db/even --data 'Even(0). Even(T) -> Even(T+2).'
 //	curl -X POST localhost:8344/v1/db/even/ask -d '{"query":"?- Even(4)."}'
@@ -40,6 +50,7 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/registry"
 	"funcdb/internal/server"
+	"funcdb/internal/store"
 )
 
 func main() {
@@ -53,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fdbd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
 	preload := fs.String("preload", "", "directory of *.fdb / *.json artifacts to load at startup")
+	dataDir := fs.String("data", "", "durable data directory (WAL + snapshots); empty disables durability")
+	fsync := fs.String("fsync", store.FsyncAlways, "WAL sync policy: always, interval or never")
+	snapEvery := fs.Int("snapshot-every", 0, "snapshot after N journaled mutations (0: only on shutdown)")
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "answer-cache capacity (entries); negative disables")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request deadline; negative disables")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body (bytes)")
@@ -69,13 +83,33 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody}
-	return serve(ctx, ln, cfg, *preload, out)
+	sopts := store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery}
+	return serve(ctx, ln, cfg, sopts, *preload, out)
 }
 
 // serve runs the daemon on ln until ctx is cancelled, then drains in-flight
-// requests. The listener is always closed on return.
-func serve(ctx context.Context, ln net.Listener, cfg server.Config, preloadDir string, out io.Writer) error {
+// requests. With a data directory set it recovers the catalog before
+// listening and checkpoints it after draining. The listener is always
+// closed on return.
+func serve(ctx context.Context, ln net.Listener, cfg server.Config, sopts store.Options, preloadDir string, out io.Writer) error {
 	reg := registry.New(core.Options{})
+	var st *store.Store
+	if sopts.Dir != "" {
+		var err error
+		st, err = store.Open(sopts)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		stats, err := st.Recover(reg)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("recover %s: %w", sopts.Dir, err)
+		}
+		fmt.Fprintf(out, "fdbd: recovered %d database(s) from %s (snapshot lsn %d, %d replayed, %d warning(s)) in %s\n",
+			reg.Len(), sopts.Dir, stats.SnapshotLSN, stats.Replayed, stats.Warnings, stats.Duration.Round(time.Microsecond))
+		cfg.ExtraGauges = st.Gauges
+	}
 	if preloadDir != "" {
 		n, err := reg.LoadDir(preloadDir)
 		if err != nil {
@@ -104,6 +138,17 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, preloadDir s
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if st != nil {
+		// In-flight mutations have drained; checkpoint so the next boot
+		// starts from a snapshot instead of a full log replay.
+		if err := st.Snapshot(); err != nil {
+			return fmt.Errorf("shutdown snapshot: %w", err)
+		}
+		fmt.Fprintln(out, "fdbd: snapshot written")
+		if err := st.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

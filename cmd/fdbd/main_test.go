@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"funcdb/internal/server"
+	"funcdb/internal/store"
 )
 
 // startDaemon runs serve on an ephemeral port and returns its base URL and
@@ -28,7 +29,7 @@ func startDaemon(t *testing.T, cfg server.Config, preloadDir string) (string, fu
 	ctx, cancel := context.WithCancel(context.Background())
 	var out bytes.Buffer
 	errc := make(chan error, 1)
-	go func() { errc <- serve(ctx, ln, cfg, preloadDir, &out) }()
+	go func() { errc <- serve(ctx, ln, cfg, store.Options{}, preloadDir, &out) }()
 	base := "http://" + ln.Addr().String()
 	// Wait for the listener to answer.
 	deadline := time.Now().Add(5 * time.Second)
@@ -94,7 +95,7 @@ func TestServePreloadFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = serve(context.Background(), ln, server.Config{}, dir, io.Discard)
+	err = serve(context.Background(), ln, server.Config{}, store.Options{}, dir, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "preload") {
 		t.Fatalf("serve with broken preload = %v", err)
 	}

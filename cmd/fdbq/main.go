@@ -22,6 +22,10 @@
 //	-spec FILE     the document written by fdbc -export
 //	-remote URL    base URL of a running fdbd daemon (instead of -spec)
 //	-db NAME       with -remote: the database name on the daemon
+//	-add FACTS     with -remote: append ground facts ("Even(100).") to the
+//	               database before answering queries — durable when the
+//	               daemon runs with -data
+//	-i             with -remote: interactive shell against the daemon
 //	-cc            answer through congruence closure instead of the DFA walk
 //	-info          print the document's (or daemon's) description
 //	-dot           print the successor automaton as Graphviz DOT
@@ -38,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"funcdb/internal/repl"
 	"funcdb/internal/specio"
 )
 
@@ -53,6 +58,8 @@ func run(args []string, out io.Writer) error {
 	specPath := fs.String("spec", "", "specification document (JSON)")
 	remote := fs.String("remote", "", "base URL of a running fdbd daemon")
 	dbName := fs.String("db", "", "with -remote: database name on the daemon")
+	addFacts := fs.String("add", "", "with -remote: ground facts to append before answering queries")
+	interactive := fs.Bool("i", false, "with -remote: interactive shell against the daemon")
 	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
 	info := fs.Bool("info", false, "describe the document or daemon database")
 	dot := fs.Bool("dot", false, "print the automaton as Graphviz DOT")
@@ -63,7 +70,10 @@ func run(args []string, out io.Writer) error {
 		if *specPath != "" {
 			return fmt.Errorf("-spec and -remote are mutually exclusive")
 		}
-		return runRemote(*remote, *dbName, *useCC, *info, fs.Args(), out)
+		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *addFacts, fs.Args(), os.Stdin, out)
+	}
+	if *addFacts != "" || *interactive {
+		return fmt.Errorf("-add and -i need -remote (a local spec document is immutable)")
 	}
 	if *specPath == "" {
 		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]\n       fdbq -remote http://host:port -db NAME [QUERY ...]")
@@ -122,49 +132,50 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runRemote answers the queries through a running fdbd daemon.
-func runRemote(base, db string, useCC, info bool, queries []string, out io.Writer) error {
+// runRemote answers the queries through a running fdbd daemon via the
+// shared remote client, so HTTP error bodies surface as messages.
+func runRemote(base string, db string, useCC, info, interactive bool, addFacts string, queries []string, in io.Reader, out io.Writer) error {
 	base = strings.TrimSuffix(base, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
+	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, HTTP: client}
 	if info {
-		path := base + "/v1/dbs"
 		if db != "" {
-			path = base + "/v1/db/" + db
+			desc, err := rc.Info()
+			if err != nil {
+				return err
+			}
+			raw, err := json.Marshal(desc)
+			if err != nil {
+				return err
+			}
+			out.Write(append(raw, '\n'))
+		} else {
+			body, err := get(client, base+"/v1/dbs")
+			if err != nil {
+				return err
+			}
+			out.Write(append(bytes.TrimRight(body, "\n"), '\n'))
 		}
-		body, err := get(client, path)
-		if err != nil {
-			return err
-		}
-		out.Write(append(bytes.TrimRight(body, "\n"), '\n'))
 	}
-	if len(queries) > 0 && db == "" {
+	if (len(queries) > 0 || addFacts != "" || interactive) && db == "" {
 		return fmt.Errorf("-remote queries need -db NAME")
 	}
+	if addFacts != "" {
+		v, err := rc.AddFacts(addFacts)
+		if err != nil {
+			return fmt.Errorf("add facts: %w", err)
+		}
+		fmt.Fprintf(out, "added facts (version %d)\n", v)
+	}
 	for _, q := range queries {
-		req := map[string]any{"query": q}
-		if useCC {
-			req["via"] = "cc"
-		}
-		payload, _ := json.Marshal(req)
-		resp, err := client.Post(base+"/v1/db/"+db+"/ask", "application/json", bytes.NewReader(payload))
+		yes, _, err := rc.Ask(q)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", q, err)
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: %s", q, remoteError(body, resp.StatusCode))
-		}
-		var r struct {
-			Answer bool `json:"answer"`
-		}
-		if err := json.Unmarshal(body, &r); err != nil {
-			return fmt.Errorf("%s: bad response: %w", q, err)
-		}
-		fmt.Fprintf(out, "%-40s %v\n", q, r.Answer)
+		fmt.Fprintf(out, "%-40s %v\n", q, yes)
+	}
+	if interactive {
+		return repl.RunRemote(rc, in, out)
 	}
 	return nil
 }
@@ -180,19 +191,7 @@ func get(client *http.Client, url string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s", url, remoteError(body, resp.StatusCode))
+		return nil, fmt.Errorf("%s: %s", url, repl.RemoteErrorMessage(body, resp.StatusCode))
 	}
 	return body, nil
-}
-
-// remoteError extracts the daemon's {"error": ...} message, falling back to
-// the HTTP status.
-func remoteError(body []byte, status int) string {
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return e.Error
-	}
-	return http.StatusText(status)
 }

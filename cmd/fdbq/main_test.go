@@ -188,3 +188,39 @@ func TestRemoteErrors(t *testing.T) {
 		t.Error("-spec with -remote accepted")
 	}
 }
+
+func TestRemoteAddFacts(t *testing.T) {
+	url := startRemote(t)
+	// The fact is absent, gets added, then answers true at a new version.
+	out := capture(t, []string{"-remote", url, "-db", "even", "?- Even(3)."})
+	if !strings.HasSuffix(strings.TrimSpace(out), "false") {
+		t.Fatalf("pre-add answer:\n%s", out)
+	}
+	out = capture(t, []string{"-remote", url, "-db", "even", "-add", "Even(3).", "?- Even(3)."})
+	if !strings.Contains(out, "added facts (version 2)") {
+		t.Fatalf("-add confirmation missing:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "true") {
+		t.Fatalf("post-add answer:\n%s", out)
+	}
+
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	// Bad fact syntax surfaces the daemon's error body, not just a status.
+	err = run([]string{"-remote", url, "-db", "even", "-add", "not ( valid"}, tmp)
+	if err == nil || !strings.Contains(err.Error(), "add facts") {
+		t.Fatalf("bad facts error = %v", err)
+	}
+	if err := run([]string{"-remote", url, "-add", "Even(3)."}, tmp); err == nil {
+		t.Error("-add without -db accepted")
+	}
+	if err := run([]string{"-add", "Even(3)."}, tmp); err == nil {
+		t.Error("-add without -remote accepted")
+	}
+	if err := run([]string{"-i"}, tmp); err == nil {
+		t.Error("-i without -remote accepted")
+	}
+}

@@ -125,6 +125,17 @@ func (db *Database) EmbeddedQueries() []ast.Query { return db.queries }
 // Universe returns the database's term universe.
 func (db *Database) Universe() *term.Universe { return db.universe }
 
+// SourceText renders the current program — including facts added by Extend
+// and rules added by ExtendRules — in the surface syntax, under the
+// database lock so a concurrent Extend cannot tear the view. Reopening the
+// returned text reproduces the database's answer semantics; checkpointing
+// uses exactly this.
+func (db *Database) SourceText() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.Source.Format()
+}
+
 // Tab returns the symbol table.
 func (db *Database) Tab() *symbols.Table { return db.Source.Tab }
 

@@ -18,6 +18,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,6 +33,9 @@ import (
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
 )
+
+// ErrNotFound reports a mutation against a name absent from the catalog.
+var ErrNotFound = errors.New("registry: no such database")
 
 // Kind discriminates what an Entry was loaded from.
 type Kind string
@@ -153,6 +157,54 @@ func (e *Entry) Stats() (core.Stats, error) {
 	return e.db.Stats()
 }
 
+// Op discriminates catalog mutations for observers and replay.
+type Op uint8
+
+const (
+	// OpPut publishes a new entry compiled from Payload (program source or
+	// a spec document, sniffed exactly like Put).
+	OpPut Op = 1
+	// OpExtend adds the ground facts in Payload to a program entry,
+	// producing a new version of the same database.
+	OpExtend Op = 2
+	// OpDelete removes Name from the catalog.
+	OpDelete Op = 3
+)
+
+// String names the operation for logs.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpExtend:
+		return "extend"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mutation describes one committed (or committing) catalog change. It is
+// self-contained: replaying the same sequence of mutations into a fresh
+// registry reproduces the same entries with the same versions, which is
+// what the durability layer's write-ahead log relies on.
+type Mutation struct {
+	Op   Op
+	Name string
+	// Version is the version the mutation produces (0 for OpDelete).
+	Version uint64
+	// Payload is the uploaded artifact (OpPut) or the facts source text
+	// (OpExtend); nil for OpDelete.
+	Payload []byte
+}
+
+// Observer is called for every mutation, after validation but before the
+// new catalog snapshot becomes visible, under the writer lock — so calls
+// arrive in exactly the commit order and a returned error aborts the
+// mutation (write-ahead semantics). Observers must not call back into the
+// registry.
+type Observer func(Mutation) error
+
 // snapshot is the immutable catalog state; Registry swaps whole snapshots.
 type snapshot struct {
 	entries map[string]*Entry
@@ -167,6 +219,15 @@ type Registry struct {
 	// still never repeats a version.
 	versions map[string]uint64
 	opts     core.Options
+	obs      Observer
+}
+
+// SetObserver installs the mutation observer (nil disables). It is meant
+// to be set once, before the registry starts taking traffic.
+func (r *Registry) SetObserver(obs Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = obs
 }
 
 // New returns an empty registry; opts configure compilation of program
@@ -202,10 +263,8 @@ func (r *Registry) List() []*Entry {
 	return out
 }
 
-// PutProgram compiles .fdb source and publishes it under name, replacing
-// any existing entry atomically (in-flight queries keep using the old
-// entry; new requests see the new one).
-func (r *Registry) PutProgram(name string, src []byte) (*Entry, error) {
+// buildProgram compiles .fdb source into an unpublished entry.
+func (r *Registry) buildProgram(name string, src []byte) (*Entry, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("registry: invalid database name %q", name)
 	}
@@ -213,26 +272,76 @@ func (r *Registry) PutProgram(name string, src []byte) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: compile %q: %w", name, err)
 	}
-	e := &Entry{Name: name, Kind: KindProgram, SourceBytes: len(src), db: db}
-	r.publish(e)
-	return e, nil
+	return &Entry{Name: name, Kind: KindProgram, SourceBytes: len(src), db: db}, nil
 }
 
-// PutSpec parses a specio JSON document and publishes it under name.
-func (r *Registry) PutSpec(name string, raw []byte) (*Entry, error) {
+// buildSpec loads a specio document into an unpublished entry.
+func (r *Registry) buildSpec(name string, doc *specio.Document, sourceBytes int) (*Entry, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("registry: invalid database name %q", name)
-	}
-	doc, err := specio.Read(strings.NewReader(string(raw)))
-	if err != nil {
-		return nil, fmt.Errorf("registry: load %q: %w", name, err)
 	}
 	st, err := specio.Load(doc)
 	if err != nil {
 		return nil, fmt.Errorf("registry: load %q: %w", name, err)
 	}
-	e := &Entry{Name: name, Kind: KindSpec, SourceBytes: len(raw), st: st, doc: doc}
-	r.publish(e)
+	return &Entry{Name: name, Kind: KindSpec, SourceBytes: sourceBytes, st: st, doc: doc}, nil
+}
+
+// PutProgram compiles .fdb source and publishes it under name, replacing
+// any existing entry atomically (in-flight queries keep using the old
+// entry; new requests see the new one).
+func (r *Registry) PutProgram(name string, src []byte) (*Entry, error) {
+	e, err := r.buildProgram(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.publish(e, OpPut, src); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// PutSpec parses a specio JSON document and publishes it under name.
+func (r *Registry) PutSpec(name string, raw []byte) (*Entry, error) {
+	doc, err := specio.Read(strings.NewReader(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
+	e, err := r.buildSpec(name, doc, len(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.publish(e, OpPut, raw); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ExtendFacts adds ground facts (surface syntax) to the program entry
+// under name and publishes the extended database as a new version of the
+// same name. Caches keyed on (name, version) therefore invalidate exactly
+// as if the program had been re-uploaded; in-flight readers of the old
+// entry share the underlying database and see the monotone extension.
+func (r *Registry) ExtendFacts(name string, facts []byte) (*Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.snap.Load().entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if old.Kind != KindProgram {
+		return nil, fmt.Errorf("registry: %q is a standalone specification; facts need a program entry", name)
+	}
+	if err := old.db.Extend(string(facts)); err != nil {
+		return nil, err
+	}
+	e := &Entry{Name: name, Kind: KindProgram, SourceBytes: old.SourceBytes + len(facts), db: old.db}
+	// The facts are already applied in memory; if journaling refuses the
+	// mutation the caller sees the error and no new version is published,
+	// so a restart converges back to the last durable state.
+	if err := r.publishLocked(e, OpExtend, facts); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -260,12 +369,30 @@ func looksLikeJSON(raw []byte) bool {
 }
 
 // publish installs e in a fresh copy-on-write snapshot under the writer
-// lock, assigning the next version for its name.
-func (r *Registry) publish(e *Entry) {
+// lock, assigning the next version for its name and journaling the
+// mutation through the observer first (write-ahead order).
+func (r *Registry) publish(e *Entry, op Op, payload []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.versions[e.Name]++
-	e.Version = r.versions[e.Name]
+	return r.publishLocked(e, op, payload)
+}
+
+func (r *Registry) publishLocked(e *Entry, op Op, payload []byte) error {
+	v := r.versions[e.Name] + 1
+	if r.obs != nil {
+		if err := r.obs(Mutation{Op: op, Name: e.Name, Version: v, Payload: payload}); err != nil {
+			return fmt.Errorf("registry: journal %s %q: %w", op, e.Name, err)
+		}
+	}
+	r.versions[e.Name] = v
+	e.Version = v
+	r.installLocked(e)
+	return nil
+}
+
+// installLocked swaps in a snapshot carrying e; callers hold r.mu and have
+// already assigned e.Version.
+func (r *Registry) installLocked(e *Entry) {
 	old := r.snap.Load()
 	next := &snapshot{entries: make(map[string]*Entry, len(old.entries)+1)}
 	for k, v := range old.entries {
@@ -277,14 +404,24 @@ func (r *Registry) publish(e *Entry) {
 
 // Remove deletes name from the catalog, reporting whether it was present.
 // The version counter is retained so a later re-add does not reuse
-// versions.
-func (r *Registry) Remove(name string) bool {
+// versions. A journaling failure keeps the entry and surfaces the error.
+func (r *Registry) Remove(name string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	old := r.snap.Load()
-	if _, ok := old.entries[name]; !ok {
-		return false
+	if _, ok := r.snap.Load().entries[name]; !ok {
+		return false, nil
 	}
+	if r.obs != nil {
+		if err := r.obs(Mutation{Op: OpDelete, Name: name}); err != nil {
+			return false, fmt.Errorf("registry: journal delete %q: %w", name, err)
+		}
+	}
+	r.removeLocked(name)
+	return true, nil
+}
+
+func (r *Registry) removeLocked(name string) {
+	old := r.snap.Load()
 	next := &snapshot{entries: make(map[string]*Entry, len(old.entries))}
 	for k, v := range old.entries {
 		if k != name {
@@ -292,7 +429,130 @@ func (r *Registry) Remove(name string) bool {
 		}
 	}
 	r.snap.Store(next)
-	return true
+}
+
+// Capture runs f with a point-in-time view of the catalog while holding
+// the writer lock: the entries sorted by name and a copy of the version
+// counters (including counters of deleted names). No mutation — and, in
+// particular, no observer call — can interleave with f, which is what lets
+// a checkpointer pair the captured state with an exact log position. Keep
+// f short; it blocks all writers.
+func (r *Registry) Capture(f func(entries []*Entry, versions map[string]uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := r.snap.Load()
+	entries := make([]*Entry, 0, len(snap.entries))
+	for _, e := range snap.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	versions := make(map[string]uint64, len(r.versions))
+	for k, v := range r.versions {
+		versions[k] = v
+	}
+	f(entries, versions)
+}
+
+// SeedVersions raises the version counters to at least the given values.
+// Recovery uses it to restore counters of names that were deleted before
+// the checkpoint, so a re-created name still never repeats a version.
+func (r *Registry) SeedVersions(versions map[string]uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range versions {
+		if v > r.versions[k] {
+			r.versions[k] = v
+		}
+	}
+}
+
+// RestoreProgram recompiles checkpointed program source and installs it at
+// exactly the recorded version, bypassing the observer. The checkpointed
+// text is the formatter's rendering, not the original upload, so the
+// original upload size is restored explicitly. Recovery only.
+func (r *Registry) RestoreProgram(name string, src []byte, sourceBytes int, version uint64) (*Entry, error) {
+	e, err := r.buildProgram(name, src)
+	if err != nil {
+		return nil, err
+	}
+	e.SourceBytes = sourceBytes
+	r.installAt(e, version)
+	return e, nil
+}
+
+// RestoreSpecDoc installs an already-decoded specification document at
+// exactly the recorded version, bypassing the observer. Recovery only.
+func (r *Registry) RestoreSpecDoc(name string, doc *specio.Document, sourceBytes int, version uint64) (*Entry, error) {
+	e, err := r.buildSpec(name, doc, sourceBytes)
+	if err != nil {
+		return nil, err
+	}
+	r.installAt(e, version)
+	return e, nil
+}
+
+func (r *Registry) installAt(e *Entry, version uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Version = version
+	if version > r.versions[e.Name] {
+		r.versions[e.Name] = version
+	}
+	r.installLocked(e)
+}
+
+// ApplyAt replays one journaled mutation, forcing the recorded version and
+// bypassing the observer. Replaying the journal in commit order into the
+// checkpointed state reproduces the pre-crash catalog exactly.
+func (r *Registry) ApplyAt(m Mutation) error {
+	switch m.Op {
+	case OpPut:
+		var e *Entry
+		var err error
+		if looksLikeJSON(m.Payload) {
+			var doc *specio.Document
+			doc, err = specio.Read(strings.NewReader(string(m.Payload)))
+			if err == nil {
+				e, err = r.buildSpec(m.Name, doc, len(m.Payload))
+			}
+		} else {
+			e, err = r.buildProgram(m.Name, m.Payload)
+		}
+		if err != nil {
+			return err
+		}
+		r.installAt(e, m.Version)
+		return nil
+	case OpExtend:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		old, ok := r.snap.Load().entries[m.Name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotFound, m.Name)
+		}
+		if old.Kind != KindProgram {
+			return fmt.Errorf("registry: extend replay against non-program %q", m.Name)
+		}
+		if err := old.db.Extend(string(m.Payload)); err != nil {
+			return err
+		}
+		e := &Entry{Name: m.Name, Kind: KindProgram, SourceBytes: old.SourceBytes + len(m.Payload), db: old.db}
+		e.Version = m.Version
+		if m.Version > r.versions[m.Name] {
+			r.versions[m.Name] = m.Version
+		}
+		r.installLocked(e)
+		return nil
+	case OpDelete:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.snap.Load().entries[m.Name]; !ok {
+			return fmt.Errorf("%w: %q", ErrNotFound, m.Name)
+		}
+		r.removeLocked(m.Name)
+		return nil
+	}
+	return fmt.Errorf("registry: unknown mutation op %d", m.Op)
 }
 
 // LoadDir preloads every *.fdb (program) and *.json (spec document) file

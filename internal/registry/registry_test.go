@@ -120,11 +120,11 @@ func TestVersioningAcrossReloadAndRemove(t *testing.T) {
 	if got, err := e1.Ask("?- Even(4).", false); err != nil || !got {
 		t.Fatalf("old entry broken after reload: %v, %v", got, err)
 	}
-	if !r.Remove("db") {
-		t.Fatal("Remove returned false")
+	if removed, err := r.Remove("db"); err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
 	}
-	if r.Remove("db") {
-		t.Fatal("second Remove returned true")
+	if removed, err := r.Remove("db"); err != nil || removed {
+		t.Fatalf("second Remove = %v, %v", removed, err)
 	}
 	e3, err := r.PutProgram("db", []byte(evenSrc))
 	if err != nil {
@@ -251,4 +251,189 @@ func TestConcurrentGetPut(t *testing.T) {
 	if e.Version != 21 {
 		t.Fatalf("final version = %d, want 21", e.Version)
 	}
+}
+
+// TestDeleteThenReputVersionsIncrease pins the cache-safety invariant: a
+// name deleted and re-created never reuses a version, even across several
+// delete/re-put rounds and an intervening ExtendFacts, so a response cache
+// keyed on (name, version) can never serve a stale entry for a recreated
+// name.
+func TestDeleteThenReputVersionsIncrease(t *testing.T) {
+	r := New(core.Options{})
+	last := uint64(0)
+	bump := func(e *Entry, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Version <= last {
+			t.Fatalf("version %d did not increase past %d", e.Version, last)
+		}
+		last = e.Version
+	}
+	for round := 0; round < 3; round++ {
+		bump(r.PutProgram("db", []byte(evenSrc)))
+		bump(r.ExtendFacts("db", []byte("Even(100).")))
+		bump(r.PutProgram("db", []byte(meetingsSrc)))
+		if removed, err := r.Remove("db"); err != nil || !removed {
+			t.Fatalf("round %d: Remove = %v, %v", round, removed, err)
+		}
+	}
+	if last != 9 {
+		t.Fatalf("final version = %d, want 9", last)
+	}
+}
+
+// TestExtendFactsNewVersionAndVisibility: ExtendFacts bumps the version
+// and the new facts answer through both the new and the old entry (the
+// compiled database is shared; the extension is monotone).
+func TestExtendFactsNewVersionAndVisibility(t *testing.T) {
+	r := New(core.Options{})
+	e1, err := r.PutProgram("db", []byte(evenSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e1.Ask("?- Odd(1).", false); err == nil && got {
+		t.Fatal("Odd(1) true before extend")
+	}
+	e2, err := r.ExtendFacts("db", []byte("Odd(1). Odd(T) -> Odd(T+2)."))
+	if err == nil {
+		t.Fatal("rules accepted through ExtendFacts")
+	}
+	e2, err = r.ExtendFacts("db", []byte("Even(1)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != e1.Version+1 {
+		t.Fatalf("version = %d, want %d", e2.Version, e1.Version+1)
+	}
+	for _, e := range []*Entry{e1, e2} {
+		if got, err := e.Ask("?- Even(3).", false); err != nil || !got {
+			t.Fatalf("Even(3) after extend via v%d = %v, %v", e.Version, got, err)
+		}
+	}
+	if _, err := r.ExtendFacts("nosuch", []byte("Even(1).")); err == nil {
+		t.Fatal("ExtendFacts on missing name succeeded")
+	}
+}
+
+// TestObserverOrderAndAbort: the observer sees every mutation in commit
+// order with the version it produces, and an observer error aborts the
+// mutation (no new version, no visible change).
+func TestObserverOrderAndAbort(t *testing.T) {
+	r := New(core.Options{})
+	var seen []Mutation
+	fail := false
+	r.SetObserver(func(m Mutation) error {
+		if fail {
+			return os.ErrPermission
+		}
+		seen = append(seen, m)
+		return nil
+	})
+	if _, err := r.PutProgram("db", []byte(evenSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExtendFacts("db", []byte("Even(1).")); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := r.Remove("db"); err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
+	}
+	want := []struct {
+		op Op
+		v  uint64
+	}{{OpPut, 1}, {OpExtend, 2}, {OpDelete, 0}}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d mutations, want %d", len(seen), len(want))
+	}
+	for i, w := range want {
+		if seen[i].Op != w.op || seen[i].Version != w.v || seen[i].Name != "db" {
+			t.Fatalf("mutation %d = %+v, want op %v version %d", i, seen[i], w.op, w.v)
+		}
+	}
+
+	fail = true
+	if _, err := r.PutProgram("db2", []byte(evenSrc)); err == nil {
+		t.Fatal("put committed despite observer error")
+	}
+	if _, ok := r.Get("db2"); ok {
+		t.Fatal("aborted put is visible")
+	}
+	fail = false
+	e, err := r.PutProgram("db2", []byte(evenSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 1 {
+		t.Fatalf("aborted put consumed a version: got %d, want 1", e.Version)
+	}
+}
+
+// TestReplayReproducesCatalog: applying the observed mutation stream into
+// a fresh registry reproduces names, versions and answers — the contract
+// the write-ahead log depends on.
+func TestReplayReproducesCatalog(t *testing.T) {
+	r := New(core.Options{})
+	var journal []Mutation
+	r.SetObserver(func(m Mutation) error {
+		journal = append(journal, Mutation{Op: m.Op, Name: m.Name, Version: m.Version, Payload: bytes.Clone(m.Payload)})
+		return nil
+	})
+	mustPut := func(name, src string) {
+		t.Helper()
+		if _, err := r.Put(name, []byte(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut("even", evenSrc)
+	mustPut("meet", meetingsSrc)
+	if _, err := r.ExtendFacts("even", []byte("Even(1).")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("spec", exportDoc(t, evenSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := r.Remove("meet"); err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
+	}
+	mustPut("meet", meetingsSrc)
+
+	r2 := New(core.Options{})
+	for _, m := range journal {
+		if err := r2.ApplyAt(m); err != nil {
+			t.Fatalf("replay %v %q: %v", m.Op, m.Name, err)
+		}
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("replayed %d entries, want %d", r2.Len(), r.Len())
+	}
+	for _, e := range r.List() {
+		e2, ok := r2.Get(e.Name)
+		if !ok {
+			t.Fatalf("replay lost %q", e.Name)
+		}
+		if e2.Version != e.Version || e2.Kind != e.Kind {
+			t.Fatalf("%q: replayed (v%d, %s), want (v%d, %s)", e.Name, e2.Version, e2.Kind, e.Version, e.Kind)
+		}
+	}
+	for _, q := range []string{"?- Even(2).", "?- Even(3).", "?- Even(5)."} {
+		want, err := mustGet(t, r, "even").Ask(q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mustGet(t, r2, "even").Ask(q, false)
+		if err != nil || got != want {
+			t.Fatalf("%s: replayed %v, want %v (err %v)", q, got, want, err)
+		}
+	}
+}
+
+func mustGet(t *testing.T, r *Registry, name string) *Entry {
+	t.Helper()
+	e, ok := r.Get(name)
+	if !ok {
+		t.Fatalf("missing entry %q", name)
+	}
+	return e
 }

@@ -1,0 +1,199 @@
+// Remote mode: the same interactive shell shape as Run, but every command
+// is answered by a running fdbd daemon over its JSON API instead of an
+// in-process database.
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+const remoteHelpText = `commands:
+  ?- Atom.             yes-no answer from the daemon (program entries take
+                       surface syntax, spec entries Pred(TERM, args...))
+  ask ?- Atom.         same as a bare query
+  add Fact(args).      append ground facts durably (new catalog version)
+  info                 describe the database on the daemon
+  help                 this text
+  quit                 leave
+`
+
+// RemoteClient calls one database on a running fdbd daemon. Every error
+// carries the daemon's {"error": ...} message, not just the status code.
+type RemoteClient struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8344".
+	Base string
+	// DB is the database name on the daemon.
+	DB string
+	// CC answers through congruence closure instead of the DFA walk.
+	CC bool
+	// HTTP is the client used for requests; nil means a 30s-timeout client.
+	HTTP *http.Client
+}
+
+func (c *RemoteClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// do sends one request and decodes the JSON response into out, turning
+// non-2xx responses into errors carrying the daemon's message.
+func (c *RemoteClient) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, strings.TrimSuffix(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s", RemoteErrorMessage(raw, resp.StatusCode))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("bad response from daemon: %w", err)
+	}
+	return nil
+}
+
+// RemoteErrorMessage extracts the daemon's {"error": ...} message from a
+// response body, falling back to the HTTP status text.
+func RemoteErrorMessage(body []byte, status int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return http.StatusText(status)
+}
+
+// Ask answers a yes-no query, reporting the catalog version that answered.
+func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
+	req := map[string]any{"query": q}
+	if c.CC {
+		req["via"] = "cc"
+	}
+	var resp struct {
+		Answer  bool   `json:"answer"`
+		Version uint64 `json:"version"`
+	}
+	if err := c.do("POST", "/v1/db/"+c.DB+"/ask", req, &resp); err != nil {
+		return false, 0, err
+	}
+	return resp.Answer, resp.Version, nil
+}
+
+// AddFacts appends ground facts to the database, durably if the daemon
+// runs with a data directory. Returns the new catalog version.
+func (c *RemoteClient) AddFacts(facts string) (uint64, error) {
+	var resp struct {
+		Version uint64 `json:"version"`
+	}
+	if err := c.do("POST", "/v1/db/"+c.DB+"/facts", map[string]any{"facts": facts}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Info returns the daemon's description of the database as rendered JSON.
+func (c *RemoteClient) Info() (map[string]any, error) {
+	var resp map[string]any
+	if err := c.do("GET", "/v1/db/"+c.DB, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// RunRemote reads commands from r and answers them through the daemon
+// until EOF or quit — the remote twin of Run.
+func RunRemote(c *RemoteClient, r io.Reader, w io.Writer) error {
+	sc := newScanner(r)
+	fmt.Fprintf(w, "%s> ", c.DB)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		quit, err := ExecuteRemote(c, line, w)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+		if quit {
+			return nil
+		}
+		fmt.Fprintf(w, "%s> ", c.DB)
+	}
+	fmt.Fprintln(w)
+	return sc.Err()
+}
+
+// ExecuteRemote runs one remote command line and reports whether the
+// session should end.
+func ExecuteRemote(c *RemoteClient, line string, w io.Writer) (quit bool, err error) {
+	switch {
+	case line == "" || strings.HasPrefix(line, "%"):
+		return false, nil
+	case line == "quit" || line == "exit":
+		return true, nil
+	case line == "help":
+		fmt.Fprint(w, remoteHelpText)
+		return false, nil
+	case line == "info":
+		info, err := c.Info()
+		if err != nil {
+			return false, err
+		}
+		raw, err := json.MarshalIndent(info, "", "  ")
+		if err != nil {
+			return false, err
+		}
+		w.Write(append(raw, '\n'))
+		return false, nil
+	case strings.HasPrefix(line, "add "):
+		v, err := c.AddFacts(strings.TrimSpace(strings.TrimPrefix(line, "add ")))
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "ok (version %d)\n", v)
+		return false, nil
+	case strings.HasPrefix(line, "ask"):
+		return false, remoteAsk(c, strings.TrimSpace(strings.TrimPrefix(line, "ask")), w)
+	default:
+		// Anything else is a query, sent verbatim: program entries take
+		// "?- Even(4).", spec entries "Even(4)".
+		return false, remoteAsk(c, line, w)
+	}
+}
+
+func remoteAsk(c *RemoteClient, q string, w io.Writer) error {
+	yes, version, err := c.Ask(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%v (version %d)\n", yes, version)
+	return nil
+}

@@ -1,0 +1,76 @@
+package repl_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/repl"
+	"funcdb/internal/server"
+)
+
+// startDaemon serves a registry with one program database "even".
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	reg := registry.New(core.Options{})
+	if _, err := reg.PutProgram("even", []byte("Even(0).\nEven(T) -> Even(T+2).\n")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunRemoteSession(t *testing.T) {
+	url := startDaemon(t)
+	c := &repl.RemoteClient{Base: url, DB: "even"}
+	script := strings.Join([]string{
+		"help",
+		"?- Even(4).",
+		"ask ?- Even(3).",
+		"add Even(3).",
+		"?- Even(3).",
+		"info",
+		"add not ( valid",
+		"quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := repl.RunRemote(c, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"add Fact(args).",       // help text
+		"true (version 1)",      // Even(4) before the extension
+		"false (version 1)",     // Even(3) before the extension
+		"ok (version 2)",        // add bumped the catalog version
+		"true (version 2)",      // Even(3) after the extension
+		`"kind": "program"`,     // info
+		"error:",                // daemon's message for the bad facts
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session output missing %q:\n%s", want, text)
+		}
+	}
+	// The daemon's error body is surfaced, not just an HTTP status: the
+	// parser's position and message come through verbatim.
+	if !strings.Contains(text, "expected ')'") {
+		t.Errorf("daemon error body not surfaced:\n%s", text)
+	}
+}
+
+func TestRemoteClientErrors(t *testing.T) {
+	url := startDaemon(t)
+	c := &repl.RemoteClient{Base: url, DB: "nosuch"}
+	if _, _, err := c.Ask("?- Even(4)."); err == nil || !strings.Contains(err.Error(), "no database named") {
+		t.Fatalf("Ask on missing db = %v, want daemon's message", err)
+	}
+	if _, err := c.AddFacts("Even(3)."); err == nil || !strings.Contains(err.Error(), "no database named") {
+		t.Fatalf("AddFacts on missing db = %v, want daemon's message", err)
+	}
+	if _, err := c.Info(); err == nil {
+		t.Fatal("Info on missing db succeeded")
+	}
+}

@@ -29,10 +29,17 @@ const helpText = `commands:
   quit                 leave
 `
 
-// Run reads commands from r and writes results to w until EOF or quit.
-func Run(db *core.Database, r io.Reader, w io.Writer) error {
+// newScanner builds the line scanner both shells share: 1MB lines, so a
+// large pasted fact block still fits.
+func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return sc
+}
+
+// Run reads commands from r and writes results to w until EOF or quit.
+func Run(db *core.Database, r io.Reader, w io.Writer) error {
+	sc := newScanner(r)
 	fmt.Fprint(w, "funcdb> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

@@ -39,6 +39,9 @@ type Config struct {
 	// MaxTuples caps enumeration when the request sends no limit (or a
 	// larger one); zero means DefaultMaxTuples.
 	MaxTuples int
+	// ExtraGauges, when set, contributes additional name→value gauges to
+	// /metrics — the daemon plugs the durability store's gauges in here.
+	ExtraGauges func() map[string]int64
 }
 
 // Defaults for Config's zero values.
@@ -87,7 +90,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	s := &Server{
 		reg: reg,
 		cfg: cfg.withDefaults(),
-		met: newMetrics("ask", "answers", "explain", "dbs", "db", "put", "delete", "healthz", "metrics"),
+		met: newMetrics("ask", "answers", "explain", "dbs", "db", "put", "delete", "facts", "healthz", "metrics"),
 	}
 	s.cache = newAnswerCache(s.cfg.CacheSize)
 
@@ -98,6 +101,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/db/{name}", s.instrument("db", s.handleInfo))
 	mux.HandleFunc("PUT /v1/db/{name}", s.instrument("put", s.handlePut))
 	mux.HandleFunc("DELETE /v1/db/{name}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/db/{name}/facts", s.instrument("facts", s.handleFacts))
 	mux.HandleFunc("POST /v1/db/{name}/ask", s.instrument("ask", s.handleAsk))
 	mux.HandleFunc("POST /v1/db/{name}/answers", s.instrument("answers", s.handleAnswers))
 	mux.HandleFunc("GET /v1/db/{name}/explain", s.instrument("explain", s.handleExplain))
@@ -196,10 +200,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.render(w, map[string]int64{
+	extra := map[string]int64{
 		"databases":     int64(s.reg.Len()),
 		"cache_entries": int64(s.cache.len()),
-	})
+	}
+	if s.cfg.ExtraGauges != nil {
+		for name, v := range s.cfg.ExtraGauges() {
+			extra[name] = v
+		}
+	}
+	s.met.render(w, extra)
 	return nil
 }
 
@@ -291,10 +301,43 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
-	if !s.reg.Remove(name) {
+	removed, err := s.reg.Remove(name)
+	if err != nil {
+		return err
+	}
+	if !removed {
 		return errf(http.StatusNotFound, "no database named %q", name)
 	}
 	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+type factsRequest struct {
+	// Facts is surface syntax containing only ground facts, e.g.
+	// "Even(100). Meets(3, ann).".
+	Facts string `json:"facts"`
+}
+
+// handleFacts appends ground facts to a program database. The extension
+// recomputes the specification and publishes a new catalog version, so
+// cached answers for the old version expire by key.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	var req factsRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	if strings.TrimSpace(req.Facts) == "" {
+		return errf(http.StatusBadRequest, "missing facts")
+	}
+	e, err := s.reg.ExtendFacts(name, []byte(req.Facts))
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			return errf(http.StatusNotFound, "no database named %q", name)
+		}
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	writeJSON(w, http.StatusOK, entryInfo(e))
 	return nil
 }
 

@@ -403,3 +403,66 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestFactsEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	// The new fact becomes visible and bumps the version.
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(3)."})
+	if code != http.StatusOK || body["answer"] != false {
+		t.Fatalf("pre-facts ask: %d %v", code, body)
+	}
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "Even(3)."})
+	if code != http.StatusOK {
+		t.Fatalf("facts: %d %v", code, body)
+	}
+	if body["version"] != float64(2) {
+		t.Fatalf("facts version = %v, want 2", body["version"])
+	}
+	// The old version's cached "false" must not be served: the version bump
+	// changes the cache key.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(3)."})
+	if code != http.StatusOK || body["answer"] != true {
+		t.Fatalf("post-facts ask: %d %v", code, body)
+	}
+	if body["version"] != float64(2) {
+		t.Fatalf("post-facts ask version = %v, want 2", body["version"])
+	}
+
+	// Error paths: unknown database is 404; bad syntax is 400 with a message.
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/db/nosuch/facts", map[string]any{"facts": "Even(3)."}); code != http.StatusNotFound {
+		t.Fatalf("facts on missing db: %d, want 404", code)
+	}
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "not ( valid"})
+	if code != http.StatusBadRequest || body["error"] == "" {
+		t.Fatalf("bad facts: %d %v, want 400 with error body", code, body)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "  "}); code != http.StatusBadRequest {
+		t.Fatalf("empty facts: %d, want 400", code)
+	}
+	// Spec entries carry no rules and cannot be extended.
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/db/evenspec/facts", map[string]any{"facts": "Even(3)."}); code != http.StatusBadRequest {
+		t.Fatalf("facts on spec entry: %d, want 400", code)
+	}
+}
+
+func TestExtraGauges(t *testing.T) {
+	reg := registry.New(core.Options{})
+	srv := New(reg, Config{ExtraGauges: func() map[string]int64 {
+		return map[string]int64{"wal_bytes": 12345, "snapshots_total": 7}
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{"wal_bytes 12345", "snapshots_total 7"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"funcdb/internal/binspec"
+	"funcdb/internal/registry"
+)
+
+// WAL record payload layout (inside the binspec length+CRC frame):
+//
+//	byte    op            registry.Op
+//	uvarint lsn           log sequence number, 1-based
+//	uvarint version       version the mutation produced (0 for delete)
+//	uvarint len + bytes   name
+//	uvarint len + bytes   payload (program/spec upload or facts source)
+
+// walRecord is one decoded journal entry.
+type walRecord struct {
+	lsn uint64
+	m   registry.Mutation
+}
+
+// frameRecord wraps payload in the shared length+CRC framing as one
+// contiguous byte slice, so the file write is a single syscall.
+func frameRecord(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 8)
+	// Writing to a bytes.Buffer cannot fail.
+	_ = binspec.WriteRecord(&buf, payload)
+	return buf.Bytes()
+}
+
+func encodeMutation(lsn uint64, m registry.Mutation) []byte {
+	out := make([]byte, 0, 32+len(m.Name)+len(m.Payload))
+	out = append(out, byte(m.Op))
+	out = binary.AppendUvarint(out, lsn)
+	out = binary.AppendUvarint(out, m.Version)
+	out = binary.AppendUvarint(out, uint64(len(m.Name)))
+	out = append(out, m.Name...)
+	out = binary.AppendUvarint(out, uint64(len(m.Payload)))
+	out = append(out, m.Payload...)
+	return out
+}
+
+func decodeMutation(rec []byte) (walRecord, error) {
+	bad := func(what string) (walRecord, error) {
+		return walRecord{}, fmt.Errorf("%w: %s", binspec.ErrCorrupt, what)
+	}
+	if len(rec) < 1 {
+		return bad("empty WAL record")
+	}
+	r := walRecord{m: registry.Mutation{Op: registry.Op(rec[0])}}
+	rest := rec[1:]
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	str := func() ([]byte, bool) {
+		n, ok := uv()
+		if !ok || uint64(len(rest)) < n {
+			return nil, false
+		}
+		b := rest[:n]
+		rest = rest[n:]
+		return b, true
+	}
+	var ok bool
+	if r.lsn, ok = uv(); !ok {
+		return bad("truncated lsn")
+	}
+	if r.m.Version, ok = uv(); !ok {
+		return bad("truncated version")
+	}
+	name, ok := str()
+	if !ok {
+		return bad("truncated name")
+	}
+	r.m.Name = string(name)
+	payload, ok := str()
+	if !ok {
+		return bad("truncated payload")
+	}
+	if len(payload) > 0 {
+		r.m.Payload = bytes.Clone(payload)
+	}
+	if len(rest) != 0 {
+		return bad("trailing bytes in WAL record")
+	}
+	switch r.m.Op {
+	case registry.OpPut, registry.OpExtend, registry.OpDelete:
+	default:
+		return bad(fmt.Sprintf("unknown op %d", r.m.Op))
+	}
+	return r, nil
+}
+
+// replayWAL applies every journaled mutation with LSN above snapLSN to
+// reg, in order. A torn final record is truncated away; a corrupted record
+// stops replay at the last valid one, truncates the rest of that segment
+// and quarantines any later segments — each healed condition is logged,
+// never fatal. Returns the highest LSN applied or skipped.
+func (s *Store) replayWAL(reg *registry.Registry, snapLSN uint64, st *RecoveryStats) (uint64, error) {
+	segs := s.listSegments()
+	last := uint64(0)
+	for i, seg := range segs {
+		stop, lastInSeg, err := s.replaySegment(reg, seg, snapLSN, st)
+		if err != nil {
+			return last, err
+		}
+		if lastInSeg > last {
+			last = lastInSeg
+		}
+		if stop {
+			// The segment lost its tail; anything after it is unreachable
+			// without risking a gap in the mutation order.
+			for _, later := range segs[i+1:] {
+				q := later.path + ".orphan"
+				if err := os.Rename(later.path, q); err != nil {
+					s.warnf("failed to quarantine %s: %v", later.path, err)
+				} else {
+					s.warnf("quarantined WAL segment %s (unreachable past a corrupted record)", later.path)
+				}
+			}
+			break
+		}
+	}
+	return last, nil
+}
+
+// replaySegment replays one segment file. It reports stop=true when the
+// segment was cut short (torn tail or corruption) — recovery must not read
+// any later segment in that case.
+func (s *Store) replaySegment(reg *registry.Registry, seg segment, snapLSN uint64, st *RecoveryStats) (stop bool, last uint64, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return false, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var good int64 // offset just past the last well-formed record
+	for {
+		rec, rerr := binspec.ReadRecord(br)
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return false, last, nil // clean end
+			}
+			if errors.Is(rerr, io.ErrUnexpectedEOF) {
+				s.warnf("torn record at end of %s; truncating to %d bytes", seg.path, good)
+			} else {
+				s.warnf("corrupt record in %s at offset %d (%v); truncating to last valid record", seg.path, good, rerr)
+			}
+			return true, last, s.truncateSegment(seg.path, good)
+		}
+		wr, derr := decodeMutation(rec)
+		if derr != nil {
+			s.warnf("undecodable record in %s at offset %d (%v); truncating to last valid record", seg.path, good, derr)
+			return true, last, s.truncateSegment(seg.path, good)
+		}
+		good += int64(len(rec)) + 8
+		last = wr.lsn
+		if wr.lsn <= snapLSN {
+			st.Skipped++
+			continue
+		}
+		if aerr := reg.ApplyAt(wr.m); aerr != nil {
+			// The mutation journaled successfully once, so this is a
+			// logic-level surprise (e.g. an extend whose base put was
+			// dropped by an earlier truncation). Keep going: dropping one
+			// mutation beats refusing to serve the rest of the catalog.
+			s.warnf("replay of %s %q (lsn %d) failed: %v", wr.m.Op, wr.m.Name, wr.lsn, aerr)
+			continue
+		}
+		st.Replayed++
+	}
+}
+
+// truncateSegment cuts the file at off, discarding the unreadable tail.
+func (s *Store) truncateSegment(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("store: truncate %s: %w", path, err)
+	}
+	return f.Sync()
+}
