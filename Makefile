@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench bench-store fuzz tables examples clean
+.PHONY: all check build test vet race bench bench-store bench-concurrent fuzz tables examples clean
 
 all: check
 
@@ -23,6 +23,9 @@ bench:
 
 bench-store:
 	$(GO) test -run xxx -bench 'SnapshotLoad|RecompileFromSource|SpecioJSONLoad' -benchmem ./internal/store/
+
+bench-concurrent:
+	$(GO) run ./cmd/fdbench concurrent BENCH_concurrent.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser

@@ -70,6 +70,8 @@ func run(args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "answer-cache capacity (entries); negative disables")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request deadline; negative disables")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body (bytes)")
+	batchMax := fs.Int("batch-max", server.DefaultMaxBatchQueries, "largest accepted /batch query count")
+	batchWorkers := fs.Int("batch-workers", server.DefaultBatchWorkers, "worker pool size per /batch request")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,7 +84,8 @@ func run(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody}
+	cfg := server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
+		MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers}
 	sopts := store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery}
 	return serve(ctx, ln, cfg, sopts, *preload, out)
 }

@@ -1,0 +1,147 @@
+// The concurrent benchmark measures read throughput of the two query
+// paths — the PR1-style mutex-serialized Ask and the snapshot-based
+// lock-free AskContext — at growing goroutine counts, and records the
+// result as JSON for CI artifact upload (make bench-concurrent).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"funcdb/internal/datagen"
+)
+
+// concurrentResult is one (mode, goroutines) cell of the throughput table.
+type concurrentResult struct {
+	Mode       string  `json:"mode"` // "locked" or "snapshot"
+	Goroutines int     `json:"goroutines"`
+	QPS        float64 `json:"qps"`
+}
+
+// concurrentReport is the schema of BENCH_concurrent.json.
+type concurrentReport struct {
+	Bench      string             `json:"bench"`
+	Workload   string             `json:"workload"`
+	CPUs       int                `json:"cpus"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	DurationMS int64              `json:"duration_ms"`
+	Results    []concurrentResult `json:"results"`
+	// Speedup8 is snapshot-vs-locked qps at 8 goroutines — the headline
+	// number; >1 means lock-free reads scale past the mutex.
+	Speedup8 float64 `json:"speedup_8"`
+}
+
+// concurrentQueries are ground yes-no queries over calendar(6) at mixed
+// depths, so each op exercises parsing, the scratch arenas and the DFA walk.
+var concurrentQueries = []string{
+	"?- Meets(10, s0).",
+	"?- Meets(100, s3).",
+	"?- Meets(512, s5).",
+	"?- Meets(1000, s1).",
+}
+
+// measureQPS runs op from g goroutines for roughly dur and reports ops/sec.
+// Each goroutine cycles through the query list from its own offset.
+func measureQPS(g int, dur time.Duration, op func(q string)) float64 {
+	var ops atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			var n int64
+			for j := offset; ; j++ {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+					op(concurrentQueries[j%len(concurrentQueries)])
+					n++
+				}
+			}
+		}(i)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / time.Since(start).Seconds()
+}
+
+// concurrent runs the throughput comparison and writes BENCH_concurrent.json
+// (or the path given as the second CLI argument).
+func concurrent(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_concurrent.json"
+	}
+	const perRun = 300 * time.Millisecond
+	db := open(datagen.CalendarSrc(6))
+	// Warm both paths so compilation and snapshot publication happen
+	// outside the timed region.
+	for _, q := range concurrentQueries {
+		if _, err := db.Ask(q); err != nil {
+			panic(err)
+		}
+		if _, err := db.AskContext(context.Background(), q); err != nil {
+			panic(err)
+		}
+	}
+
+	modes := []struct {
+		name string
+		op   func(q string)
+	}{
+		{"locked", func(q string) {
+			if _, err := db.Ask(q); err != nil {
+				panic(err)
+			}
+		}},
+		{"snapshot", func(q string) {
+			if _, err := db.AskContext(context.Background(), q); err != nil {
+				panic(err)
+			}
+		}},
+	}
+
+	rep := concurrentReport{
+		Bench:      "concurrent",
+		Workload:   fmt.Sprintf("calendar(6), %d ground queries, depth<=1000", len(concurrentQueries)),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationMS: perRun.Milliseconds(),
+	}
+	qpsAt8 := map[string]float64{}
+	fmt.Println("CONC  read throughput: mutex-serialized Ask vs lock-free snapshot")
+	fmt.Printf("mode       goroutines   qps\n")
+	for _, g := range []int{1, 4, 8} {
+		for _, m := range modes {
+			qps := measureQPS(g, perRun, m.op)
+			rep.Results = append(rep.Results, concurrentResult{Mode: m.name, Goroutines: g, QPS: qps})
+			if g == 8 {
+				qpsAt8[m.name] = qps
+			}
+			fmt.Printf("%-10s %-12d %.0f\n", m.name, g, qps)
+		}
+	}
+	if qpsAt8["locked"] > 0 {
+		rep.Speedup8 = qpsAt8["snapshot"] / qpsAt8["locked"]
+	}
+	fmt.Printf("speedup at 8 goroutines: %.2fx (on %d CPUs)\n", rep.Speedup8, rep.CPUs)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

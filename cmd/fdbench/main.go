@@ -6,6 +6,11 @@
 // Usage:
 //
 //	fdbench [t41|t42|t43|f1|a2|a3|all]
+//	fdbench concurrent [OUT.json]
+//
+// The concurrent subcommand is not part of "all": it compares the
+// mutex-serialized and lock-free snapshot read paths at 1/4/8 goroutines
+// and writes the throughput table as JSON (default BENCH_concurrent.json).
 package main
 
 import (
@@ -27,6 +32,14 @@ func main() {
 	which := "all"
 	if len(os.Args) > 1 {
 		which = os.Args[1]
+	}
+	if which == "concurrent" {
+		out := ""
+		if len(os.Args) > 2 {
+			out = os.Args[2]
+		}
+		concurrent(out)
+		return
 	}
 	run := func(name string, f func()) {
 		if which == "all" || which == name {

@@ -33,12 +33,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -167,15 +169,24 @@ func runRemote(base string, db string, useCC, info, interactive bool, addFacts s
 		}
 		fmt.Fprintf(out, "added facts (version %d)\n", v)
 	}
-	for _, q := range queries {
-		yes, _, err := rc.Ask(q)
-		if err != nil {
-			return fmt.Errorf("%s: %w", q, err)
+	if len(queries) > 0 {
+		// Ctrl-C aborts the in-flight request instead of waiting out the
+		// HTTP client timeout.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		for _, q := range queries {
+			yes, _, err := rc.AskContext(ctx, q)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+			fmt.Fprintf(out, "%-40s %v\n", q, yes)
 		}
-		fmt.Fprintf(out, "%-40s %v\n", q, yes)
 	}
 	if interactive {
-		return repl.RunRemote(rc, in, out)
+		// RunRemoteContext arms SIGINT per command: Ctrl-C mid-query
+		// cancels that query and returns to the prompt; Ctrl-C at the
+		// prompt keeps its default exit behavior.
+		return repl.RunRemoteContext(context.Background(), rc, in, out)
 	}
 	return nil
 }

@@ -37,7 +37,9 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/engine"
 	"funcdb/internal/minimize"
+	"funcdb/internal/parser"
 	"funcdb/internal/query"
+	"funcdb/internal/registry"
 	"funcdb/internal/specgraph"
 	"funcdb/internal/specio"
 	"funcdb/internal/symbols"
@@ -92,6 +94,38 @@ type (
 	ClusterView = specgraph.ClusterView
 	// LintFinding is one diagnostic from Database.Lint.
 	LintFinding = core.LintFinding
+	// Snapshot is an immutable, lock-free view of a Database at one point
+	// in time; any number of goroutines may query one concurrently.
+	Snapshot = core.Snapshot
+	// BatchResult is one query's outcome from AskBatch.
+	BatchResult = core.BatchResult
+	// Method selects the ground-query decision procedure (see Options).
+	Method = core.Method
+	// ParseError is a syntax error with line/column position.
+	ParseError = parser.ParseError
+)
+
+// Ground-query decision procedures for Options.Method.
+const (
+	// MethodAuto picks the default procedure (the DFA walk).
+	MethodAuto = core.MethodAuto
+	// MethodGraph answers through the graph specification's DFA walk.
+	MethodGraph = core.MethodGraph
+	// MethodEquational answers through congruence closure over the
+	// equational specification.
+	MethodEquational = core.MethodEquational
+)
+
+// Typed errors shared across the façade, the registry and the server.
+var (
+	// ErrUnknownDatabase reports a name with no registry entry.
+	ErrUnknownDatabase = registry.ErrUnknownDatabase
+	// ErrUnsafeQuery reports a query whose free variables do not all
+	// occur in its body.
+	ErrUnsafeQuery = core.ErrUnsafeQuery
+	// ErrCanceled matches (via errors.Is) any evaluation abandoned
+	// because its context expired.
+	ErrCanceled = core.ErrCanceled
 )
 
 // Equivalent decides whether two minimized specifications represent the

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"funcdb/internal/ast"
 	"funcdb/internal/canonical"
@@ -35,12 +36,29 @@ import (
 	"funcdb/internal/topdown"
 )
 
+// Method selects how ground membership queries are decided.
+type Method int
+
+const (
+	// MethodAuto lets the database pick; currently the graph walk.
+	MethodAuto Method = iota
+	// MethodGraph decides membership by the successor-DFA walk over the
+	// graph specification (B, T) — the default.
+	MethodGraph
+	// MethodEquational decides ground membership by congruence closure
+	// against the relation R of the canonical form (§3.5). Open queries
+	// still evaluate through the graph specification.
+	MethodEquational
+)
+
 // Options configure a Database.
 type Options struct {
 	// Engine bounds the fixpoint engine's work.
 	Engine engine.Options
 	// Spec bounds Algorithm Q.
 	Spec specgraph.Options
+	// Method selects the ground-membership decision procedure for Ask.
+	Method Method
 	// DisableTemporal turns the temporal (lasso) fast path off even for
 	// temporal programs; the generic machinery is used instead. Used by the
 	// ablation benchmarks.
@@ -80,6 +98,9 @@ type Database struct {
 	queries  []ast.Query
 	universe *term.Universe
 	world    *facts.World
+
+	// snap caches the published immutable Snapshot; invalidate() clears it.
+	snap atomic.Pointer[Snapshot]
 }
 
 // Open parses source text and compiles it into a Database. Queries embedded
@@ -228,8 +249,9 @@ func (db *Database) ParseQuery(src string) (*ast.Query, error) {
 	return parser.ParseQuery(db.Source, src)
 }
 
-// Ask answers a yes-no query: for a ground query, membership of each atom;
-// for an open query, non-emptiness of the answer set.
+// Ask answers a yes-no query: for a ground query, membership of each atom
+// decided by Options.Method; for an open query, non-emptiness of the answer
+// set.
 func (db *Database) Ask(src string) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -237,7 +259,7 @@ func (db *Database) Ask(src string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return db.askQueryLocked(q)
+	return db.askQueryMethodLocked(q, db.opts.Method)
 }
 
 // AskQuery is Ask for a pre-parsed query.
@@ -248,6 +270,10 @@ func (db *Database) AskQuery(q *ast.Query) (bool, error) {
 }
 
 func (db *Database) askQueryLocked(q *ast.Query) (bool, error) {
+	return db.askQueryMethodLocked(q, db.opts.Method)
+}
+
+func (db *Database) askQueryMethodLocked(q *ast.Query, m Method) (bool, error) {
 	sp, err := db.graphLocked()
 	if err != nil {
 		return false, err
@@ -260,8 +286,21 @@ func (db *Database) askQueryLocked(q *ast.Query) (bool, error) {
 		}
 	}
 	if ground {
+		var form *canonical.Form
+		if m == MethodEquational {
+			form, err = db.canonicalLocked()
+			if err != nil {
+				return false, err
+			}
+		}
 		for i := range q.Atoms {
-			ok, err := db.hasGroundAtom(sp, &q.Atoms[i])
+			var ok bool
+			var err error
+			if form != nil {
+				ok, err = db.hasGroundAtomCC(form, &q.Atoms[i])
+			} else {
+				ok, err = db.hasGroundAtom(sp, &q.Atoms[i])
+			}
 			if err != nil {
 				return false, err
 			}
@@ -322,14 +361,14 @@ func (db *Database) groundAtomParts(a *ast.Atom) (term.Term, []symbols.ConstID, 
 // functional atom's membership is decided by congruence closure against
 // the relation R of the canonical form (§3.5), never by the DFA walk.
 // Non-functional atoms are looked up in the global database as usual.
+//
+// Deprecated: set Options.Method to MethodEquational and use Ask. AskCC
+// remains as a thin wrapper forcing the equational method for one call; it
+// still rejects open queries, which Ask evaluates through the graph.
 func (db *Database) AskCC(src string) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	q, err := parser.ParseQuery(db.Source, src)
-	if err != nil {
-		return false, err
-	}
-	form, err := db.canonicalLocked()
 	if err != nil {
 		return false, err
 	}
@@ -338,21 +377,20 @@ func (db *Database) AskCC(src string) (bool, error) {
 		if !a.IsGround() {
 			return false, fmt.Errorf("core: the congruence-closure path needs a ground query; %s has variables", a.Format(db.Tab()))
 		}
-		t, args, err := db.groundAtomParts(a)
-		if err != nil {
-			return false, err
-		}
-		var ok bool
-		if t == term.None {
-			ok = form.HasData(a.Pred, args)
-		} else {
-			ok = form.Has(a.Pred, t, args)
-		}
-		if !ok {
-			return false, nil
-		}
 	}
-	return true, nil
+	return db.askQueryMethodLocked(q, MethodEquational)
+}
+
+// hasGroundAtomCC decides one ground atom by congruence closure.
+func (db *Database) hasGroundAtomCC(form *canonical.Form, a *ast.Atom) (bool, error) {
+	t, args, err := db.groundAtomParts(a)
+	if err != nil {
+		return false, err
+	}
+	if t == term.None {
+		return form.HasData(a.Pred, args), nil
+	}
+	return form.Has(a.Pred, t, args), nil
 }
 
 func ftIsPure(ft *ast.FTerm) bool {

@@ -138,11 +138,14 @@ func (db *Database) recompile() error {
 }
 
 // invalidate drops the lazily built views so they are rebuilt on demand.
+// Published snapshots are unaffected (they stay valid as of their creation);
+// only the cached pointer is cleared so the next Snapshot call rebuilds.
 func (db *Database) invalidate() {
 	db.graph = nil
 	db.eq = nil
 	db.lasso = nil
 	db.canon = nil
+	db.snap.Store(nil)
 }
 
 // parseFactsInto parses fact syntax against prog's symbol table, reusing

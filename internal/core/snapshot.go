@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/congruence"
+	"funcdb/internal/engine"
+	"funcdb/internal/facts"
+	"funcdb/internal/parser"
+	"funcdb/internal/query"
+	"funcdb/internal/rewrite"
+	"funcdb/internal/specgraph"
+	"funcdb/internal/subst"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// Snapshot is an immutable view of a compiled database at one point in
+// time. Any number of goroutines may evaluate queries against one Snapshot
+// concurrently with no locking at all: the symbol table, term universe,
+// fact world and graph specification are frozen copies, and every query
+// gets private scratch overlays for whatever it needs to intern (novel
+// terms, tuples, symbols). Mutating the owning Database (Extend,
+// ExtendRules) never changes a published Snapshot — it simply becomes
+// stale, and the next Database.Snapshot call builds a fresh one.
+type Snapshot struct {
+	source *ast.Program // clone whose Tab is the frozen table
+	tab    *symbols.Table
+	u      *term.Universe
+	w      *facts.World
+	spec   *specgraph.Frozen
+
+	method   Method
+	engOpts  engine.Options
+	specOpts specgraph.Options
+
+	// canonical form, built lazily (first equational-method query).
+	canonOnce sync.Once
+	canonEq   *congruence.Frozen
+	canonCand map[facts.AtomID][]term.Term
+}
+
+// Snapshot returns the current immutable view, building (and caching) it
+// under the writer lock on first use after a mutation. The returned value
+// is safe for unlimited concurrent use and stays valid — answering
+// consistently as of its creation — even while the database is extended or
+// recompiled underneath it.
+func (db *Database) Snapshot() (*Snapshot, error) {
+	if s := db.snap.Load(); s != nil {
+		return s, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.snapshotLocked()
+}
+
+func (db *Database) snapshotLocked() (*Snapshot, error) {
+	if s := db.snap.Load(); s != nil {
+		return s, nil
+	}
+	sp, err := db.graphLocked()
+	if err != nil {
+		return nil, err
+	}
+	tab := db.Source.Tab.Clone()
+	src := db.Source.Clone()
+	src.Tab = tab
+	s := &Snapshot{
+		source:   src,
+		tab:      tab,
+		u:        db.universe.Freeze(),
+		w:        db.world.Freeze(),
+		spec:     sp.Freeze(),
+		method:   db.opts.Method,
+		engOpts:  db.opts.Engine,
+		specOpts: db.opts.Spec,
+	}
+	db.snap.Store(s)
+	return s, nil
+}
+
+// canonical lazily builds the frozen canonical form (the relation R's
+// congruence plus the candidate map). The build reads only frozen data, so
+// racing goroutines are safe; sync.Once elects one builder.
+func (s *Snapshot) canonical() (*congruence.Frozen, map[facts.AtomID][]term.Term) {
+	s.canonOnce.Do(func() {
+		slv := congruence.NewSolver(s.u)
+		for _, m := range s.spec.Merges {
+			slv.Assert(m.Rep, m.Potential)
+		}
+		s.canonEq = slv.Freeze()
+		s.canonCand = make(map[facts.AtomID][]term.Term)
+		for _, rep := range s.spec.Reps {
+			for _, a := range s.spec.Slice(s.w, rep) {
+				s.canonCand[a] = append(s.canonCand[a], rep)
+			}
+		}
+	})
+	return s.canonEq, s.canonCand
+}
+
+// evalCtx bundles one query's scratch overlays over the snapshot. It is
+// single-goroutine; every query evaluation creates its own.
+type evalCtx struct {
+	snap *Snapshot
+	tab  *symbols.Scratch
+	u    *term.Scratch
+	w    *facts.Scratch
+}
+
+func (s *Snapshot) newEval() *evalCtx {
+	return &evalCtx{
+		snap: s,
+		tab:  symbols.NewScratch(s.tab),
+		u:    term.NewScratch(s.u),
+		w:    facts.NewScratch(s.w),
+	}
+}
+
+// frozenBackend adapts an evalCtx to query.Backend: spec structure from the
+// frozen snapshot, interning through the query-local overlays.
+type frozenBackend struct{ ec *evalCtx }
+
+func (b frozenBackend) Terms() term.View              { return b.ec.u }
+func (b frozenBackend) Facts() facts.WorldView        { return b.ec.w }
+func (b frozenBackend) Names() symbols.Namer          { return b.ec.tab }
+func (b frozenBackend) AlphabetFns() []symbols.FuncID { return b.ec.snap.spec.Alphabet }
+func (b frozenBackend) RepTerms() []term.Term         { return b.ec.snap.spec.Reps }
+func (b frozenBackend) Representative(t term.Term) (term.Term, error) {
+	return b.ec.snap.spec.Representative(b.ec.u, t)
+}
+func (b frozenBackend) RepStateAtoms(rep term.Term) []facts.AtomID {
+	return b.ec.w.StateAtoms(b.ec.snap.spec.StateOfRep(rep))
+}
+func (b frozenBackend) GlobalByPred(p symbols.PredID) []facts.AtomID {
+	return b.ec.snap.spec.GlobalByPred(p)
+}
+
+// ParseQuery parses a query against the snapshot's symbols without touching
+// them: novel symbols land in a discarded scratch overlay.
+func (s *Snapshot) ParseQuery(src string) (*ast.Query, error) {
+	_, q, err := s.parseQuery(src)
+	return q, err
+}
+
+func (s *Snapshot) parseQuery(src string) (*evalCtx, *ast.Query, error) {
+	ec := s.newEval()
+	q, err := parser.ParseQueryTab(ec.tab, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ec, q, nil
+}
+
+// Ask answers a yes-no query against the snapshot, lock-free. ctx cancels
+// long evaluations; an expired context yields an error matching ErrCanceled
+// and leaves the snapshot untouched (there is nothing to poison — all
+// intermediate state is query-local).
+func (s *Snapshot) Ask(ctx context.Context, src string) (bool, error) {
+	ec, q, err := s.parseQuery(src)
+	if err != nil {
+		return false, err
+	}
+	ok, err := s.askQuery(ctx, ec, q)
+	return ok, wrapCanceled(err)
+}
+
+func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	ground := true
+	for i := range q.Atoms {
+		if !q.Atoms[i].IsGround() {
+			ground = false
+			break
+		}
+	}
+	if ground {
+		var csc *congruence.Scratch
+		if s.method == MethodEquational {
+			csc = congruence.NewScratch()
+		}
+		for i := range q.Atoms {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			ok, err := s.hasGroundAtom(ec, &q.Atoms[i], csc)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	ans, err := s.answersQuery(ctx, ec, q)
+	if err != nil {
+		return false, err
+	}
+	return !ans.IsEmpty(), nil
+}
+
+// hasGroundAtom decides one ground atom. csc is non-nil exactly when the
+// equational method is in force: membership then goes through congruence
+// closure against R instead of the successor DFA.
+func (s *Snapshot) hasGroundAtom(ec *evalCtx, a *ast.Atom, csc *congruence.Scratch) (bool, error) {
+	t, args, err := s.groundAtomParts(ec, a)
+	if err != nil {
+		return false, err
+	}
+	if t == term.None {
+		return s.spec.HasData(ec.w, a.Pred, args), nil
+	}
+	if csc != nil {
+		eq, cand := s.canonical()
+		atom := ec.w.Atom(a.Pred, ec.w.Tuple(args))
+		return eq.CongruentToAny(ec.u, t, cand[atom], csc), nil
+	}
+	return s.spec.Has(ec.u, ec.w, a.Pred, t, args)
+}
+
+// groundAtomParts interns a ground atom's functional term (term.None for a
+// non-functional atom) and data arguments into the query's overlays,
+// eliminating mixed symbols on the fly in a thawed private table.
+func (s *Snapshot) groundAtomParts(ec *evalCtx, a *ast.Atom) (term.Term, []symbols.ConstID, error) {
+	args := make([]symbols.ConstID, len(a.Args))
+	for i, d := range a.Args {
+		args[i] = d.Const
+	}
+	if a.FT == nil {
+		return term.None, args, nil
+	}
+	ft := a.FT
+	if !ftIsPure(ft) {
+		// Elimination interns derived symbols; run it on a private thawed
+		// table and absorb the new symbols back into the overlay so the
+		// identifier spaces stay aligned.
+		tab2 := ec.tab.Thaw()
+		p := &ast.Program{Tab: tab2, Facts: []ast.Atom{{Pred: a.Pred, FT: ft, Args: a.Args}}}
+		pure, err := rewrite.EliminateMixed(p)
+		if err != nil {
+			return term.None, nil, err
+		}
+		ec.tab.Absorb(pure.Tab)
+		ft = pure.Facts[0].FT
+	}
+	t, ok := subst.GroundFTerm(ec.u, ft)
+	if !ok {
+		return term.None, nil, fmt.Errorf("core: atom is not ground")
+	}
+	return t, args, nil
+}
+
+// Answers computes the relational specification of a query's answer set
+// against the snapshot, lock-free. The returned Answers value carries its
+// own guard (protecting its scratch overlays), so it too is safe for
+// concurrent use; enumeration renders through Answers.TermString and
+// friends, never through the live database.
+func (s *Snapshot) Answers(ctx context.Context, src string) (*query.Answers, error) {
+	ec, q, err := s.parseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := s.answersQuery(ctx, ec, q)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return ans, nil
+}
+
+func (s *Snapshot) answersQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (*query.Answers, error) {
+	var ans *query.Answers
+	var err error
+	if query.IsUniform(q) {
+		ans, err = query.IncrementalContext(ctx, frozenBackend{ec}, q)
+	} else {
+		// Recompute builds a private enlarged program: thaw the overlay
+		// into a standalone table (the query's scratch symbols keep their
+		// identifiers) and run the whole pipeline on private state.
+		tab2 := ec.tab.Thaw()
+		src2 := &ast.Program{
+			Tab:   tab2,
+			Facts: s.source.Facts,
+			Rules: s.source.Rules,
+		}
+		ans, err = query.RecomputeContext(ctx, src2, q, s.engOpts, s.specOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ans.Guard(&sync.Mutex{})
+	return ans, nil
+}
+
+// BatchResult is the outcome of one query of an AskBatch call.
+type BatchResult struct {
+	// Query is the source text, as submitted.
+	Query string
+	// OK is the answer when Err is nil.
+	OK bool
+	// Err is the per-query failure, if any; one bad query does not fail
+	// the batch.
+	Err error
+}
+
+// AskBatch evaluates many yes-no queries concurrently against this one
+// snapshot with a bounded worker pool (workers <= 0 picks a sensible
+// default). Results are in input order. An expired ctx marks the remaining
+// queries with an error matching ErrCanceled.
+func (s *Snapshot) AskBatch(ctx context.Context, queries []string, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				ok, err := s.Ask(ctx, queries[j])
+				out[j] = BatchResult{Query: queries[j], OK: ok, Err: err}
+			}
+		}()
+	}
+	for j := range queries {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// AskContext answers a yes-no query on the current snapshot: the read runs
+// lock-free and concurrently with other readers, honoring ctx. See Ask for
+// the method semantics.
+func (db *Database) AskContext(ctx context.Context, src string) (bool, error) {
+	s, err := db.Snapshot()
+	if err != nil {
+		return false, err
+	}
+	return s.Ask(ctx, src)
+}
+
+// AnswersContext computes a query's answer specification on the current
+// snapshot, lock-free, honoring ctx.
+func (db *Database) AnswersContext(ctx context.Context, src string) (*query.Answers, error) {
+	s, err := db.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return s.Answers(ctx, src)
+}
+
+// AskBatch evaluates many yes-no queries concurrently on one snapshot of
+// the database. See Snapshot.AskBatch.
+func (db *Database) AskBatch(ctx context.Context, queries []string, workers int) ([]BatchResult, error) {
+	s, err := db.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return s.AskBatch(ctx, queries, workers), nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"funcdb/internal/query"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// collectAnswers enumerates an answer specification into a sorted list of
+// rendered tuples, so locked and snapshot evaluations can be compared.
+func collectAnswers(t *testing.T, ans *query.Answers, depth int) []string {
+	t.Helper()
+	var out []string
+	err := ans.Enumerate(depth, func(ft term.Term, args []symbols.ConstID) bool {
+		row := ""
+		if ft != term.None {
+			row = ans.CompactTermString(ft)
+		}
+		for _, c := range args {
+			row += "|" + ans.ConstName(c)
+		}
+		out = append(out, row)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSnapshotMatchesLockedPath answers the same queries through the mutex
+// path (db.Ask/db.Answers) and the lock-free snapshot path, across ground,
+// open, uniform and non-uniform shapes.
+func TestSnapshotMatchesLockedPath(t *testing.T) {
+	db, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ctx := context.Background()
+	asks := []string{
+		`?- Meets(0, tony).`,
+		`?- Meets(8, tony).`,
+		`?- Meets(9, tony).`,
+		`?- Meets(9, jan), Meets(8, tony).`,
+		`?- Meets(9, jan), Meets(9, tony).`,
+		`?- Next(tony, jan).`,
+		`?- Next(jan, bob).`, // novel constant: scratch-interned, absent
+		`?- Meets(T, tony).`,
+	}
+	for _, q := range asks {
+		locked, err := db.Ask(q)
+		if err != nil {
+			t.Fatalf("Ask(%s): %v", q, err)
+		}
+		snap, err := db.AskContext(ctx, q)
+		if err != nil {
+			t.Fatalf("AskContext(%s): %v", q, err)
+		}
+		if locked != snap {
+			t.Errorf("Ask(%s): locked=%v snapshot=%v", q, locked, snap)
+		}
+	}
+
+	answers := []string{
+		`?- Meets(T, X).`,    // uniform: incremental on the frozen spec
+		`?- Meets(T, tony).`, // non-uniform: recompute on private state
+		`?- Next(tony, X).`,  // data-only
+	}
+	for _, q := range answers {
+		la, err := db.Answers(q)
+		if err != nil {
+			t.Fatalf("Answers(%s): %v", q, err)
+		}
+		sa, err := db.AnswersContext(ctx, q)
+		if err != nil {
+			t.Fatalf("AnswersContext(%s): %v", q, err)
+		}
+		lrows, srows := collectAnswers(t, la, 6), collectAnswers(t, sa, 6)
+		if fmt.Sprint(lrows) != fmt.Sprint(srows) {
+			t.Errorf("Answers(%s):\n locked   %v\n snapshot %v", q, lrows, srows)
+		}
+	}
+}
+
+// TestSnapshotMixedGroundQuery sends a query whose term mixes function
+// symbols (forcing the §2.4 elimination on the snapshot's thawed private
+// table) down both paths.
+func TestSnapshotMixedGroundQuery(t *testing.T) {
+	src := `
+Reach(0, home).
+Reach(T, X) -> Reach(up(T), X).
+Reach(T, X) -> Reach(left(T), X).
+`
+	db, err := Open(src, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, q := range []string{
+		`?- Reach(up(left(0)), home).`,
+		`?- Reach(left(up(up(0))), home).`,
+	} {
+		locked, err := db.Ask(q)
+		if err != nil {
+			t.Fatalf("Ask(%s): %v", q, err)
+		}
+		snap, err := db.AskContext(context.Background(), q)
+		if err != nil {
+			t.Fatalf("AskContext(%s): %v", q, err)
+		}
+		if locked != snap || !snap {
+			t.Errorf("mixed Ask(%s): locked=%v snapshot=%v, want true", q, locked, snap)
+		}
+	}
+}
+
+// TestSnapshotCanceledContext checks that an expired context yields
+// ErrCanceled without poisoning the snapshot: the same snapshot value must
+// keep answering correctly afterwards.
+func TestSnapshotCanceledContext(t *testing.T) {
+	db, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s, err := db.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Ask(canceled, `?- Meets(8, tony).`); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Ask(canceled ctx) = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(wrapCanceled(canceled.Err()), context.Canceled) {
+		t.Fatalf("wrapped error lost its cause")
+	}
+	if _, err := s.Answers(canceled, `?- Meets(T, X).`); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Answers(canceled ctx) = %v, want ErrCanceled", err)
+	}
+	// The snapshot is untouched: fresh contexts still answer.
+	got, err := s.Ask(context.Background(), `?- Meets(8, tony).`)
+	if err != nil || !got {
+		t.Fatalf("Ask after cancellation = %v, %v; want true", got, err)
+	}
+}
+
+// TestSnapshotDeadlineExceeded distinguishes deadline expiry from explicit
+// cancellation through the same ErrCanceled umbrella.
+func TestSnapshotDeadlineExceeded(t *testing.T) {
+	db, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	_, err = db.AskContext(ctx, `?- Meets(8, tony).`)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline = %v, want ErrCanceled ∧ DeadlineExceeded", err)
+	}
+}
+
+// TestSnapshotStaleAfterExtend takes a snapshot, extends the database, and
+// checks the old snapshot still answers as of its creation while a fresh
+// snapshot sees the new fact.
+func TestSnapshotStaleAfterExtend(t *testing.T) {
+	db, err := Open("Even(0).\nEven(T) -> Even(T+2).\n", Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ctx := context.Background()
+	old, err := db.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if got, _ := old.Ask(ctx, `?- Even(3).`); got {
+		t.Fatal("Even(3) before extension")
+	}
+	if err := db.Extend("Even(3)."); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	// The published snapshot is immutable: still the old answer.
+	if got, _ := old.Ask(ctx, `?- Even(3).`); got {
+		t.Error("stale snapshot changed its answer after Extend")
+	}
+	// A fresh snapshot (rebuilt after invalidation) sees the new fact.
+	if got, err := db.AskContext(ctx, `?- Even(3).`); err != nil || !got {
+		t.Errorf("fresh snapshot Even(3) = %v, %v; want true", got, err)
+	}
+	if got, err := db.AskContext(ctx, `?- Even(7).`); err != nil || !got {
+		t.Errorf("fresh snapshot Even(7) = %v, %v; want true", got, err)
+	}
+}
+
+// TestAskBatch checks ordering, per-query error isolation and the worker
+// clamp.
+func TestAskBatch(t *testing.T) {
+	db, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	queries := []string{
+		`?- Meets(0, tony).`,
+		`?- Meets(1, tony).`,
+		`?- Meets(`, // syntax error: fails alone, not the batch
+		`?- Meets(9, jan).`,
+	}
+	res, err := db.AskBatch(context.Background(), queries, 8)
+	if err != nil {
+		t.Fatalf("AskBatch: %v", err)
+	}
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(res), len(queries))
+	}
+	want := []bool{true, false, false, true}
+	for i, r := range res {
+		if r.Query != queries[i] {
+			t.Errorf("result %d out of order: %q", i, r.Query)
+		}
+		if i == 2 {
+			if r.Err == nil {
+				t.Error("syntax error swallowed")
+			}
+			continue
+		}
+		if r.Err != nil || r.OK != want[i] {
+			t.Errorf("result %d = %v, %v; want %v", i, r.OK, r.Err, want[i])
+		}
+	}
+}
+
+// TestMethodEquational folds AskCC into Ask: with Options.Method set, plain
+// Ask decides ground queries through congruence closure and must agree with
+// the graph method.
+func TestMethodEquational(t *testing.T) {
+	graphDB, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	eqDB, err := Open(meetingsSrc, Options{Method: MethodEquational})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ctx := context.Background()
+	for _, q := range []string{
+		`?- Meets(0, tony).`,
+		`?- Meets(7, jan).`,
+		`?- Meets(7, tony).`,
+		`?- Meets(100, tony).`,
+	} {
+		g, err := graphDB.AskContext(ctx, q)
+		if err != nil {
+			t.Fatalf("graph AskContext(%s): %v", q, err)
+		}
+		e, err := eqDB.AskContext(ctx, q)
+		if err != nil {
+			t.Fatalf("equational AskContext(%s): %v", q, err)
+		}
+		if g != e {
+			t.Errorf("method disagreement on %s: graph=%v equational=%v", q, g, e)
+		}
+		// The locked path folds the same way.
+		el, err := eqDB.Ask(q)
+		if err != nil {
+			t.Fatalf("equational Ask(%s): %v", q, err)
+		}
+		if el != e {
+			t.Errorf("locked equational Ask(%s) = %v, snapshot = %v", q, el, e)
+		}
+	}
+	// The deprecated wrapper still answers ground queries and still
+	// rejects open ones.
+	if got, err := graphDB.AskCC(`?- Meets(8, tony).`); err != nil || !got {
+		t.Errorf("AskCC = %v, %v; want true", got, err)
+	}
+	if _, err := graphDB.AskCC(`?- Meets(T, tony).`); err == nil {
+		t.Error("AskCC accepted an open query")
+	}
+}
+
+// TestSnapshotConcurrentReaders hammers one snapshot from many goroutines,
+// mixing ground asks, open asks and enumerations. Run under -race in CI.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	db, err := Open(meetingsSrc, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s, err := db.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				day := (g*7 + i) % 20
+				want := day%2 == 0 // tony on even days
+				got, err := s.Ask(ctx, fmt.Sprintf(`?- Meets(%d, tony).`, day))
+				if err != nil {
+					t.Errorf("Ask: %v", err)
+					return
+				}
+				if got != want {
+					t.Errorf("Meets(%d, tony) = %v, want %v", day, got, want)
+					return
+				}
+				if i%10 == 0 {
+					ans, err := s.Answers(ctx, `?- Meets(T, X).`)
+					if err != nil {
+						t.Errorf("Answers: %v", err)
+						return
+					}
+					n := 0
+					ans.Enumerate(4, func(term.Term, []symbols.ConstID) bool { n++; return true })
+					if n == 0 {
+						t.Error("empty enumeration")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

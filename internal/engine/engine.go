@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"funcdb/internal/ast"
@@ -106,6 +107,7 @@ type Engine struct {
 	stats    Stats
 	overflow error
 	solved   bool
+	ctx      context.Context
 
 	ruleFired map[*normform.Rule]bool
 }
@@ -474,8 +476,20 @@ func (e *Engine) evalCell(c *cell) bool {
 // Solve runs the chaotic iteration to the simultaneous least fixpoint of
 // globals, anchors and cells. It is idempotent and cheap to re-run after
 // new cells have been created by state queries.
+// SetContext installs a cancellation context checked once per fixpoint
+// round. Solve (and everything that triggers it, such as StateOf on a new
+// term) aborts with the context's error once it expires. A nil or expired
+// context does not corrupt the engine: the fixpoint simply stops early and
+// the next Solve call resumes from the facts derived so far.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
 func (e *Engine) Solve() error {
 	for {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		e.stats.Rounds++
 		changed := e.evalGlobals()
 		for _, t := range e.anchorList {

@@ -45,6 +45,13 @@ func MustParse(src string) *Result {
 // ParseQuery parses a single "?- ... ." query against an existing program's
 // symbol table, using the program to resolve predicate functionality.
 func ParseQuery(prog *ast.Program, src string) (*ast.Query, error) {
+	return ParseQueryTab(prog.Tab, src)
+}
+
+// ParseQueryTab is ParseQuery against a bare symbol interner — typically a
+// symbols.Scratch over a frozen snapshot table, so that parsing a query
+// never mutates shared state.
+func ParseQueryTab(tab symbols.Interner, src string) (*ast.Query, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
@@ -57,10 +64,10 @@ func ParseQuery(prog *ast.Program, src string) (*ast.Query, error) {
 		return nil, fmt.Errorf("expected exactly one query")
 	}
 	b := newBuilder()
-	b.prog = prog
+	b.tab = tab
 	// Seed predicate states from the program's symbol table.
-	for i := 0; i < prog.Tab.NumPreds(); i++ {
-		info := prog.Tab.PredInfo(symbols.PredID(i))
+	for i := 0; i < tab.NumPreds(); i++ {
+		info := tab.PredInfo(symbols.PredID(i))
 		total := info.Arity
 		if info.Functional {
 			total++
@@ -89,15 +96,21 @@ const (
 )
 
 type builder struct {
-	prog      *ast.Program
+	prog *ast.Program
+	// tab is where symbols are interned: the program's own table when
+	// building a program, or any Interner (e.g. a scratch overlay) when
+	// building a standalone query.
+	tab       symbols.Interner
 	predState map[string]int
 	varState  map[string]int
 	fromDir   map[string]bool
 }
 
 func newBuilder() *builder {
+	prog := ast.NewProgram()
 	return &builder{
-		prog:      ast.NewProgram(),
+		prog:      prog,
+		tab:       prog.Tab,
 		predState: make(map[string]int),
 		varState:  make(map[string]int),
 		fromDir:   make(map[string]bool),
@@ -252,7 +265,7 @@ func (b *builder) predFunctional(a *rawAtom) bool {
 
 // succ returns the interned temporal successor symbol.
 func (b *builder) succ() symbols.FuncID {
-	return b.prog.Tab.Func(term.SuccName, 0)
+	return b.tab.Func(term.SuccName, 0)
 }
 
 func (b *builder) dterm(t *rawTerm) (ast.DTerm, error) {
@@ -262,11 +275,11 @@ func (b *builder) dterm(t *rawTerm) (ast.DTerm, error) {
 	}
 	switch t.kind {
 	case rVar:
-		return ast.V(b.prog.Tab.Var(t.name)), nil
+		return ast.V(b.tab.Var(t.name)), nil
 	case rConst:
-		return ast.C(b.prog.Tab.Const(t.name)), nil
+		return ast.C(b.tab.Const(t.name)), nil
 	case rNum:
-		return ast.C(b.prog.Tab.Const(strconv.Itoa(t.num))), nil
+		return ast.C(b.tab.Const(strconv.Itoa(t.num))), nil
 	case rApp:
 		return ast.DTerm{}, fmt.Errorf("%s: function application %s(...) is only allowed in functional positions", where, t.name)
 	}
@@ -284,7 +297,7 @@ func (b *builder) fterm(t *rawTerm) (*ast.FTerm, error) {
 			out = out.Apply(s)
 		}
 	case rVar:
-		out = ast.FVar(b.prog.Tab.Var(t.name))
+		out = ast.FVar(b.tab.Var(t.name))
 	case rConst:
 		return nil, fmt.Errorf("%s: constant %s cannot appear in a functional position", where, t.name)
 	case rApp:
@@ -303,7 +316,7 @@ func (b *builder) fterm(t *rawTerm) (*ast.FTerm, error) {
 			}
 			dargs = append(dargs, d)
 		}
-		fn := b.prog.Tab.Func(t.name, len(dargs))
+		fn := b.tab.Func(t.name, len(dargs))
 		out = inner.Apply(fn, dargs...)
 	}
 	if t.plus > 0 {
@@ -321,7 +334,7 @@ func (b *builder) atom(a *rawAtom) (ast.Atom, error) {
 	if functional {
 		arity--
 	}
-	pred := b.prog.Tab.Pred(a.name, arity, functional)
+	pred := b.tab.Pred(a.name, arity, functional)
 	out := ast.Atom{Pred: pred}
 	start := 0
 	if functional {
@@ -355,7 +368,7 @@ func (b *builder) query(cl *rawClause) (*ast.Query, error) {
 	// Free variables: every named (non-underscore) variable, in order of
 	// first occurrence.
 	addVar := func(v symbols.VarID) {
-		name := b.prog.Tab.VarName(v)
+		name := b.tab.VarName(v)
 		if name[0] == '_' || seen[v] {
 			return
 		}

@@ -1,0 +1,24 @@
+package parser
+
+import "fmt"
+
+// ParseError is a syntax error with its source position. Line and Col are
+// 1-based; Col is 0 when only the line is known. It renders as
+// "line:col: message", the format the REPL and server have always shown.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%d: %s", e.Line, e.Msg)
+}
+
+// perrf builds a positioned syntax error.
+func perrf(line, col int, format string, args ...any) error {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -22,7 +22,6 @@
 package parser
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -97,7 +96,7 @@ func newLexer(src string) *lexer {
 }
 
 func (l *lexer) errf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return perrf(line, col, format, args...)
 }
 
 func (l *lexer) peekByte() (byte, bool) {

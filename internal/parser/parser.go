@@ -1,8 +1,6 @@
 package parser
 
-import (
-	"fmt"
-)
+import ()
 
 // Raw syntax trees, produced before predicate functionality is known.
 
@@ -76,8 +74,7 @@ func (p *parser) advance() error {
 
 func (p *parser) expect(k tokKind) (token, error) {
 	if p.tok.kind != k {
-		return token{}, fmt.Errorf("%d:%d: expected %s, found %s",
-			p.tok.line, p.tok.col, k, p.tok.kind)
+		return token{}, perrf(p.tok.line, p.tok.col, "expected %s, found %s", k, p.tok.kind)
 	}
 	t := p.tok
 	if err := p.advance(); err != nil {
@@ -123,8 +120,7 @@ func (p *parser) parseDirective() (rawDirective, error) {
 		return rawDirective{}, err
 	}
 	if kw.text != "functional" && kw.text != "data" {
-		return rawDirective{}, fmt.Errorf("%d:%d: unknown directive @%s (want @functional or @data)",
-			kw.line, kw.col, kw.text)
+		return rawDirective{}, perrf(kw.line, kw.col, "unknown directive @%s (want @functional or @data)", kw.text)
 	}
 	name, err := p.expect(tokIdent)
 	if err != nil {
@@ -181,7 +177,7 @@ func (p *parser) parseClause() (rawClause, error) {
 		return rawClause{head: &head, body: atoms, isRule: true, line: line}, nil
 	case tokLArrow:
 		if len(atoms) != 1 {
-			return rawClause{}, fmt.Errorf("%d: a '<-' rule must have exactly one head atom", line)
+			return rawClause{}, perrf(line, 0, "a '<-' rule must have exactly one head atom")
 		}
 		if err := p.advance(); err != nil {
 			return rawClause{}, err
@@ -199,12 +195,11 @@ func (p *parser) parseClause() (rawClause, error) {
 			return rawClause{}, err
 		}
 		if len(atoms) != 1 {
-			return rawClause{}, fmt.Errorf("%d: a fact must be a single atom", line)
+			return rawClause{}, perrf(line, 0, "a fact must be a single atom")
 		}
 		return rawClause{head: &atoms[0], line: line}, nil
 	}
-	return rawClause{}, fmt.Errorf("%d:%d: expected '->', '<-' or '.', found %s",
-		p.tok.line, p.tok.col, p.tok.kind)
+	return rawClause{}, perrf(p.tok.line, p.tok.col, "expected '->', '<-' or '.', found %s", p.tok.kind)
 }
 
 func (p *parser) parseAtomList() ([]rawAtom, error) {
@@ -322,6 +317,5 @@ func (p *parser) parsePrimary() (rawTerm, error) {
 		}
 		return rawTerm{kind: k, name: name.text, line: name.line, col: name.col}, nil
 	}
-	return rawTerm{}, fmt.Errorf("%d:%d: expected a term, found %s",
-		p.tok.line, p.tok.col, p.tok.kind)
+	return rawTerm{}, perrf(p.tok.line, p.tok.col, "expected a term, found %s", p.tok.kind)
 }

@@ -15,9 +15,15 @@
 // Either way the result is an Answers value: a finite object that decides
 // membership of any ground answer tuple and enumerates the answer set to
 // any term depth.
+//
+// Evaluation is written against the Backend interface, so the same code
+// runs on a live *specgraph.Spec (under the owning database's lock) and on
+// a frozen snapshot read through per-query scratch overlays (lock-free).
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +38,33 @@ import (
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
 )
+
+// ErrUnsafeQuery reports a query whose free variables do not all occur in
+// the body: its answer would be domain-dependent.
+var ErrUnsafeQuery = errors.New("query: free variables must occur in the query body")
+
+// Backend is the evaluation surface a query runs against: terms, facts and
+// names plus the specification's successor structure. *specgraph.Spec
+// implements it directly (live, mutable, caller holds the lock); core builds
+// per-query frozen backends over immutable snapshots (lock-free).
+type Backend interface {
+	// Terms is the term universe view (live universe or scratch overlay).
+	Terms() term.View
+	// Facts is the fact-world view (live world or scratch overlay).
+	Facts() facts.WorldView
+	// Names resolves symbol identifiers for rendering.
+	Names() symbols.Namer
+	// AlphabetFns is the successor alphabet, ascending.
+	AlphabetFns() []symbols.FuncID
+	// RepTerms lists the representative terms in precedence order.
+	RepTerms() []term.Term
+	// Representative runs the successor DFA on t.
+	Representative(t term.Term) (term.Term, error)
+	// RepStateAtoms returns the atoms of rep's slice (the state B[rep]).
+	RepStateAtoms(rep term.Term) []facts.AtomID
+	// GlobalByPred returns the non-functional facts of predicate p.
+	GlobalByPred(p symbols.PredID) []facts.AtomID
+}
 
 // IsUniform reports whether every functional term of the query is either
 // ground (and free of mixed symbols, so it can be interned directly) or the
@@ -79,11 +112,16 @@ func FunctionalVar(q *ast.Query) (symbols.VarID, bool) {
 // query answer.
 type Answers struct {
 	Query *ast.Query
-	Spec  *specgraph.Spec
+	// Spec is the underlying live graph specification, when the answer was
+	// built against one; answers built against a frozen snapshot leave it
+	// nil and evaluate through the backend alone.
+	Spec *specgraph.Spec
 	// Free lists the answer variables; FnVar is the functional one among
 	// them (NoVar if the answer tuples are purely non-functional).
 	Free  []symbols.VarID
 	FnVar symbols.VarID
+
+	be Backend
 
 	dataFree []symbols.VarID // Free minus FnVar, in order
 	// perRep[rep] holds the data-variable bindings of answers whose
@@ -97,10 +135,10 @@ type Answers struct {
 }
 
 // Guard installs mu as the lock protecting the specification's shared
-// universe and world. core.Database passes its own mutex so that Answers
-// values are safe for concurrent use alongside other queries on the same
-// database; Answers built directly by Incremental/Recompute have no guard
-// and are single-goroutine.
+// universe and world. core.Database passes its own mutex for answers on the
+// live specification; for answers on a frozen snapshot it passes a fresh
+// mutex serializing the query-local scratch overlays. Answers built
+// directly by Incremental/Recompute have no guard and are single-goroutine.
 func (a *Answers) Guard(mu *sync.Mutex) { a.mu = mu }
 
 func (a *Answers) lock() {
@@ -120,14 +158,17 @@ type repTuple struct {
 	tu  facts.TupleID
 }
 
-func newAnswers(q *ast.Query, sp *specgraph.Spec) *Answers {
+func newAnswers(q *ast.Query, be Backend) *Answers {
 	a := &Answers{
 		Query:  q,
-		Spec:   sp,
+		be:     be,
 		Free:   q.Free,
 		FnVar:  symbols.NoVar,
 		perRep: make(map[term.Term][]facts.TupleID),
 		seen:   make(map[repTuple]bool),
+	}
+	if sp, ok := be.(*specgraph.Spec); ok {
+		a.Spec = sp
 	}
 	if v, ok := FunctionalVar(q); ok {
 		for _, f := range q.Free {
@@ -157,10 +198,16 @@ func (a *Answers) add(rep term.Term, tu facts.TupleID) {
 // database (Theorem 5.1). The successor mappings of the underlying
 // specification are reused unchanged.
 func Incremental(sp *specgraph.Spec, q *ast.Query) (*Answers, error) {
+	return IncrementalContext(context.Background(), sp, q)
+}
+
+// IncrementalContext is Incremental against an arbitrary backend, checking
+// ctx between representative evaluations.
+func IncrementalContext(ctx context.Context, be Backend, q *ast.Query) (*Answers, error) {
 	if !IsUniform(q) {
-		return nil, fmt.Errorf("query: %s is not uniform; use Recompute", q.Format(sp.Eng.Prep.Program.Tab))
+		return nil, fmt.Errorf("query: %s is not uniform; use Recompute", q.Format(be.Names()))
 	}
-	a := newAnswers(q, sp)
+	a := newAnswers(q, be)
 	fnVar, hasFn := FunctionalVar(q)
 	freeFn := a.FnVar != symbols.NoVar
 
@@ -180,12 +227,18 @@ func Incremental(sp *specgraph.Spec, q *ast.Query) (*Answers, error) {
 	if hasFn {
 		// An existential functional variable still ranges over every
 		// cluster: one evaluation per representative covers all terms.
-		for _, rep := range sp.Reps {
+		for _, rep := range be.RepTerms() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := eval(rep); err != nil {
 				return nil, err
 			}
 		}
 	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := eval(term.None); err != nil {
 			return nil, err
 		}
@@ -200,7 +253,7 @@ func (a *Answers) dataTuple(b *subst.Binding) facts.TupleID {
 		c, _ := b.Const(v)
 		consts[i] = c
 	}
-	return a.Spec.W.Tuple(consts)
+	return a.be.Facts().Tuple(consts)
 }
 
 // matchConj joins the query atoms against the specification under b.
@@ -210,10 +263,10 @@ func (a *Answers) matchConj(atoms []ast.Atom, i int, b *subst.Binding, yield fun
 		return nil
 	}
 	at := &atoms[i]
-	w := a.Spec.W
+	w := a.be.Facts()
 	if at.FT == nil {
 		// Non-functional atom: read the global facts.
-		for _, f := range a.Spec.Eng.Global().ByPred(at.Pred) {
+		for _, f := range a.be.GlobalByPred(at.Pred) {
 			nc, nt := b.Mark()
 			if matchTuple(w, at.Args, f, b) {
 				if err := a.matchConj(atoms, i+1, b, yield); err != nil {
@@ -227,11 +280,11 @@ func (a *Answers) matchConj(atoms []ast.Atom, i int, b *subst.Binding, yield fun
 	// Functional atom: resolve the term to a representative slice.
 	var rep term.Term
 	if at.FT.IsGround() {
-		t, ok := subst.GroundFTerm(a.Spec.U, at.FT)
+		t, ok := subst.GroundFTerm(a.be.Terms(), at.FT)
 		if !ok {
 			return fmt.Errorf("query: mixed ground term in query; eliminate first")
 		}
-		r, err := a.Spec.Representative(t)
+		r, err := a.be.Representative(t)
 		if err != nil {
 			return err
 		}
@@ -243,8 +296,7 @@ func (a *Answers) matchConj(atoms []ast.Atom, i int, b *subst.Binding, yield fun
 		}
 		rep = t
 	}
-	st := a.Spec.StateOfRep(rep)
-	for _, f := range w.StateAtoms(st) {
+	for _, f := range a.be.RepStateAtoms(rep) {
 		if w.AtomPred(f) != at.Pred {
 			continue
 		}
@@ -259,7 +311,7 @@ func (a *Answers) matchConj(atoms []ast.Atom, i int, b *subst.Binding, yield fun
 	return nil
 }
 
-func matchTuple(w *facts.World, pats []ast.DTerm, f facts.AtomID, b *subst.Binding) bool {
+func matchTuple(w facts.WorldView, pats []ast.DTerm, f facts.AtomID, b *subst.Binding) bool {
 	args := w.TupleArgs(w.AtomTuple(f))
 	if len(args) != len(pats) {
 		return false
@@ -276,6 +328,13 @@ func matchTuple(w *facts.World, pats []ast.DTerm, f facts.AtomID, b *subst.Bindi
 // specification of the enlarged program. It handles arbitrary functional
 // queries, including non-uniform ones.
 func Recompute(prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts specgraph.Options) (*Answers, error) {
+	return RecomputeContext(context.Background(), prog, q, engOpts, specOpts)
+}
+
+// RecomputeContext is Recompute with cancellation: the fixpoint engine
+// checks ctx between rounds and the whole evaluation aborts with the
+// context's error.
+func RecomputeContext(ctx context.Context, prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts specgraph.Options) (*Answers, error) {
 	enlarged := prog.Clone()
 	fnVar, hasFn := FunctionalVar(q)
 	freeFn := false
@@ -306,7 +365,7 @@ func Recompute(prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts
 	}
 	rule := ast.Rule{Head: head, Body: q.Atoms}
 	if !rule.IsRangeRestricted() {
-		return nil, fmt.Errorf("query: free variables must occur in the query body")
+		return nil, ErrUnsafeQuery
 	}
 	enlarged.Rules = append(enlarged.Rules, rule)
 
@@ -318,6 +377,7 @@ func Recompute(prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts
 	if err != nil {
 		return nil, err
 	}
+	eng.SetContext(ctx)
 	sp, err := specgraph.Build(eng, specOpts)
 	if err != nil {
 		return nil, err
@@ -352,10 +412,10 @@ func (a *Answers) HasFunctionalAnswers() bool { return a.FnVar != symbols.NoVar 
 func (a *Answers) Contains(ft term.Term, dataArgs []symbols.ConstID) (bool, error) {
 	a.lock()
 	defer a.unlock()
-	tu := a.Spec.W.Tuple(dataArgs)
+	tu := a.be.Facts().Tuple(dataArgs)
 	key := term.None
 	if a.HasFunctionalAnswers() {
-		rep, err := a.Spec.Representative(ft)
+		rep, err := a.be.Representative(ft)
 		if err != nil {
 			return false, err
 		}
@@ -371,15 +431,41 @@ func (a *Answers) IsEmpty() bool { return len(a.seen) == 0 }
 // rep's cluster.
 func (a *Answers) TuplesAt(rep term.Term) []facts.TupleID { return a.perRep[rep] }
 
+// TermString renders a functional answer component yielded by Enumerate.
+// It takes no lock: call it from inside an Enumerate callback (which holds
+// the answer's guard) or from single-goroutine code.
+func (a *Answers) TermString(t term.Term) string {
+	return a.be.Terms().String(t, a.be.Names())
+}
+
+// CompactTermString renders a functional answer component in the paper's
+// compact notation. Locking contract as TermString.
+func (a *Answers) CompactTermString(t term.Term) string {
+	return a.be.Terms().CompactString(t, a.be.Names())
+}
+
+// ConstName renders a data constant of an answer tuple. Locking contract
+// as TermString.
+func (a *Answers) ConstName(c symbols.ConstID) string { return a.be.Names().ConstName(c) }
+
 // Enumerate yields ground answers with functional components of depth at
 // most maxDepth, in precedence order of the functional component. For
 // purely non-functional answers it yields each tuple once with term.None.
 // It stops early when yield returns false.
 func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []symbols.ConstID) bool) error {
+	return a.EnumerateContext(context.Background(), maxDepth, yield)
+}
+
+// EnumerateContext is Enumerate with cancellation, checked once per term
+// depth level.
+func (a *Answers) EnumerateContext(ctx context.Context, maxDepth int, yield func(ft term.Term, dataArgs []symbols.ConstID) bool) error {
 	a.lock()
 	defer a.unlock()
-	w := a.Spec.W
+	w := a.be.Facts()
 	if !a.HasFunctionalAnswers() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, tu := range a.perRep[term.None] {
 			if !yield(term.None, w.TupleArgs(tu)) {
 				return nil
@@ -387,11 +473,14 @@ func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []sy
 		}
 		return nil
 	}
-	u := a.Spec.U
+	u := a.be.Terms()
 	level := []term.Term{term.Zero}
 	for d := 0; d <= maxDepth; d++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, t := range level {
-			rep, err := a.Spec.Representative(t)
+			rep, err := a.be.Representative(t)
 			if err != nil {
 				return err
 			}
@@ -406,7 +495,7 @@ func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []sy
 		}
 		var next []term.Term
 		for _, t := range level {
-			for _, f := range a.Spec.Alphabet {
+			for _, f := range a.be.AlphabetFns() {
 				next = append(next, u.Apply(f, t))
 			}
 		}
@@ -420,13 +509,15 @@ func (a *Answers) Enumerate(maxDepth int, yield func(ft term.Term, dataArgs []sy
 func (a *Answers) Dump() string {
 	a.lock()
 	defer a.unlock()
-	tab := a.Spec.Eng.Prep.Program.Tab
+	tab := a.be.Names()
+	u := a.be.Terms()
+	w := a.be.Facts()
 	var b strings.Builder
 	fmt.Fprintf(&b, "answer specification for %s\n", a.Query.Format(tab))
 	if !a.HasFunctionalAnswers() {
 		for _, tu := range a.perRep[term.None] {
 			b.WriteString("  QUERY(")
-			writeArgs(&b, a.Spec.W, tab, tu)
+			writeArgs(&b, w, tab, tu)
 			b.WriteString(")\n")
 		}
 		return b.String()
@@ -435,13 +526,13 @@ func (a *Answers) Dump() string {
 	for r := range a.perRep {
 		reps = append(reps, r)
 	}
-	sort.Slice(reps, func(i, j int) bool { return a.Spec.U.Compare(reps[i], reps[j]) < 0 })
+	sort.Slice(reps, func(i, j int) bool { return u.Compare(reps[i], reps[j]) < 0 })
 	for _, r := range reps {
 		for _, tu := range a.perRep[r] {
-			fmt.Fprintf(&b, "  QUERY(%s", a.Spec.U.CompactString(r, tab))
-			if len(a.Spec.W.TupleArgs(tu)) > 0 {
+			fmt.Fprintf(&b, "  QUERY(%s", u.CompactString(r, tab))
+			if len(w.TupleArgs(tu)) > 0 {
 				b.WriteString(", ")
-				writeArgs(&b, a.Spec.W, tab, tu)
+				writeArgs(&b, w, tab, tu)
 			}
 			b.WriteString(")\n")
 		}
@@ -449,7 +540,7 @@ func (a *Answers) Dump() string {
 	return b.String()
 }
 
-func writeArgs(b *strings.Builder, w *facts.World, tab *symbols.Table, tu facts.TupleID) {
+func writeArgs(b *strings.Builder, w facts.WorldView, tab symbols.Namer, tu facts.TupleID) {
 	for i, c := range w.TupleArgs(tu) {
 		if i > 0 {
 			b.WriteString(", ")

@@ -18,6 +18,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -36,6 +37,9 @@ import (
 
 // ErrNotFound reports a mutation against a name absent from the catalog.
 var ErrNotFound = errors.New("registry: no such database")
+
+// ErrUnknownDatabase is ErrNotFound under the name the façade exports.
+var ErrUnknownDatabase = ErrNotFound
 
 // Kind discriminates what an Entry was loaded from.
 type Kind string
@@ -61,7 +65,7 @@ type Entry struct {
 	// SourceBytes is the size of the uploaded artifact.
 	SourceBytes int
 
-	db  *core.Database    // KindProgram
+	db  *core.Database     // KindProgram
 	st  *specio.Standalone // KindSpec
 	doc *specio.Document   // KindSpec
 }
@@ -86,12 +90,20 @@ func (e *Entry) Document() *specio.Document { return e.doc }
 // specio.ParseGroundQuery ("Even(4)"), answered by the DFA walk, or by
 // congruence closure when viaCC is set.
 func (e *Entry) Ask(q string, viaCC bool) (bool, error) {
+	return e.AskContext(context.Background(), q, viaCC)
+}
+
+// AskContext is Ask honoring a cancellation context. Program entries
+// evaluate on the database's immutable snapshot — lock-free, concurrently
+// with other readers — unless viaCC forces the (locked) congruence-closure
+// path. An expired ctx yields an error matching core.ErrCanceled.
+func (e *Entry) AskContext(ctx context.Context, q string, viaCC bool) (bool, error) {
 	switch e.Kind {
 	case KindProgram:
 		if viaCC {
 			return e.db.AskCC(q)
 		}
-		return e.db.Ask(q)
+		return e.db.AskContext(ctx, q)
 	case KindSpec:
 		pred, tm, args, err := e.st.ParseGroundQuery(q)
 		if err != nil {
@@ -110,26 +122,32 @@ func (e *Entry) Ask(q string, viaCC bool) (bool, error) {
 // It reports whether enumeration was truncated by the limit. Spec entries
 // carry no rules and cannot evaluate open queries.
 func (e *Entry) Answers(q string, depth, limit int) (tuples []AnswerTuple, truncated bool, err error) {
+	return e.AnswersContext(context.Background(), q, depth, limit)
+}
+
+// AnswersContext is Answers honoring a cancellation context; program
+// entries evaluate on the database's immutable snapshot, and rendering goes
+// through the Answers value itself (the terms may live in query-local
+// scratch arenas the database never sees).
+func (e *Entry) AnswersContext(ctx context.Context, q string, depth, limit int) (tuples []AnswerTuple, truncated bool, err error) {
 	if e.Kind != KindProgram {
 		return nil, false, fmt.Errorf("registry: %q is a standalone specification; open queries need a program entry", e.Name)
 	}
-	ans, err := e.db.Answers(q)
+	ans, err := e.db.AnswersContext(ctx, q)
 	if err != nil {
 		return nil, false, err
 	}
-	u := e.db.Universe()
-	tab := e.db.Tab()
-	err = ans.Enumerate(depth, func(ft term.Term, args []symbols.ConstID) bool {
+	err = ans.EnumerateContext(ctx, depth, func(ft term.Term, args []symbols.ConstID) bool {
 		if limit > 0 && len(tuples) >= limit {
 			truncated = true
 			return false
 		}
 		tu := AnswerTuple{}
 		if ft != term.None {
-			tu.Term = u.CompactString(ft, tab)
+			tu.Term = ans.CompactTermString(ft)
 		}
 		for _, c := range args {
-			tu.Args = append(tu.Args, tab.ConstName(c))
+			tu.Args = append(tu.Args, ans.ConstName(c))
 		}
 		tuples = append(tuples, tu)
 		return true
@@ -138,6 +156,20 @@ func (e *Entry) Answers(q string, depth, limit int) (tuples []AnswerTuple, trunc
 		return nil, false, err
 	}
 	return tuples, truncated, nil
+}
+
+// AskBatch evaluates many yes-no queries concurrently against one snapshot
+// of a program entry, with a bounded worker pool. See core.Snapshot.AskBatch.
+func (e *Entry) AskBatch(ctx context.Context, queries []string, workers int) ([]core.BatchResult, error) {
+	if e.Kind != KindProgram {
+		out := make([]core.BatchResult, len(queries))
+		for i, q := range queries {
+			ok, err := e.AskContext(ctx, q, false)
+			out[i] = core.BatchResult{Query: q, OK: ok, Err: err}
+		}
+		return out, nil
+	}
+	return e.db.AskBatch(ctx, queries, workers)
 }
 
 // Explain justifies a ground query's verdict with the Link-rule trace.

@@ -5,10 +5,14 @@ package repl
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 )
@@ -24,7 +28,8 @@ const remoteHelpText = `commands:
 `
 
 // RemoteClient calls one database on a running fdbd daemon. Every error
-// carries the daemon's {"error": ...} message, not just the status code.
+// carries the daemon's {"error":{"code","message"}} message, not just the
+// status code.
 type RemoteClient struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8344".
 	Base string
@@ -44,8 +49,9 @@ func (c *RemoteClient) client() *http.Client {
 }
 
 // do sends one request and decodes the JSON response into out, turning
-// non-2xx responses into errors carrying the daemon's message.
-func (c *RemoteClient) do(method, path string, body, out any) error {
+// non-2xx responses into errors carrying the daemon's message. Canceling
+// ctx aborts the in-flight request.
+func (c *RemoteClient) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -54,7 +60,7 @@ func (c *RemoteClient) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequest(method, strings.TrimSuffix(c.Base, "/")+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, rd)
 	if err != nil {
 		return err
 	}
@@ -82,20 +88,35 @@ func (c *RemoteClient) do(method, path string, body, out any) error {
 	return nil
 }
 
-// RemoteErrorMessage extracts the daemon's {"error": ...} message from a
-// response body, falling back to the HTTP status text.
+// RemoteErrorMessage extracts the daemon's error message from a response
+// body — the {"error":{"code","message"}} envelope, or the older flat
+// {"error":"..."} shape — falling back to the HTTP status text.
 func RemoteErrorMessage(body []byte, status int) string {
 	var e struct {
-		Error string `json:"error"`
+		Error json.RawMessage `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(body, &e) == nil && len(e.Error) > 0 {
+		var nested struct {
+			Message string `json:"message"`
+		}
+		if json.Unmarshal(e.Error, &nested) == nil && nested.Message != "" {
+			return nested.Message
+		}
+		var flat string
+		if json.Unmarshal(e.Error, &flat) == nil && flat != "" {
+			return flat
+		}
 	}
 	return http.StatusText(status)
 }
 
 // Ask answers a yes-no query, reporting the catalog version that answered.
 func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
+	return c.AskContext(context.Background(), q)
+}
+
+// AskContext is Ask honoring a cancellation context.
+func (c *RemoteClient) AskContext(ctx context.Context, q string) (bool, uint64, error) {
 	req := map[string]any{"query": q}
 	if c.CC {
 		req["via"] = "cc"
@@ -104,7 +125,7 @@ func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
 		Answer  bool   `json:"answer"`
 		Version uint64 `json:"version"`
 	}
-	if err := c.do("POST", "/v1/db/"+c.DB+"/ask", req, &resp); err != nil {
+	if err := c.do(ctx, "POST", "/v1/db/"+c.DB+"/ask", req, &resp); err != nil {
 		return false, 0, err
 	}
 	return resp.Answer, resp.Version, nil
@@ -113,10 +134,15 @@ func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
 // AddFacts appends ground facts to the database, durably if the daemon
 // runs with a data directory. Returns the new catalog version.
 func (c *RemoteClient) AddFacts(facts string) (uint64, error) {
+	return c.AddFactsContext(context.Background(), facts)
+}
+
+// AddFactsContext is AddFacts honoring a cancellation context.
+func (c *RemoteClient) AddFactsContext(ctx context.Context, facts string) (uint64, error) {
 	var resp struct {
 		Version uint64 `json:"version"`
 	}
-	if err := c.do("POST", "/v1/db/"+c.DB+"/facts", map[string]any{"facts": facts}, &resp); err != nil {
+	if err := c.do(ctx, "POST", "/v1/db/"+c.DB+"/facts", map[string]any{"facts": facts}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Version, nil
@@ -124,8 +150,13 @@ func (c *RemoteClient) AddFacts(facts string) (uint64, error) {
 
 // Info returns the daemon's description of the database as rendered JSON.
 func (c *RemoteClient) Info() (map[string]any, error) {
+	return c.InfoContext(context.Background())
+}
+
+// InfoContext is Info honoring a cancellation context.
+func (c *RemoteClient) InfoContext(ctx context.Context) (map[string]any, error) {
 	var resp map[string]any
-	if err := c.do("GET", "/v1/db/"+c.DB, nil, &resp); err != nil {
+	if err := c.do(ctx, "GET", "/v1/db/"+c.DB, nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -134,13 +165,29 @@ func (c *RemoteClient) Info() (map[string]any, error) {
 // RunRemote reads commands from r and answers them through the daemon
 // until EOF or quit — the remote twin of Run.
 func RunRemote(c *RemoteClient, r io.Reader, w io.Writer) error {
+	return RunRemoteContext(context.Background(), c, r, w)
+}
+
+// RunRemoteContext is RunRemote with a base context. Each command runs
+// under a context armed to cancel on SIGINT, so Ctrl-C mid-query aborts
+// the in-flight request and returns to the prompt instead of killing the
+// shell; at the prompt (no command in flight) SIGINT keeps its default
+// behavior.
+func RunRemoteContext(ctx context.Context, c *RemoteClient, r io.Reader, w io.Writer) error {
 	sc := newScanner(r)
 	fmt.Fprintf(w, "%s> ", c.DB)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		quit, err := ExecuteRemote(c, line, w)
+		cmdCtx, stop := signal.NotifyContext(ctx, os.Interrupt)
+		quit, err := ExecuteRemoteContext(cmdCtx, c, line, w)
+		canceled := cmdCtx.Err() != nil
+		stop()
 		if err != nil {
-			fmt.Fprintf(w, "error: %v\n", err)
+			if canceled || errors.Is(err, context.Canceled) {
+				fmt.Fprintln(w, "canceled")
+			} else {
+				fmt.Fprintf(w, "error: %v\n", err)
+			}
 		}
 		if quit {
 			return nil
@@ -154,6 +201,11 @@ func RunRemote(c *RemoteClient, r io.Reader, w io.Writer) error {
 // ExecuteRemote runs one remote command line and reports whether the
 // session should end.
 func ExecuteRemote(c *RemoteClient, line string, w io.Writer) (quit bool, err error) {
+	return ExecuteRemoteContext(context.Background(), c, line, w)
+}
+
+// ExecuteRemoteContext is ExecuteRemote honoring a cancellation context.
+func ExecuteRemoteContext(ctx context.Context, c *RemoteClient, line string, w io.Writer) (quit bool, err error) {
 	switch {
 	case line == "" || strings.HasPrefix(line, "%"):
 		return false, nil
@@ -163,7 +215,7 @@ func ExecuteRemote(c *RemoteClient, line string, w io.Writer) (quit bool, err er
 		fmt.Fprint(w, remoteHelpText)
 		return false, nil
 	case line == "info":
-		info, err := c.Info()
+		info, err := c.InfoContext(ctx)
 		if err != nil {
 			return false, err
 		}
@@ -174,23 +226,23 @@ func ExecuteRemote(c *RemoteClient, line string, w io.Writer) (quit bool, err er
 		w.Write(append(raw, '\n'))
 		return false, nil
 	case strings.HasPrefix(line, "add "):
-		v, err := c.AddFacts(strings.TrimSpace(strings.TrimPrefix(line, "add ")))
+		v, err := c.AddFactsContext(ctx, strings.TrimSpace(strings.TrimPrefix(line, "add ")))
 		if err != nil {
 			return false, err
 		}
 		fmt.Fprintf(w, "ok (version %d)\n", v)
 		return false, nil
 	case strings.HasPrefix(line, "ask"):
-		return false, remoteAsk(c, strings.TrimSpace(strings.TrimPrefix(line, "ask")), w)
+		return false, remoteAsk(ctx, c, strings.TrimSpace(strings.TrimPrefix(line, "ask")), w)
 	default:
 		// Anything else is a query, sent verbatim: program entries take
 		// "?- Even(4).", spec entries "Even(4)".
-		return false, remoteAsk(c, line, w)
+		return false, remoteAsk(ctx, c, line, w)
 	}
 }
 
-func remoteAsk(c *RemoteClient, q string, w io.Writer) error {
-	yes, version, err := c.Ask(q)
+func remoteAsk(ctx context.Context, c *RemoteClient, q string, w io.Writer) error {
+	yes, version, err := c.AskContext(ctx, q)
 	if err != nil {
 		return err
 	}

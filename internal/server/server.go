@@ -11,6 +11,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,8 +20,15 @@ import (
 	"strings"
 	"time"
 
+	"funcdb/internal/core"
+	"funcdb/internal/parser"
+	"funcdb/internal/query"
 	"funcdb/internal/registry"
 )
+
+// StatusClientClosedRequest is the nonstandard (nginx) status for a request
+// whose client went away before the answer was computed.
+const StatusClientClosedRequest = 499
 
 // Config tunes the server; zero values pick the documented defaults.
 type Config struct {
@@ -39,6 +47,12 @@ type Config struct {
 	// MaxTuples caps enumeration when the request sends no limit (or a
 	// larger one); zero means DefaultMaxTuples.
 	MaxTuples int
+	// MaxBatchQueries caps the number of queries one /batch request may
+	// carry; zero means DefaultMaxBatchQueries.
+	MaxBatchQueries int
+	// BatchWorkers bounds the worker pool evaluating one /batch request;
+	// zero means DefaultBatchWorkers.
+	BatchWorkers int
 	// ExtraGauges, when set, contributes additional name→value gauges to
 	// /metrics — the daemon plugs the durability store's gauges in here.
 	ExtraGauges func() map[string]int64
@@ -46,11 +60,13 @@ type Config struct {
 
 // Defaults for Config's zero values.
 const (
-	DefaultCacheSize    = 1024
-	DefaultTimeout      = 10 * time.Second
-	DefaultMaxBodyBytes = 4 << 20
-	DefaultMaxDepth     = 64
-	DefaultMaxTuples    = 10_000
+	DefaultCacheSize       = 1024
+	DefaultTimeout         = 10 * time.Second
+	DefaultMaxBodyBytes    = 4 << 20
+	DefaultMaxDepth        = 64
+	DefaultMaxTuples       = 10_000
+	DefaultMaxBatchQueries = 256
+	DefaultBatchWorkers    = 4
 )
 
 func (c Config) withDefaults() Config {
@@ -68,6 +84,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTuples == 0 {
 		c.MaxTuples = DefaultMaxTuples
+	}
+	if c.MaxBatchQueries == 0 {
+		c.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	if c.BatchWorkers == 0 {
+		c.BatchWorkers = DefaultBatchWorkers
 	}
 	return c
 }
@@ -90,7 +112,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	s := &Server{
 		reg: reg,
 		cfg: cfg.withDefaults(),
-		met: newMetrics("ask", "answers", "explain", "dbs", "db", "put", "delete", "facts", "healthz", "metrics"),
+		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts", "healthz", "metrics"),
 	}
 	s.cache = newAnswerCache(s.cfg.CacheSize)
 
@@ -104,11 +126,13 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/db/{name}/facts", s.instrument("facts", s.handleFacts))
 	mux.HandleFunc("POST /v1/db/{name}/ask", s.instrument("ask", s.handleAsk))
 	mux.HandleFunc("POST /v1/db/{name}/answers", s.instrument("answers", s.handleAnswers))
+	mux.HandleFunc("POST /v1/db/{name}/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/db/{name}/explain", s.instrument("explain", s.handleExplain))
 
 	var h http.Handler = mux
 	if s.cfg.Timeout > 0 {
-		h = http.TimeoutHandler(h, s.cfg.Timeout, `{"error":"request timed out"}`)
+		h = http.TimeoutHandler(h, s.cfg.Timeout,
+			`{"error":{"code":"deadline_exceeded","message":"request timed out"}}`)
 	}
 	s.handler = h
 	return s
@@ -130,9 +154,70 @@ func errf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// errorBody is the single JSON error envelope every endpoint renders:
+// {"error":{"code":"...","message":"..."}}.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// classify maps an error to its HTTP status and machine-readable code,
+// using the typed errors of the evaluation stack.
+func classify(err error) (int, errorBody) {
+	var ae *apiError
+	var mbe *http.MaxBytesError
+	var pe *parser.ParseError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status, errorBody{Code: codeForStatus(ae.status), Message: ae.msg}
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge,
+			errorBody{Code: "body_too_large", Message: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)}
+	case errors.Is(err, registry.ErrUnknownDatabase):
+		return http.StatusNotFound, errorBody{Code: "not_found", Message: err.Error()}
+	case errors.Is(err, core.ErrCanceled):
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout, errorBody{Code: "deadline_exceeded", Message: err.Error()}
+		}
+		return StatusClientClosedRequest, errorBody{Code: "canceled", Message: err.Error()}
+	case errors.As(err, &pe):
+		return http.StatusBadRequest, errorBody{Code: "parse_error", Message: err.Error()}
+	case errors.Is(err, query.ErrUnsafeQuery):
+		return http.StatusBadRequest, errorBody{Code: "unsafe_query", Message: err.Error()}
+	}
+	return http.StatusInternalServerError, errorBody{Code: "internal", Message: err.Error()}
+}
+
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case StatusClientClosedRequest:
+		return "canceled"
+	}
+	return "internal"
+}
+
+// queryError passes the evaluation stack's typed errors through for
+// classify to map, and treats everything else as the query's fault (400).
+func queryError(err error) error {
+	var pe *parser.ParseError
+	if errors.Is(err, core.ErrCanceled) || errors.Is(err, registry.ErrUnknownDatabase) ||
+		errors.Is(err, query.ErrUnsafeQuery) || errors.As(err, &pe) {
+		return err
+	}
+	return errf(http.StatusBadRequest, "%v", err)
+}
+
 // instrument adapts a handler returning an error into an http.HandlerFunc,
 // recording request counts, error counts and latency for the endpoint and
-// rendering errors as {"error": ...} JSON.
+// rendering errors in the {"error":{"code","message"}} envelope.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	em := s.met.endpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -142,17 +227,8 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		if err == nil {
 			return
 		}
-		status := http.StatusInternalServerError
-		var ae *apiError
-		var mbe *http.MaxBytesError
-		switch {
-		case errors.As(err, &ae):
-			status = ae.status
-		case errors.As(err, &mbe):
-			status = http.StatusRequestEntityTooLarge
-			err = fmt.Errorf("body exceeds %d bytes", mbe.Limit)
-		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		status, body := classify(err)
+		writeJSON(w, status, map[string]errorBody{"error": body})
 	}
 }
 
@@ -378,9 +454,9 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 		return nil
 	}
 	em.cacheMisses.Add(1)
-	ans, err := e.Ask(req.Query, req.Via == "cc")
+	ans, err := e.AskContext(r.Context(), req.Query, req.Via == "cc")
 	if err != nil {
-		return errf(http.StatusBadRequest, "%v", err)
+		return queryError(err)
 	}
 	s.cache.put(key, ans)
 	writeJSON(w, http.StatusOK, askResponse{Answer: ans, Version: e.Version, Cached: false})
@@ -440,9 +516,9 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 		return nil
 	}
 	em.cacheMisses.Add(1)
-	tuples, truncated, err := e.Answers(req.Query, req.Depth, limit)
+	tuples, truncated, err := e.AnswersContext(r.Context(), req.Query, req.Depth, limit)
 	if err != nil {
-		return errf(http.StatusBadRequest, "%v", err)
+		return queryError(err)
 	}
 	if tuples == nil {
 		tuples = []registry.AnswerTuple{}
@@ -450,6 +526,93 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	s.cache.put(key, answersResult{tuples: tuples, truncated: truncated})
 	writeJSON(w, http.StatusOK, answersResponse{Tuples: tuples, Count: len(tuples),
 		Truncated: truncated, Version: e.Version, Cached: false})
+	return nil
+}
+
+type batchRequest struct {
+	// Queries are yes-no queries in the entry's surface syntax, evaluated
+	// concurrently against one immutable snapshot.
+	Queries []string `json:"queries"`
+}
+
+// batchItem is one query's outcome inside a batch response; exactly one of
+// Answer/Error is meaningful, discriminated by Error being present.
+type batchItem struct {
+	Query  string     `json:"query"`
+	Answer bool       `json:"answer"`
+	Error  *errorBody `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Version uint64      `json:"version"`
+}
+
+// handleBatch evaluates many yes-no queries on one snapshot via a bounded
+// worker pool. Per-query failures are reported inline (the batch itself
+// still returns 200); only request-level problems — bad body, unknown
+// database, expired deadline — fail the whole request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	var req batchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	if len(req.Queries) == 0 {
+		return errf(http.StatusBadRequest, "missing queries")
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		return errf(http.StatusBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries)
+	}
+
+	// Serve cached verdicts (shared with /ask by key) and collect misses.
+	em := s.met.endpoint("batch")
+	items := make([]batchItem, len(req.Queries))
+	keys := make([]cacheKey, len(req.Queries))
+	var misses []string
+	var missIdx []int
+	for i, q := range req.Queries {
+		items[i].Query = q
+		if strings.TrimSpace(q) == "" {
+			items[i].Error = &errorBody{Code: "bad_request", Message: "missing query"}
+			continue
+		}
+		keys[i] = cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(q)}
+		if v, ok := s.cache.get(keys[i]); ok {
+			em.cacheHits.Add(1)
+			items[i].Answer = v.(bool)
+			continue
+		}
+		em.cacheMisses.Add(1)
+		misses = append(misses, q)
+		missIdx = append(missIdx, i)
+	}
+
+	if len(misses) > 0 {
+		results, err := e.AskBatch(r.Context(), misses, s.cfg.BatchWorkers)
+		if err != nil {
+			return queryError(err)
+		}
+		for j, res := range results {
+			i := missIdx[j]
+			if res.Err != nil {
+				// A canceled query means the whole request's context
+				// expired; fail the request so the client sees 499/504.
+				if errors.Is(res.Err, core.ErrCanceled) {
+					return res.Err
+				}
+				_, body := classify(queryError(res.Err))
+				items[i].Error = &body
+				continue
+			}
+			items[i].Answer = res.OK
+			s.cache.put(keys[i], res.OK)
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: items, Version: e.Version})
 	return nil
 }
 

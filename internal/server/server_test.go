@@ -97,6 +97,27 @@ func doJSON(t testing.TB, method, url string, body any) (int, map[string]any) {
 	return resp.StatusCode, out
 }
 
+// errMessage pulls the message out of the {"error":{"code","message"}}
+// envelope; empty when the body carries no error.
+func errMessage(body map[string]any) string {
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		return ""
+	}
+	msg, _ := env["message"].(string)
+	return msg
+}
+
+// errCode pulls the machine-readable code out of the error envelope.
+func errCode(body map[string]any) string {
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		return ""
+	}
+	code, _ := env["code"].(string)
+	return code
+}
+
 func TestHealthz(t *testing.T) {
 	_, _, ts := newTestServer(t, Config{})
 	code, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
@@ -281,7 +302,7 @@ func TestErrorPaths(t *testing.T) {
 			if code != tc.want {
 				t.Fatalf("%s %s = %d %v, want %d", tc.method, tc.path, code, body, tc.want)
 			}
-			if tc.want != 405 && body["error"] == "" {
+			if tc.want != 405 && errMessage(body) == "" {
 				t.Fatalf("missing error message: %v", body)
 			}
 		})
@@ -297,7 +318,7 @@ func TestTimeout(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("slow ask = %d %v, want 503", code, body)
 	}
-	if body["error"] != "request timed out" {
+	if errMessage(body) != "request timed out" || errCode(body) != "deadline_exceeded" {
 		t.Fatalf("timeout body = %v", body)
 	}
 }
@@ -434,7 +455,7 @@ func TestFactsEndpoint(t *testing.T) {
 		t.Fatalf("facts on missing db: %d, want 404", code)
 	}
 	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "not ( valid"})
-	if code != http.StatusBadRequest || body["error"] == "" {
+	if code != http.StatusBadRequest || errMessage(body) == "" {
 		t.Fatalf("bad facts: %d %v, want 400 with error body", code, body)
 	}
 	if code, _ := doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "  "}); code != http.StatusBadRequest {

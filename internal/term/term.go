@@ -155,7 +155,7 @@ func (u *Universe) Precedes(t1, t2 Term) bool { return u.Compare(t1, t2) < 0 }
 // g(f(0)). Chains of a symbol named "succ" are printed as decimal integers,
 // matching the paper's temporal sugar (succ(succ(0)) prints as 2 when the
 // whole term is a succ-chain).
-func (u *Universe) String(t Term, tab *symbols.Table) string {
+func (u *Universe) String(t Term, tab symbols.Namer) string {
 	succ := symbols.NoFunc
 	if s, ok := tab.LookupFunc(SuccName, 0); ok {
 		succ = s
@@ -165,7 +165,7 @@ func (u *Universe) String(t Term, tab *symbols.Table) string {
 	return b.String()
 }
 
-func (u *Universe) writeTerm(b *strings.Builder, t Term, tab *symbols.Table, succ symbols.FuncID) {
+func (u *Universe) writeTerm(b *strings.Builder, t Term, tab symbols.Namer, succ symbols.FuncID) {
 	if succ != symbols.NoFunc {
 		if n, isNum := u.AsNumber(t, succ); isNum {
 			b.WriteString(itoa(n))
@@ -186,7 +186,7 @@ func (u *Universe) writeTerm(b *strings.Builder, t Term, tab *symbols.Table, suc
 // innermost-first, separated by dots when any name is longer than one
 // character. Zero prints as "0". This matches the paper's compact notation
 // where ext_b(ext_a(0)) is written "ab".
-func (u *Universe) CompactString(t Term, tab *symbols.Table) string {
+func (u *Universe) CompactString(t Term, tab symbols.Namer) string {
 	if t == Zero {
 		return "0"
 	}

@@ -1,0 +1,246 @@
+package term
+
+import (
+	"strings"
+
+	"funcdb/internal/symbols"
+)
+
+// View is the term-universe surface shared by *Universe and *Scratch.
+// Evaluation code written against a View runs both on a live universe
+// (mutating it under the owner's lock) and on a query-local scratch overlay
+// (leaving the frozen base untouched).
+type View interface {
+	Apply(f symbols.FuncID, t Term) Term
+	ApplyString(t Term, fs ...symbols.FuncID) Term
+	Depth(t Term) int
+	Top(t Term) symbols.FuncID
+	Child(t Term) Term
+	Symbols(t Term) []symbols.FuncID
+	Subterms(t Term) []Term
+	Size() int
+	Compare(t1, t2 Term) int
+	Precedes(t1, t2 Term) bool
+	Number(n int, succ symbols.FuncID) Term
+	AsNumber(t Term, succ symbols.FuncID) (int, bool)
+	String(t Term, tab symbols.Namer) string
+	CompactString(t Term, tab symbols.Namer) string
+}
+
+var (
+	_ View = (*Universe)(nil)
+	_ View = (*Scratch)(nil)
+)
+
+// Freeze returns an immutable copy of u sharing the node storage
+// length-bounded: the writer may keep appending to the original (appends
+// land at indices the frozen copy never reads), while the interning map is
+// copied so concurrent map writes cannot race with frozen lookups. The
+// frozen copy must never be mutated; wrap it in a Scratch to intern
+// query-local terms over it.
+func (u *Universe) Freeze() *Universe {
+	byApp := make(map[appKey]Term, len(u.byApp))
+	for k, v := range u.byApp {
+		byApp[k] = v
+	}
+	return &Universe{nodes: u.nodes[:len(u.nodes):len(u.nodes)], byApp: byApp}
+}
+
+// Scratch is a query-local term arena layered over a frozen Universe.
+// Lookups hit the frozen base first; novel terms live in the scratch with
+// handles continuing past the base size and are discarded with it after the
+// answer is built. Any number of Scratch values may share one frozen base
+// concurrently; a single Scratch is not safe for concurrent use.
+type Scratch struct {
+	base  *Universe
+	nodes []node
+	byApp map[appKey]Term
+}
+
+// NewScratch returns an empty arena over the frozen base universe.
+func NewScratch(base *Universe) *Scratch { return &Scratch{base: base} }
+
+// Base returns the frozen universe under the overlay.
+func (s *Scratch) Base() *Universe { return s.base }
+
+func (s *Scratch) node(t Term) node {
+	if int(t) < len(s.base.nodes) {
+		return s.base.nodes[t]
+	}
+	return s.nodes[int(t)-len(s.base.nodes)]
+}
+
+// Apply interns the term f(t), preferring the frozen base.
+func (s *Scratch) Apply(f symbols.FuncID, t Term) Term {
+	key := appKey{top: f, child: t}
+	if id, ok := s.base.byApp[key]; ok {
+		return id
+	}
+	if id, ok := s.byApp[key]; ok {
+		return id
+	}
+	id := Term(len(s.base.nodes) + len(s.nodes))
+	s.nodes = append(s.nodes, node{top: f, child: t, depth: s.node(t).depth + 1})
+	if s.byApp == nil {
+		s.byApp = make(map[appKey]Term)
+	}
+	s.byApp[key] = id
+	return id
+}
+
+// ApplyString interns fs[k-1](...fs[0](t)...), innermost-first.
+func (s *Scratch) ApplyString(t Term, fs ...symbols.FuncID) Term {
+	for _, f := range fs {
+		t = s.Apply(f, t)
+	}
+	return t
+}
+
+// Depth returns the number of function applications in t.
+func (s *Scratch) Depth(t Term) int { return int(s.node(t).depth) }
+
+// Top returns the outermost function symbol of t (not valid on Zero).
+func (s *Scratch) Top(t Term) symbols.FuncID { return s.node(t).top }
+
+// Child returns the immediate subterm of t (not valid on Zero).
+func (s *Scratch) Child(t Term) Term { return s.node(t).child }
+
+// Symbols returns the function symbols of t listed innermost-first.
+func (s *Scratch) Symbols(t Term) []symbols.FuncID {
+	d := s.Depth(t)
+	out := make([]symbols.FuncID, d)
+	for i := d - 1; i >= 0; i-- {
+		n := s.node(t)
+		out[i] = n.top
+		t = n.child
+	}
+	return out
+}
+
+// Subterms returns all subterms of t from 0 up to and including t.
+func (s *Scratch) Subterms(t Term) []Term {
+	d := s.Depth(t)
+	out := make([]Term, d+1)
+	for i := d; i >= 0; i-- {
+		out[i] = t
+		if t != Zero {
+			t = s.node(t).child
+		}
+	}
+	return out
+}
+
+// Size returns the number of terms visible through the overlay.
+func (s *Scratch) Size() int { return len(s.base.nodes) + len(s.nodes) }
+
+// Compare orders terms by the paper's precedence ordering.
+func (s *Scratch) Compare(t1, t2 Term) int {
+	if t1 == t2 {
+		return 0
+	}
+	d1, d2 := s.Depth(t1), s.Depth(t2)
+	switch {
+	case d1 < d2:
+		return -1
+	case d1 > d2:
+		return 1
+	}
+	s1 := s.Symbols(t1)
+	s2 := s.Symbols(t2)
+	for i := range s1 {
+		switch {
+		case s1[i] < s2[i]:
+			return -1
+		case s1[i] > s2[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Precedes reports whether t1 strictly precedes t2.
+func (s *Scratch) Precedes(t1, t2 Term) bool { return s.Compare(t1, t2) < 0 }
+
+// Number interns the temporal term succ^n(0).
+func (s *Scratch) Number(n int, succ symbols.FuncID) Term {
+	t := Zero
+	for i := 0; i < n; i++ {
+		t = s.Apply(succ, t)
+	}
+	return t
+}
+
+// AsNumber reports whether t is a pure succ-chain succ^n(0).
+func (s *Scratch) AsNumber(t Term, succ symbols.FuncID) (int, bool) {
+	n := 0
+	for t != Zero {
+		nd := s.node(t)
+		if nd.top != succ {
+			return 0, false
+		}
+		t = nd.child
+		n++
+	}
+	return n, true
+}
+
+// String formats t like Universe.String.
+func (s *Scratch) String(t Term, tab symbols.Namer) string { return formatTerm(s, t, tab) }
+
+// CompactString formats t like Universe.CompactString.
+func (s *Scratch) CompactString(t Term, tab symbols.Namer) string {
+	return formatCompact(s, t, tab)
+}
+
+// formatTerm renders t in functional notation over any View.
+func formatTerm(v View, t Term, tab symbols.Namer) string {
+	succ := symbols.NoFunc
+	if sID, ok := tab.LookupFunc(SuccName, 0); ok {
+		succ = sID
+	}
+	var b strings.Builder
+	writeViewTerm(&b, v, t, tab, succ)
+	return b.String()
+}
+
+func writeViewTerm(b *strings.Builder, v View, t Term, tab symbols.Namer, succ symbols.FuncID) {
+	if succ != symbols.NoFunc {
+		if n, isNum := v.AsNumber(t, succ); isNum {
+			b.WriteString(itoa(n))
+			return
+		}
+	}
+	if t == Zero {
+		b.WriteByte('0')
+		return
+	}
+	b.WriteString(tab.FuncName(v.Top(t)))
+	b.WriteByte('(')
+	writeViewTerm(b, v, v.Child(t), tab, succ)
+	b.WriteByte(')')
+}
+
+// formatCompact renders t in the compact dotted notation over any View.
+func formatCompact(v View, t Term, tab symbols.Namer) string {
+	if t == Zero {
+		return "0"
+	}
+	if succ, ok := tab.LookupFunc(SuccName, 0); ok {
+		if n, isNum := v.AsNumber(t, succ); isNum {
+			return itoa(n)
+		}
+	}
+	syms := v.Symbols(t)
+	parts := make([]string, len(syms))
+	long := false
+	for i, f := range syms {
+		parts[i] = tab.FuncName(f)
+		if len(parts[i]) != 1 {
+			long = true
+		}
+	}
+	if long {
+		return strings.Join(parts, ".")
+	}
+	return strings.Join(parts, "")
+}

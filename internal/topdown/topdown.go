@@ -20,6 +20,7 @@
 package topdown
 
 import (
+	"context"
 	"fmt"
 
 	"funcdb/internal/ast"
@@ -76,7 +77,13 @@ type Evaluator struct {
 	hasWitnessRules bool
 	depthCapped     bool
 	stats           Stats
+	ctx             context.Context
 }
+
+// SetContext installs a cancellation context checked once per saturation
+// round. Prove and Slice abort with the context's error once it expires;
+// the evaluator stays usable, the next call resumes the tables.
+func (ev *Evaluator) SetContext(ctx context.Context) { ev.ctx = ctx }
 
 // New compiles a goal-directed evaluator.
 func New(prep *rewrite.Prepared, u *term.Universe, w *facts.World, opts Options) (*Evaluator, error) {
@@ -201,6 +208,11 @@ func (ev *Evaluator) Slice(pred symbols.PredID, t term.Term) ([]facts.TupleID, e
 // saturate runs the demanded tables to a mutual fixpoint.
 func (ev *Evaluator) saturate() error {
 	for {
+		if ev.ctx != nil {
+			if err := ev.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ev.stats.Rounds++
 		changed := false
 		for i := 0; i < len(ev.demanded); i++ { // grows during the loop
