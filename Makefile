@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench bench-store bench-concurrent fuzz tables examples clean
+.PHONY: all check build test vet race race-repl bench bench-store bench-concurrent bench-repl fuzz fuzz-smoke govulncheck tables examples clean
 
 all: check
 
@@ -18,6 +18,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The replication stack alone under the race detector: cursor tailing,
+# the server's streaming endpoints, the replica loop, client failover and
+# the process-level primary/replica end-to-end test.
+race-repl:
+	$(GO) test -race -count=1 ./internal/store/ ./internal/replica/ ./internal/repl/ ./internal/server/ ./cmd/fdbd/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -27,8 +33,21 @@ bench-store:
 bench-concurrent:
 	$(GO) run ./cmd/fdbench concurrent BENCH_concurrent.json
 
+bench-repl:
+	$(GO) run ./cmd/fdbench repl BENCH_repl.json
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser
+
+# Short fuzz passes over every binary decoder that reads untrusted bytes:
+# the binspec document/record readers and the specio JSON reader.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzBinspecRead -fuzztime=30s ./internal/binspec
+	$(GO) test -fuzz=FuzzReadRecord -fuzztime=30s ./internal/binspec
+	$(GO) test -fuzz=FuzzSpecioRead -fuzztime=30s ./internal/specio
 
 tables:
 	$(GO) run ./cmd/fdbench all

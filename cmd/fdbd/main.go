@@ -8,6 +8,7 @@
 //
 //	fdbd [-addr HOST:PORT] [-preload DIR] [-data DIR] [-fsync POLICY]
 //	     [-snapshot-every N] [-cache N] [-timeout D] [-max-body N]
+//	fdbd -replica-of URL -data DIR [-ready-max-lag N] [flags]
 //
 // Flags:
 //
@@ -25,10 +26,16 @@
 //	-cache           answer-cache capacity in entries; negative disables
 //	-timeout         per-request deadline (e.g. 5s); negative disables it
 //	-max-body        largest accepted request body in bytes
+//	-replica-of      primary base URL: run as a read replica that bootstraps
+//	                 from the primary's snapshot and follows its WAL stream;
+//	                 requires -data, rejects writes with 403
+//	-ready-max-lag   largest record lag at which a replica's /readyz still
+//	                 reports ready
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests and (with -data) writing a final snapshot. Query it with fdbq
-// -remote, or curl:
+// A durable primary serves its snapshot and WAL stream on /v1/repl/* for
+// replicas to consume. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests and (with -data) writing a
+// final snapshot. Query it with fdbq -remote, or curl:
 //
 //	curl -X PUT  localhost:8344/v1/db/even --data 'Even(0). Even(T) -> Even(T+2).'
 //	curl -X POST localhost:8344/v1/db/even/ask -d '{"query":"?- Even(4)."}'
@@ -44,11 +51,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"funcdb/internal/core"
 	"funcdb/internal/registry"
+	"funcdb/internal/replica"
 	"funcdb/internal/server"
 	"funcdb/internal/store"
 )
@@ -72,11 +81,21 @@ func run(args []string, out io.Writer) error {
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "largest accepted request body (bytes)")
 	batchMax := fs.Int("batch-max", server.DefaultMaxBatchQueries, "largest accepted /batch query count")
 	batchWorkers := fs.Int("batch-workers", server.DefaultBatchWorkers, "worker pool size per /batch request")
+	replicaOf := fs.String("replica-of", "", "primary base URL: run as a read replica of that daemon")
+	readyMaxLag := fs.Uint64("ready-max-lag", replica.DefaultReadyMaxLag, "largest record lag at which a replica reports ready")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-replica-of needs -data: the replica journals the primary's records locally")
+		}
+		if *preload != "" {
+			return fmt.Errorf("-replica-of and -preload are mutually exclusive: a replica's catalog is the primary's")
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -84,22 +103,59 @@ func run(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
-		MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers}
-	sopts := store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery}
-	return serve(ctx, ln, cfg, sopts, *preload, out)
+	dc := daemonConfig{
+		server: server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
+			MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers},
+		store:       store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery},
+		preload:     *preload,
+		replicaOf:   strings.TrimSuffix(*replicaOf, "/"),
+		readyMaxLag: *readyMaxLag,
+	}
+	return serve(ctx, ln, dc, out)
+}
+
+// daemonConfig is everything serve needs beyond its listener: the HTTP
+// server configuration, the durable store options, and the startup mode
+// (preload a directory, or follow a primary as a replica).
+type daemonConfig struct {
+	server      server.Config
+	store       store.Options
+	preload     string
+	replicaOf   string
+	readyMaxLag uint64
 }
 
 // serve runs the daemon on ln until ctx is cancelled, then drains in-flight
 // requests. With a data directory set it recovers the catalog before
-// listening and checkpoints it after draining. The listener is always
+// listening and checkpoints it after draining; as a replica it instead
+// starts the replication loop and serves read-only. The listener is always
 // closed on return.
-func serve(ctx context.Context, ln net.Listener, cfg server.Config, sopts store.Options, preloadDir string, out io.Writer) error {
+func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer) error {
 	reg := registry.New(core.Options{})
+	cfg := dc.server
 	var st *store.Store
-	if sopts.Dir != "" {
+	var rep *replica.Replica
+	if dc.replicaOf != "" {
 		var err error
-		st, err = store.Open(sopts)
+		rep, err = replica.Start(reg, replica.Options{
+			Primary:     dc.replicaOf,
+			Store:       dc.store,
+			ReadyMaxLag: dc.readyMaxLag,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		cfg.ReadOnly = true
+		cfg.Ready = rep.Ready
+		cfg.ExtraGauges = rep.Gauges
+		fmt.Fprintf(out, "fdbd: replicating from %s into %s\n", dc.replicaOf, dc.store.Dir)
+	} else if dc.store.Dir != "" {
+		var err error
+		st, err = store.Open(dc.store)
 		if err != nil {
 			ln.Close()
 			return err
@@ -107,19 +163,24 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, sopts store.
 		stats, err := st.Recover(reg)
 		if err != nil {
 			ln.Close()
-			return fmt.Errorf("recover %s: %w", sopts.Dir, err)
+			return fmt.Errorf("recover %s: %w", dc.store.Dir, err)
 		}
 		fmt.Fprintf(out, "fdbd: recovered %d database(s) from %s (snapshot lsn %d, %d replayed, %d warning(s)) in %s\n",
-			reg.Len(), sopts.Dir, stats.SnapshotLSN, stats.Replayed, stats.Warnings, stats.Duration.Round(time.Microsecond))
+			reg.Len(), dc.store.Dir, stats.SnapshotLSN, stats.Replayed, stats.Warnings, stats.Duration.Round(time.Microsecond))
 		cfg.ExtraGauges = st.Gauges
+		// A durable primary serves its snapshot and WAL to replicas.
+		cfg.Repl = st
 	}
-	if preloadDir != "" {
-		n, err := reg.LoadDir(preloadDir)
+	if dc.preload != "" {
+		n, err := reg.LoadDir(dc.preload)
 		if err != nil {
 			ln.Close()
-			return fmt.Errorf("preload %s: %w", preloadDir, err)
+			if rep != nil {
+				rep.Close()
+			}
+			return fmt.Errorf("preload %s: %w", dc.preload, err)
 		}
-		fmt.Fprintf(out, "fdbd: preloaded %d database(s) from %s\n", n, preloadDir)
+		fmt.Fprintf(out, "fdbd: preloaded %d database(s) from %s\n", n, dc.preload)
 	}
 	srv := &http.Server{
 		Handler:           server.New(reg, cfg).Handler(),
@@ -130,6 +191,9 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, sopts store.
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		if rep != nil {
+			rep.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -141,6 +205,14 @@ func serve(ctx context.Context, ln net.Listener, cfg server.Config, sopts store.
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if rep != nil {
+		// Close stops the apply loop and closes the replica's store; the
+		// journal is already durable, so a restart resumes from here.
+		if err := rep.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "fdbd: replication stopped")
 	}
 	if st != nil {
 		// In-flight mutations have drained; checkpoint so the next boot

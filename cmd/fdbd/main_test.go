@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"funcdb/internal/server"
-	"funcdb/internal/store"
 )
 
 // startDaemon runs serve on an ephemeral port and returns its base URL and
@@ -29,7 +28,7 @@ func startDaemon(t *testing.T, cfg server.Config, preloadDir string) (string, fu
 	ctx, cancel := context.WithCancel(context.Background())
 	var out bytes.Buffer
 	errc := make(chan error, 1)
-	go func() { errc <- serve(ctx, ln, cfg, store.Options{}, preloadDir, &out) }()
+	go func() { errc <- serve(ctx, ln, daemonConfig{server: cfg, preload: preloadDir}, &out) }()
 	base := "http://" + ln.Addr().String()
 	// Wait for the listener to answer.
 	deadline := time.Now().Add(5 * time.Second)
@@ -95,7 +94,7 @@ func TestServePreloadFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = serve(context.Background(), ln, server.Config{}, store.Options{}, dir, io.Discard)
+	err = serve(context.Background(), ln, daemonConfig{preload: dir}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "preload") {
 		t.Fatalf("serve with broken preload = %v", err)
 	}
@@ -110,5 +109,13 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard); err == nil {
 		t.Error("unlistenable address accepted")
+	}
+	if err := run([]string{"-replica-of", "http://localhost:1"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-data") {
+		t.Errorf("-replica-of without -data = %v", err)
+	}
+	if err := run([]string{"-replica-of", "http://localhost:1", "-data", t.TempDir(), "-preload", t.TempDir()}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-replica-of with -preload = %v", err)
 	}
 }

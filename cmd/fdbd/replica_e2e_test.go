@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The replication end-to-end test runs a primary and a replica as real
+// child processes (the same helper-process pattern as the crash test), so
+// killing the primary with SIGKILL exercises a genuine mid-stream
+// connection loss: the replica must keep serving reads, reconnect when the
+// primary comes back on the same address, and converge to the identical
+// catalog.
+
+// replView extends the crash test's catalog view with probes into the
+// high-churn "seen" database the replication test streams facts into.
+func replView(t *testing.T, base string) string {
+	t.Helper()
+	sb := strings.Builder{}
+	sb.WriteString(catalogView(t, base))
+	for _, q := range []string{"?- Seen(c1).", "?- Seen(c500).", "?- Seen(c1000).", "?- Seen(c2000)."} {
+		code, body := httpJSON(t, "POST", base+"/v1/db/seen/ask", fmt.Sprintf(`{"query":%q}`, q))
+		fmt.Fprintf(&sb, "\nask seen %s -> %d %v %v", q, code, body["answer"], body["version"])
+	}
+	return sb.String()
+}
+
+// waitForSameView polls until the two daemons answer with bit-for-bit
+// identical catalog views.
+func waitForSameView(t *testing.T, what, wantBase, gotBase string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	want := replView(t, wantBase)
+	for {
+		got := replView(t, gotBase)
+		if got == want {
+			return want
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: views never converged\nprimary: %s\nreplica: %s", what, want, got)
+		}
+		time.Sleep(50 * time.Millisecond)
+		// The primary may still be taking writes; re-read its view too.
+		want = replView(t, wantBase)
+	}
+}
+
+func addrOf(base string) string { return strings.TrimPrefix(base, "http://") }
+
+func TestReplicationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	primaryDir, replicaDir := t.TempDir(), t.TempDir()
+	p := spawnDaemon(t, "-data", primaryDir, "-fsync", "always")
+	primaryAddr := addrOf(p.base)
+
+	// Seed the primary with the two programs the catalog view probes.
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/even", "Even(0). Even(T) -> Even(T+2)."); code != http.StatusCreated {
+		t.Fatalf("put even: %d %v", code, body)
+	}
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/meet",
+		"Meets(0, tony). Next(tony, jan). Next(jan, tony). Meets(T, X), Next(X, Y) -> Meets(T+1, Y)."); code != http.StatusCreated {
+		t.Fatalf("put meet: %d %v", code, body)
+	}
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/seen", "Seen(c0)."); code != http.StatusCreated {
+		t.Fatalf("put seen: %d %v", code, body)
+	}
+
+	// A replica bootstraps from the live primary and follows its stream.
+	r := spawnDaemon(t, "-replica-of", p.base, "-data", replicaDir, "-fsync", "never",
+		"-ready-max-lag", "1000000")
+	waitForSameView(t, "bootstrap", p.base, r.base)
+
+	// Stream >=1000 individual mutations through the WAL while the replica
+	// is connected; every one is a separate journal record.
+	for i := 1; i <= 1000; i++ {
+		if code, body := httpJSON(t, "POST", p.base+"/v1/db/seen/facts",
+			fmt.Sprintf(`{"facts":"Seen(c%d)."}`, i)); code != http.StatusOK {
+			t.Fatalf("facts %d: %d %v", i, code, body)
+		}
+	}
+	want := waitForSameView(t, "streaming", p.base, r.base)
+
+	// The replica is caught up: ready, and honest about its role.
+	resp, err := http.Get(r.base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("caught-up replica /readyz = %d", resp.StatusCode)
+	}
+	if code, body := httpJSON(t, "POST", r.base+"/v1/db/seen/facts", `{"facts":"Seen(nope)."}`); code != http.StatusForbidden {
+		t.Fatalf("replica accepted a write: %d %v", code, body)
+	}
+	resp, err = http.Get(r.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, gauge := range []string{"repl_connected 1", "repl_lag_records", "repl_lag_ms", "repl_applied_lsn"} {
+		if !strings.Contains(string(met), gauge) {
+			t.Errorf("replica /metrics missing %q:\n%s", gauge, met)
+		}
+	}
+
+	// SIGKILL the primary mid-stream. The replica must keep answering
+	// reads from its local catalog while disconnected.
+	p.kill(t)
+	if got := replView(t, r.base); got != want {
+		t.Fatalf("replica lost state when the primary died:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Restart the primary on the same address; the replica reconnects on
+	// its own and follows the new writes.
+	p2 := spawnDaemon(t, "-data", primaryDir, "-fsync", "always", "-addr", primaryAddr)
+	for i := 1001; i <= 1050; i++ {
+		if code, body := httpJSON(t, "POST", p2.base+"/v1/db/seen/facts",
+			fmt.Sprintf(`{"facts":"Seen(c%d)."}`, i)); code != http.StatusOK {
+			t.Fatalf("post-restart facts %d: %d %v", i, code, body)
+		}
+	}
+	waitForSameView(t, "after primary restart", p2.base, r.base)
+
+	// Both daemons shut down cleanly.
+	r.terminate(t)
+	p2.terminate(t)
+}

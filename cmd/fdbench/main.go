@@ -7,10 +7,13 @@
 //
 //	fdbench [t41|t42|t43|f1|a2|a3|all]
 //	fdbench concurrent [OUT.json]
+//	fdbench repl [OUT.json]
 //
-// The concurrent subcommand is not part of "all": it compares the
-// mutex-serialized and lock-free snapshot read paths at 1/4/8 goroutines
-// and writes the throughput table as JSON (default BENCH_concurrent.json).
+// The concurrent and repl subcommands are not part of "all": concurrent
+// compares the mutex-serialized and lock-free snapshot read paths at
+// 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
+// snapshot-shipped replica bootstrap and WAL streaming apply throughput
+// against an in-process primary (default BENCH_repl.json).
 package main
 
 import (
@@ -33,12 +36,16 @@ func main() {
 	if len(os.Args) > 1 {
 		which = os.Args[1]
 	}
-	if which == "concurrent" {
+	if which == "concurrent" || which == "repl" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
 		}
-		concurrent(out)
+		if which == "concurrent" {
+			concurrent(out)
+		} else {
+			replBench(out)
+		}
 		return
 	}
 	run := func(name string, f func()) {

@@ -1,0 +1,151 @@
+// The repl benchmark measures the replication subsystem end to end with an
+// in-process primary and replica: snapshot-shipped bootstrap time, then
+// streaming apply throughput while the primary keeps writing. The result
+// is recorded as JSON for CI artifact upload (make bench-repl).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/replica"
+	"funcdb/internal/server"
+	"funcdb/internal/store"
+)
+
+// replReport is the schema of BENCH_repl.json.
+type replReport struct {
+	Bench            string  `json:"bench"`
+	Workload         string  `json:"workload"`
+	BootstrapRecords int     `json:"bootstrap_records"`
+	BootstrapMS      float64 `json:"bootstrap_ms"`
+	StreamRecords    int     `json:"stream_records"`
+	StreamMS         float64 `json:"stream_ms"`
+	RecordsPerSec    float64 `json:"records_per_sec"`
+	FinalLagRecords  int64   `json:"final_lag_records"`
+}
+
+// replBench builds a primary with history, bootstraps a replica from its
+// shipped snapshot, then streams more mutations and measures how fast the
+// replica applies them.
+func replBench(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_repl.json"
+	}
+	const (
+		preloadN = 500  // records journaled before the replica exists
+		streamN  = 2000 // records streamed while the replica follows
+	)
+	pdir, err := os.MkdirTemp("", "fdbench-primary-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(pdir)
+	rdir, err := os.MkdirTemp("", "fdbench-replica-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(rdir)
+
+	st, err := store.Open(store.Options{Dir: pdir, Fsync: store.FsyncNever})
+	if err != nil {
+		panic(err)
+	}
+	reg := registry.New(core.Options{})
+	if _, err := st.Recover(reg); err != nil {
+		panic(err)
+	}
+	// Facts go round-robin into a handful of databases so the engine's
+	// per-extend cost stays flat and the bench measures the replication
+	// pipeline, not fixpoint growth.
+	const fanout = 8
+	for d := 0; d < fanout; d++ {
+		if _, err := reg.PutProgram(fmt.Sprintf("seen%d", d), []byte("Seen(c0).")); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i <= preloadN; i++ {
+		if _, err := reg.ExtendFacts(fmt.Sprintf("seen%d", i%fanout), []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			panic(err)
+		}
+	}
+	if err := st.Snapshot(); err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: server.New(reg, server.Config{
+		Repl:          st,
+		ReplHeartbeat: time.Second,
+	}).Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	quiet := func(string, ...any) {}
+	rreg := registry.New(core.Options{})
+	bootStart := time.Now()
+	rep, err := replica.Start(rreg, replica.Options{
+		Primary:     "http://" + ln.Addr().String(),
+		Store:       store.Options{Dir: rdir, Fsync: store.FsyncNever},
+		ReadyMaxLag: 1 << 20,
+		Logf:        quiet,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rep.Close()
+	waitApplied(rep, st.LastLSN())
+	bootstrap := time.Since(bootStart)
+
+	streamStart := time.Now()
+	for i := preloadN + 1; i <= preloadN+streamN; i++ {
+		if _, err := reg.ExtendFacts(fmt.Sprintf("seen%d", i%fanout), []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			panic(err)
+		}
+	}
+	waitApplied(rep, st.LastLSN())
+	stream := time.Since(streamStart)
+
+	repQ := replReport{
+		Bench:            "repl",
+		Workload:         fmt.Sprintf("%d data-only dbs, %d preloaded + %d streamed single-fact extends", fanout, preloadN, streamN),
+		BootstrapRecords: preloadN + fanout,
+		BootstrapMS:      float64(bootstrap.Microseconds()) / 1000,
+		StreamRecords:    streamN,
+		StreamMS:         float64(stream.Microseconds()) / 1000,
+		RecordsPerSec:    float64(streamN) / stream.Seconds(),
+		FinalLagRecords:  rep.Gauges()["repl_lag_records"],
+	}
+	fmt.Println("REPL  snapshot bootstrap + WAL streaming throughput")
+	fmt.Printf("bootstrap: %d records in %.1fms\n", repQ.BootstrapRecords, repQ.BootstrapMS)
+	fmt.Printf("stream:    %d records in %.1fms (%.0f records/sec, final lag %d)\n",
+		repQ.StreamRecords, repQ.StreamMS, repQ.RecordsPerSec, repQ.FinalLagRecords)
+
+	raw, err := json.MarshalIndent(repQ, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// waitApplied blocks until the replica has applied up to lsn.
+func waitApplied(rep *replica.Replica, lsn uint64) {
+	deadline := time.Now().Add(60 * time.Second)
+	for rep.Applied() < lsn {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("replica stuck at lsn %d, want %d", rep.Applied(), lsn))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fdbq -spec spec.json [flags] [QUERY ...]
-//	fdbq -remote http://host:port -db NAME [flags] [QUERY ...]
+//	fdbq -remote http://host:port[,http://host2:port2...] -db NAME [flags] [QUERY ...]
 //
 // In local mode each QUERY is one function-free-plus-term atom:
 //
@@ -20,7 +20,10 @@
 // from a spec document expects the local syntax above. Flags:
 //
 //	-spec FILE     the document written by fdbc -export
-//	-remote URL    base URL of a running fdbd daemon (instead of -spec)
+//	-remote URLS   comma-separated base URLs of running fdbd daemons
+//	               (instead of -spec): requests try the endpoints in order
+//	               and fail over past dead nodes and read-only replicas,
+//	               so a primary plus its replicas can be listed together
 //	-db NAME       with -remote: the database name on the daemon
 //	-add FACTS     with -remote: append ground facts ("Even(100).") to the
 //	               database before answering queries — durable when the
@@ -58,7 +61,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fdbq", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "specification document (JSON)")
-	remote := fs.String("remote", "", "base URL of a running fdbd daemon")
+	remote := fs.String("remote", "", "comma-separated base URLs of running fdbd daemons (failover order)")
 	dbName := fs.String("db", "", "with -remote: database name on the daemon")
 	addFacts := fs.String("add", "", "with -remote: ground facts to append before answering queries")
 	interactive := fs.Bool("i", false, "with -remote: interactive shell against the daemon")
@@ -137,9 +140,12 @@ func run(args []string, out io.Writer) error {
 // runRemote answers the queries through a running fdbd daemon via the
 // shared remote client, so HTTP error bodies surface as messages.
 func runRemote(base string, db string, useCC, info, interactive bool, addFacts string, queries []string, in io.Reader, out io.Writer) error {
-	base = strings.TrimSuffix(base, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
 	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, HTTP: client}
+	endpoints := rc.Endpoints()
+	if len(endpoints) == 0 {
+		return fmt.Errorf("-remote lists no usable endpoint: %q", base)
+	}
 	if info {
 		if db != "" {
 			desc, err := rc.Info()
@@ -152,7 +158,7 @@ func runRemote(base string, db string, useCC, info, interactive bool, addFacts s
 			}
 			out.Write(append(raw, '\n'))
 		} else {
-			body, err := get(client, base+"/v1/dbs")
+			body, err := get(client, endpoints[0]+"/v1/dbs")
 			if err != nil {
 				return err
 			}

@@ -112,11 +112,11 @@ const (
 // enc builds one record payload with varint primitives.
 type enc struct{ buf []byte }
 
-func (e *enc) u64(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
-func (e *enc) int(v int)     { e.u64(uint64(v)) }
-func (e *enc) str(s string)  { e.int(len(s)); e.buf = append(e.buf, s...) }
-func (e *enc) bool(b bool)   { e.buf = append(e.buf, boolByte(b)) }
-func (e *enc) byte(b byte)   { e.buf = append(e.buf, b) }
+func (e *enc) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) int(v int)    { e.u64(uint64(v)) }
+func (e *enc) str(s string) { e.int(len(s)); e.buf = append(e.buf, s...) }
+func (e *enc) bool(b bool)  { e.buf = append(e.buf, boolByte(b)) }
+func (e *enc) byte(b byte)  { e.buf = append(e.buf, b) }
 
 func boolByte(b bool) byte {
 	if b {

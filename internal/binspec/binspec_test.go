@@ -14,7 +14,7 @@ import (
 )
 
 // document compiles src and exports its specification document.
-func document(t *testing.T, src string) *specio.Document {
+func document(t testing.TB, src string) *specio.Document {
 	t.Helper()
 	db, err := core.Open(src, core.Options{})
 	if err != nil {

@@ -1,0 +1,73 @@
+package binspec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzBinspecRead throws arbitrary bytes at the document decoder. The
+// decoder must never panic or hang: every input either yields a document
+// that survives a re-encode/re-decode round trip, or a clean error. Seeds
+// are the honestly-encoded corpus documents plus a few targeted
+// corruptions, so the fuzzer starts deep inside the format instead of
+// rediscovering the magic number.
+func FuzzBinspecRead(f *testing.F) {
+	for _, tc := range corpus {
+		enc, err := EncodeDocument(document(f, tc.src))
+		if err != nil {
+			f.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		f.Add(enc)
+		// A truncation and a bit flip per corpus entry.
+		f.Add(enc[:len(enc)/2])
+		flip := bytes.Clone(enc)
+		flip[len(flip)/3] ^= 0x40
+		f.Add(flip)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeDocument(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeDocument(doc)
+		if err != nil {
+			// A decoded document can exceed encoder limits only if the
+			// decoder accepted something the encoder would never produce.
+			t.Fatalf("decoded document does not re-encode: %v", err)
+		}
+		if _, err := DecodeDocument(re); err != nil {
+			t.Fatalf("re-encoded document does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzReadRecord checks the record framing layer in isolation: arbitrary
+// streams must produce only the documented error taxonomy, and any
+// payload read back must carry a valid checksum by construction.
+func FuzzReadRecord(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteRecord(&buf, []byte("hello"))
+	_ = WriteRecord(&buf, nil)
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadRecord(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			var out bytes.Buffer
+			if err := WriteRecord(&out, payload); err != nil {
+				t.Fatalf("accepted payload does not re-frame: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package binspec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Manifest is the header record a replication snapshot response opens
+// with: which log position the attached snapshot captures, how far the
+// primary's journal had advanced when the response was produced, and how
+// many raw snapshot bytes follow the manifest record on the stream. It
+// rides inside the ordinary length+CRC record framing, so a replica
+// detects a torn or corrupted manifest exactly like any other record.
+type Manifest struct {
+	// SnapshotLSN is the last mutation the snapshot bytes include.
+	SnapshotLSN uint64
+	// LastLSN is the primary's newest journaled mutation at send time;
+	// the gap to SnapshotLSN is the tail a replica must stream.
+	LastLSN uint64
+	// SnapshotBytes is the exact length of the raw snapshot file that
+	// follows the manifest record.
+	SnapshotBytes uint64
+}
+
+// manifestTag opens a manifest payload so it cannot be confused with a
+// stream frame or a document section record.
+const manifestTag byte = 0x4D // 'M'
+
+// EncodeManifest renders a manifest as one record payload, ready for
+// WriteRecord.
+func EncodeManifest(m Manifest) []byte {
+	out := make([]byte, 0, 1+3*binary.MaxVarintLen64)
+	out = append(out, manifestTag)
+	out = binary.AppendUvarint(out, m.SnapshotLSN)
+	out = binary.AppendUvarint(out, m.LastLSN)
+	out = binary.AppendUvarint(out, m.SnapshotBytes)
+	return out
+}
+
+// DecodeManifest parses a payload produced by EncodeManifest.
+func DecodeManifest(rec []byte) (Manifest, error) {
+	bad := func(what string) (Manifest, error) {
+		return Manifest{}, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	if len(rec) == 0 || rec[0] != manifestTag {
+		return bad("not a manifest record")
+	}
+	rest := rec[1:]
+	var m Manifest
+	for _, dst := range []*uint64{&m.SnapshotLSN, &m.LastLSN, &m.SnapshotBytes} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return bad("truncated manifest field")
+		}
+		*dst = v
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return bad("trailing bytes in manifest")
+	}
+	if m.LastLSN < m.SnapshotLSN {
+		return bad(fmt.Sprintf("manifest last lsn %d below snapshot lsn %d", m.LastLSN, m.SnapshotLSN))
+	}
+	return m, nil
+}

@@ -1,0 +1,39 @@
+package binspec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []Manifest{
+		{},
+		{SnapshotLSN: 7, LastLSN: 7},
+		{SnapshotLSN: 1000, LastLSN: 123456, SnapshotBytes: 1 << 30},
+	} {
+		rec := EncodeManifest(m)
+		got, err := DecodeManifest(rec)
+		if err != nil {
+			t.Fatalf("%+v: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestManifestRejectsMalformed(t *testing.T) {
+	good := EncodeManifest(Manifest{SnapshotLSN: 5, LastLSN: 9, SnapshotBytes: 100})
+	cases := map[string][]byte{
+		"empty":        {},
+		"wrong tag":    append([]byte{0x00}, good[1:]...),
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte{}, good...), 0x01),
+		"lsn inverted": EncodeManifest(Manifest{SnapshotLSN: 9, LastLSN: 5}),
+	}
+	for name, rec := range cases {
+		if _, err := DecodeManifest(rec); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

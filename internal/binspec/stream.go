@@ -1,0 +1,72 @@
+package binspec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication stream frames. The WAL endpoint ships each journaled
+// mutation — and, while the replica is caught up, periodic heartbeats —
+// as one framed record per WriteRecord. Every frame carries the
+// primary's newest LSN at send time, so a replica can compute its lag
+// from any frame, and a send-time millisecond clock for the lag-in-time
+// gauge.
+const (
+	// FrameMutation carries one WAL record payload.
+	FrameMutation byte = 1
+	// FrameHeartbeat carries only the stream header; the primary sends
+	// one when a caught-up stream has been idle for a heartbeat period.
+	FrameHeartbeat byte = 2
+)
+
+// Frame is one decoded replication stream frame.
+type Frame struct {
+	Kind        byte
+	PrimaryLast uint64 // primary's newest journaled LSN at send time
+	TSMillis    uint64 // primary's wall clock at send time, Unix ms
+	Record      []byte // WAL record payload; nil for heartbeats
+}
+
+// EncodeFrame renders a frame as one record payload for WriteRecord.
+func EncodeFrame(f Frame) []byte {
+	out := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(f.Record))
+	out = append(out, f.Kind)
+	out = binary.AppendUvarint(out, f.PrimaryLast)
+	out = binary.AppendUvarint(out, f.TSMillis)
+	out = append(out, f.Record...)
+	return out
+}
+
+// DecodeFrame parses a payload produced by EncodeFrame.
+func DecodeFrame(rec []byte) (Frame, error) {
+	bad := func(what string) (Frame, error) {
+		return Frame{}, fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+	if len(rec) == 0 {
+		return bad("empty stream frame")
+	}
+	f := Frame{Kind: rec[0]}
+	rest := rec[1:]
+	for _, dst := range []*uint64{&f.PrimaryLast, &f.TSMillis} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return bad("truncated stream frame header")
+		}
+		*dst = v
+		rest = rest[n:]
+	}
+	switch f.Kind {
+	case FrameMutation:
+		if len(rest) == 0 {
+			return bad("mutation frame without record")
+		}
+		f.Record = rest
+	case FrameHeartbeat:
+		if len(rest) != 0 {
+			return bad("trailing bytes in heartbeat frame")
+		}
+	default:
+		return bad(fmt.Sprintf("unknown frame kind %d", f.Kind))
+	}
+	return f, nil
+}

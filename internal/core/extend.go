@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"funcdb/internal/ast"
@@ -84,12 +85,27 @@ func (db *Database) Extend(factsSrc string) error {
 		}
 		t, ok := subst.GroundFTerm(db.universe, f.FT)
 		if !ok {
-			return fmt.Errorf("core: fact %s is not ground", f.Format(db.Tab()))
+			// Earlier facts of this batch are already in the engine; undo
+			// the source append and rebuild so the failed Extend leaves no
+			// half-applied batch behind.
+			err := fmt.Errorf("core: fact %s is not ground", f.Format(db.Tab()))
+			db.Source.Facts = db.Source.Facts[:len(db.Source.Facts)-len(facts)]
+			return errors.Join(err, db.recompile())
 		}
 		db.Engine.AddGroundFact(f.Pred, t, args)
 	}
 	if err := db.Engine.Solve(); err != nil {
-		return err
+		// The engine holds the new facts but failed to re-solve — for
+		// example, the round budget is cumulative across incremental
+		// solves, so a long extend history can exhaust it even though the
+		// program itself is fine. A rebuild re-solves the extended source
+		// from scratch with a fresh budget; only if that also fails is the
+		// extension rolled back and the failure reported.
+		if rerr := db.recompile(); rerr != nil {
+			db.Source.Facts = db.Source.Facts[:len(db.Source.Facts)-len(facts)]
+			return errors.Join(err, rerr, db.recompile())
+		}
+		return nil
 	}
 	db.invalidate()
 	return nil

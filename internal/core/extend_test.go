@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"funcdb/internal/engine"
 )
 
 // fullRecompile builds a fresh database over the combined source, the
@@ -293,4 +295,42 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(digits)
+}
+
+// TestExtendSolveFailureRecompiles: the engine's round budget is
+// cumulative across incremental solves, so a long history of monotone
+// extends can push a Solve past MaxRounds even though the program is well
+// within budget when solved from scratch. Extend must absorb that with a
+// full rebuild instead of returning an error with the facts appended to
+// the source but the engine half-stepped.
+func TestExtendSolveFailureRecompiles(t *testing.T) {
+	base := "P(a).\nP(X) -> Q(X).\nQ(X) -> R(X).\n"
+	probe, err := Open(base, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if yes, err := probe.Ask(`?- R(a).`); err != nil || !yes {
+		t.Fatalf("probe Ask = %v, %v", yes, err)
+	}
+	budget := probe.Engine.Stats().Rounds + 2
+
+	db, err := Open(base, Options{Engine: engine.Options{MaxRounds: budget}})
+	if err != nil {
+		t.Fatalf("Open with MaxRounds %d: %v", budget, err)
+	}
+	extra := ""
+	for i := 0; i < 10; i++ {
+		fact := "P(b" + itoa(i) + ")."
+		if err := db.Extend(fact); err != nil {
+			t.Fatalf("Extend %d: %v", i, err)
+		}
+		extra += fact + "\n"
+		if yes, err := db.Ask("?- R(b" + itoa(i) + ")."); err != nil || !yes {
+			t.Fatalf("Ask after Extend %d = %v, %v", i, yes, err)
+		}
+	}
+	ref := fullRecompile(t, base, extra)
+	askAll(t, db, ref, []string{
+		`?- R(a).`, `?- R(b0).`, `?- R(b9).`, `?- Q(b5).`, `?- P(c).`,
+	})
 }

@@ -452,6 +452,21 @@ func (r *Registry) Remove(name string) (bool, error) {
 	return true, nil
 }
 
+// DropLocal removes name from the in-memory catalog without consulting
+// the observer: no journal record is written and absence is not an error.
+// Replication re-bootstrap uses it to retire entries a newer primary
+// snapshot no longer carries — the primary's journal is the authority
+// there, so journaling the drop locally would fork history.
+func (r *Registry) DropLocal(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.snap.Load().entries[name]; !ok {
+		return false
+	}
+	r.removeLocked(name)
+	return true
+}
+
 func (r *Registry) removeLocked(name string) {
 	old := r.snap.Load()
 	next := &snapshot{entries: make(map[string]*Entry, len(old.entries))}

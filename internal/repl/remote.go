@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,11 +28,19 @@ const remoteHelpText = `commands:
   quit                 leave
 `
 
-// RemoteClient calls one database on a running fdbd daemon. Every error
-// carries the daemon's {"error":{"code","message"}} message, not just the
-// status code.
+// RemoteClient calls one database on a running fdbd deployment. Every
+// error carries the daemon's {"error":{"code","message"}} message, not
+// just the status code.
+//
+// Base may list several endpoints separated by commas — typically the
+// primary and its read replicas, in any order. Requests are tried against
+// the most recently working endpoint first and fail over on transport
+// errors, 5xx responses, and writes refused by a read replica (403 with
+// code read_only_replica), so one client works against the whole
+// replication topology without knowing which node is which.
 type RemoteClient struct {
-	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8344".
+	// Base is one daemon base URL, or several comma-separated, e.g.
+	// "http://primary:8344,http://replica:8345".
 	Base string
 	// DB is the database name on the daemon.
 	DB string
@@ -39,6 +48,10 @@ type RemoteClient struct {
 	CC bool
 	// HTTP is the client used for requests; nil means a 30s-timeout client.
 	HTTP *http.Client
+
+	// preferred is the index of the endpoint that served the last
+	// successful request; failover rotates from here.
+	preferred atomic.Int32
 }
 
 func (c *RemoteClient) client() *http.Client {
@@ -48,19 +61,120 @@ func (c *RemoteClient) client() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
-// do sends one request and decodes the JSON response into out, turning
-// non-2xx responses into errors carrying the daemon's message. Canceling
-// ctx aborts the in-flight request.
+// Endpoints returns Base split into trimmed base URLs.
+func (c *RemoteClient) Endpoints() []string {
+	var eps []string
+	for _, e := range strings.Split(c.Base, ",") {
+		if e = strings.TrimSuffix(strings.TrimSpace(e), "/"); e != "" {
+			eps = append(eps, e)
+		}
+	}
+	return eps
+}
+
+// RemoteError is a non-2xx daemon response: the HTTP status plus the
+// decoded {"error":{"code","message"}} envelope.
+type RemoteError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string { return e.Message }
+
+// failover reports whether an endpoint's failure should be retried on the
+// next endpoint. Transport errors and 5xx mean the node is unhealthy; a
+// read-only refusal means the node is a healthy replica and the write
+// belongs on the primary. Everything else (bad query, unknown database,
+// oversized body...) would fail identically everywhere.
+func failover(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return true // transport-level failure
+	}
+	if re.Status >= 500 {
+		return true
+	}
+	return re.Status == http.StatusForbidden && re.Code == "read_only_replica"
+}
+
+// healthy probes base's readiness endpoint. A 404 counts as healthy so
+// older daemons without /readyz still participate in failover.
+func (c *RemoteClient) healthy(ctx context.Context, base string) bool {
+	hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound
+}
+
+// do sends one request, failing over across endpoints: the preferred
+// endpoint is tried as-is, alternates are health-checked first (and
+// retried unconditionally if every endpoint was skipped or failed), and
+// the endpoint that answers becomes preferred for subsequent requests.
 func (c *RemoteClient) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	eps := c.Endpoints()
+	if len(eps) == 0 {
+		return errors.New("no daemon endpoints configured")
+	}
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, rd)
+	start := int(c.preferred.Load()) % len(eps)
+	var lastErr error
+	var skipped []int
+	for i := range eps {
+		idx := (start + i) % len(eps)
+		if i > 0 && !c.healthy(ctx, eps[idx]) {
+			skipped = append(skipped, idx)
+			continue
+		}
+		err := c.doOne(ctx, eps[idx], method, path, raw, out)
+		if err == nil {
+			c.preferred.Store(int32(idx))
+			return nil
+		}
+		if ctx.Err() != nil || !failover(err) {
+			return err
+		}
+		lastErr = err
+	}
+	// Everything healthy failed; an unready node may still answer (e.g. a
+	// lagging replica for a read). Try the skipped ones before giving up.
+	for _, idx := range skipped {
+		err := c.doOne(ctx, eps[idx], method, path, raw, out)
+		if err == nil {
+			c.preferred.Store(int32(idx))
+			return nil
+		}
+		if ctx.Err() != nil || !failover(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// doOne sends one request to one endpoint and decodes the JSON response
+// into out. Canceling ctx aborts the in-flight request.
+func (c *RemoteClient) doOne(ctx context.Context, base, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -77,7 +191,8 @@ func (c *RemoteClient) do(ctx context.Context, method, path string, body, out an
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("%s", RemoteErrorMessage(raw, resp.StatusCode))
+		code, msg := remoteErrorParts(raw, resp.StatusCode)
+		return &RemoteError{Status: resp.StatusCode, Code: code, Message: msg}
 	}
 	if out == nil {
 		return nil
@@ -92,22 +207,30 @@ func (c *RemoteClient) do(ctx context.Context, method, path string, body, out an
 // body — the {"error":{"code","message"}} envelope, or the older flat
 // {"error":"..."} shape — falling back to the HTTP status text.
 func RemoteErrorMessage(body []byte, status int) string {
+	_, msg := remoteErrorParts(body, status)
+	return msg
+}
+
+// remoteErrorParts decodes the error envelope into its machine code and
+// human message, tolerating both envelope generations.
+func remoteErrorParts(body []byte, status int) (code, msg string) {
 	var e struct {
 		Error json.RawMessage `json:"error"`
 	}
 	if json.Unmarshal(body, &e) == nil && len(e.Error) > 0 {
 		var nested struct {
+			Code    string `json:"code"`
 			Message string `json:"message"`
 		}
 		if json.Unmarshal(e.Error, &nested) == nil && nested.Message != "" {
-			return nested.Message
+			return nested.Code, nested.Message
 		}
 		var flat string
 		if json.Unmarshal(e.Error, &flat) == nil && flat != "" {
-			return flat
+			return "", flat
 		}
 	}
-	return http.StatusText(status)
+	return "", http.StatusText(status)
 }
 
 // Ask answers a yes-no query, reporting the catalog version that answered.

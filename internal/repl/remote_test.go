@@ -42,13 +42,13 @@ func TestRunRemoteSession(t *testing.T) {
 	}
 	text := out.String()
 	for _, want := range []string{
-		"add Fact(args).",       // help text
-		"true (version 1)",      // Even(4) before the extension
-		"false (version 1)",     // Even(3) before the extension
-		"ok (version 2)",        // add bumped the catalog version
-		"true (version 2)",      // Even(3) after the extension
-		`"kind": "program"`,     // info
-		"error:",                // daemon's message for the bad facts
+		"add Fact(args).",   // help text
+		"true (version 1)",  // Even(4) before the extension
+		"false (version 1)", // Even(3) before the extension
+		"ok (version 2)",    // add bumped the catalog version
+		"true (version 2)",  // Even(3) after the extension
+		`"kind": "program"`, // info
+		"error:",            // daemon's message for the bad facts
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("session output missing %q:\n%s", want, text)

@@ -1,0 +1,342 @@
+package replica_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/replica"
+	"funcdb/internal/server"
+	"funcdb/internal/store"
+)
+
+// primary is a restartable in-process primary daemon: a store-backed
+// registry served over a real listener whose address survives restarts,
+// so a replica configured with one URL can watch it die and come back.
+type primary struct {
+	t    *testing.T
+	dir  string
+	addr string
+	st   *store.Store
+	reg  *registry.Registry
+	hs   *http.Server
+}
+
+func startPrimary(t *testing.T, dir, addr string) *primary {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(core.Options{})
+	if _, err := st.Recover(reg); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: server.New(reg, server.Config{
+		Repl:          st,
+		ReplHeartbeat: 50 * time.Millisecond,
+	}).Handler()}
+	go hs.Serve(ln)
+	return &primary{t: t, dir: dir, addr: ln.Addr().String(), st: st, reg: reg, hs: hs}
+}
+
+func (p *primary) url() string { return "http://" + p.addr }
+
+// stop kills the primary abruptly: open streams are severed, nothing is
+// flushed beyond what the store already wrote.
+func (p *primary) stop() {
+	p.t.Helper()
+	p.hs.Close()
+	if err := p.st.Close(); err != nil {
+		p.t.Logf("primary store close: %v", err)
+	}
+}
+
+// restart brings the primary back on the same address from its own disk
+// state, the way a crashed daemon would come back.
+func (p *primary) restart() *primary {
+	return startPrimary(p.t, p.dir, p.addr)
+}
+
+func startReplica(t *testing.T, dir, primaryURL string, snapshotEvery int) (*replica.Replica, *registry.Registry) {
+	t.Helper()
+	reg := registry.New(core.Options{})
+	rep, err := replica.Start(reg, replica.Options{
+		Primary:      primaryURL,
+		Store:        store.Options{Dir: dir, Fsync: store.FsyncNever, SnapshotEvery: snapshotEvery},
+		ReadyMaxLag:  1 << 20, // readiness lag is exercised separately
+		StallTimeout: 2 * time.Second,
+		BackoffMin:   10 * time.Millisecond,
+		BackoffMax:   200 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, reg
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// catalogFingerprint renders everything observable about a registry —
+// names, kinds, versions, and the full answer set of the probe queries —
+// as one JSON string, so primary/replica equality is bit-for-bit.
+func catalogFingerprint(t *testing.T, reg *registry.Registry, probes map[string][]string) string {
+	t.Helper()
+	type dbView struct {
+		Name    string           `json:"name"`
+		Kind    string           `json:"kind"`
+		Version uint64           `json:"version"`
+		Asks    map[string]bool  `json:"asks"`
+		Answers map[string][]any `json:"answers"`
+	}
+	var views []dbView
+	for _, e := range reg.List() {
+		v := dbView{Name: e.Name, Kind: string(e.Kind), Version: e.Version,
+			Asks: map[string]bool{}, Answers: map[string][]any{}}
+		for _, q := range probes[e.Name] {
+			yes, err := e.AskContext(context.Background(), q, false)
+			if err != nil {
+				t.Fatalf("%s: ask %q: %v", e.Name, q, err)
+			}
+			v.Asks[q] = yes
+			tuples, _, err := e.AnswersContext(context.Background(), q, 8, 1000)
+			if err != nil {
+				t.Fatalf("%s: answers %q: %v", e.Name, q, err)
+			}
+			for _, tu := range tuples {
+				v.Answers[q] = append(v.Answers[q], tu)
+			}
+		}
+		views = append(views, v)
+	}
+	raw, err := json.Marshal(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestReplicaFollowsPrimary is the headline path: bootstrap from a live
+// primary that already has history, then follow more than a thousand
+// streamed mutations and end bit-for-bit identical, including across a
+// replica restart that resumes from its own journal.
+func TestReplicaFollowsPrimary(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), "127.0.0.1:0")
+	defer p.stop()
+	if _, err := p.reg.PutProgram("seen", []byte("Seen(c0).")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.PutProgram("even", []byte("Even(0). Even(T) -> Even(T+2).")); err != nil {
+		t.Fatal(err)
+	}
+	// History that predates the replica: bootstrap must cover it.
+	for i := 1; i <= 100; i++ {
+		if _, err := p.reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	rep, rreg := startReplica(t, dir, p.url(), 400)
+	waitFor(t, "bootstrap", func() bool { return rep.Applied() == p.st.LastLSN() })
+	waitFor(t, "readiness", func() bool { return rep.Ready() == nil })
+
+	// Stream >1000 mutations through the live connection.
+	for i := 101; i <= 1150; i++ {
+		if _, err := p.reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := p.st.LastLSN()
+	waitFor(t, "stream convergence", func() bool { return rep.Applied() == last })
+
+	probes := map[string][]string{
+		"seen": {"?- Seen(c1).", "?- Seen(c575).", "?- Seen(c1150).", "?- Seen(c2000).", "?- Seen(X)."},
+		"even": {"?- Even(42).", "?- Even(41).", "?- Even(X)."},
+	}
+	if pf, rf := catalogFingerprint(t, p.reg, probes), catalogFingerprint(t, rreg, probes); pf != rf {
+		t.Fatalf("catalogs differ:\nprimary %s\nreplica %s", pf, rf)
+	}
+	g := rep.Gauges()
+	if g["repl_connected"] != 1 || g["repl_lag_records"] != 0 {
+		t.Fatalf("gauges after convergence: %v", g)
+	}
+	if g["repl_bootstrapped"] != 1 {
+		t.Fatalf("gauges missing bootstrap: %v", g)
+	}
+
+	// Restart the replica: it must resume from its own journal, not
+	// re-bootstrap, and still match after more writes.
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, rreg2 := startReplica(t, dir, p.url(), 400)
+	defer rep2.Close()
+	for i := 1151; i <= 1200; i++ {
+		if _, err := p.reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last = p.st.LastLSN()
+	waitFor(t, "post-restart convergence", func() bool { return rep2.Applied() == last })
+	probes["seen"] = append(probes["seen"], "?- Seen(c1200).")
+	if pf, rf := catalogFingerprint(t, p.reg, probes), catalogFingerprint(t, rreg2, probes); pf != rf {
+		t.Fatalf("catalogs differ after replica restart:\nprimary %s\nreplica %s", pf, rf)
+	}
+	if rep2.Gauges()["repl_rebootstraps_total"] != 0 {
+		t.Fatal("replica re-bootstrapped on restart instead of resuming")
+	}
+}
+
+// TestReplicaSurvivesPrimaryRestart severs the stream by killing the
+// primary mid-replication and brings it back on the same address; the
+// replica must reconnect, resume from its position, and converge.
+func TestReplicaSurvivesPrimaryRestart(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), "127.0.0.1:0")
+	if _, err := p.reg.PutProgram("seen", []byte("Seen(c0).")); err != nil {
+		t.Fatal(err)
+	}
+	rep, rreg := startReplica(t, t.TempDir(), p.url(), 0)
+	defer rep.Close()
+	waitFor(t, "initial sync", func() bool { return rep.Applied() == p.st.LastLSN() })
+	waitFor(t, "stream connected", func() bool { return rep.Gauges()["repl_connected"] == 1 })
+
+	p.stop()
+	p = p.restart()
+	defer p.stop()
+	for i := 1; i <= 20; i++ {
+		if _, err := p.reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := p.st.LastLSN()
+	waitFor(t, "reconnect and converge", func() bool { return rep.Applied() == last })
+	probes := map[string][]string{"seen": {"?- Seen(c20).", "?- Seen(X)."}}
+	if pf, rf := catalogFingerprint(t, p.reg, probes), catalogFingerprint(t, rreg, probes); pf != rf {
+		t.Fatalf("catalogs differ after primary restart:\nprimary %s\nreplica %s", pf, rf)
+	}
+	if rep.Gauges()["repl_reconnects_total"] == 0 {
+		t.Fatal("expected at least one reconnect")
+	}
+}
+
+// TestReplicaRebootstrapsAfterCompaction takes a replica offline while
+// the primary deletes a database and compacts its journal past the
+// replica's position; on return the replica must accept 410, re-seed
+// from the newer snapshot, and drop the deleted database locally.
+func TestReplicaRebootstrapsAfterCompaction(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), "127.0.0.1:0")
+	defer p.stop()
+	if _, err := p.reg.PutProgram("seen", []byte("Seen(c0).")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.PutProgram("gone", []byte("Gone(x).")); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep, rreg := startReplica(t, dir, p.url(), 0)
+	waitFor(t, "initial sync", func() bool { return rep.Applied() == p.st.LastLSN() })
+	if _, ok := rreg.Get("gone"); !ok {
+		t.Fatal("replica missing database before going offline")
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the replica is away: delete a database, add history, compact
+	// twice so the segments holding the replica's next record are retired.
+	if _, err := p.reg.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 5; i++ {
+			if _, err := p.reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(d%d_%d).", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.st.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep2, rreg2 := startReplica(t, dir, p.url(), 0)
+	defer rep2.Close()
+	last := p.st.LastLSN()
+	waitFor(t, "re-bootstrap convergence", func() bool { return rep2.Applied() == last })
+	if rep2.Gauges()["repl_rebootstraps_total"] == 0 {
+		t.Fatal("expected a re-bootstrap after compaction")
+	}
+	if _, ok := rreg2.Get("gone"); ok {
+		t.Fatal("deleted database survived re-bootstrap")
+	}
+	probes := map[string][]string{"seen": {"?- Seen(d1_4).", "?- Seen(X)."}}
+	if pf, rf := catalogFingerprint(t, p.reg, probes), catalogFingerprint(t, rreg2, probes); pf != rf {
+		t.Fatalf("catalogs differ after re-bootstrap:\nprimary %s\nreplica %s", pf, rf)
+	}
+}
+
+// TestReplicaWipesOnDivergence replaces the primary with a fresh one
+// whose history is shorter: the replica's journal describes mutations the
+// new primary never had, so it must wipe and re-seed rather than serve a
+// forked catalog.
+func TestReplicaWipesOnDivergence(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), "127.0.0.1:0")
+	if _, err := p.reg.PutProgram("old", []byte("Old(a).")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.reg.ExtendFacts("old", []byte(fmt.Sprintf("Old(b%d).", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, rreg := startReplica(t, t.TempDir(), p.url(), 0)
+	defer rep.Close()
+	waitFor(t, "initial sync", func() bool { return rep.Applied() == p.st.LastLSN() })
+	waitFor(t, "stream connected", func() bool { return rep.Gauges()["repl_connected"] == 1 })
+
+	addr := p.addr
+	p.stop()
+	// A brand-new primary (lost its disk) on the same address, with a
+	// shorter history under a different name.
+	p2 := startPrimary(t, t.TempDir(), addr)
+	defer p2.stop()
+	if _, err := p2.reg.PutProgram("fresh", []byte("Fresh(z).")); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "divergence wipe", func() bool {
+		_, oldGone := rreg.Get("old")
+		_, freshHere := rreg.Get("fresh")
+		return !oldGone && freshHere && rep.Applied() == p2.st.LastLSN()
+	})
+	if rep.Gauges()["repl_rebootstraps_total"] == 0 {
+		t.Fatal("expected a wipe re-bootstrap")
+	}
+	probes := map[string][]string{"fresh": {"?- Fresh(z).", "?- Fresh(X)."}}
+	if pf, rf := catalogFingerprint(t, p2.reg, probes), catalogFingerprint(t, rreg, probes); pf != rf {
+		t.Fatalf("catalogs differ after divergence:\nprimary %s\nreplica %s", pf, rf)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"funcdb/internal/parser"
 	"funcdb/internal/query"
 	"funcdb/internal/registry"
+	"funcdb/internal/store"
 )
 
 // StatusClientClosedRequest is the nonstandard (nginx) status for a request
@@ -56,6 +57,20 @@ type Config struct {
 	// ExtraGauges, when set, contributes additional name→value gauges to
 	// /metrics — the daemon plugs the durability store's gauges in here.
 	ExtraGauges func() map[string]int64
+	// Repl, when set, exposes the replication endpoints — GET
+	// /v1/repl/snapshot and GET /v1/repl/wal — backed by this store, so
+	// replicas can bootstrap and tail the journal.
+	Repl *store.Store
+	// ReadOnly rejects every mutating endpoint with 403 and the machine
+	// code read_only_replica; replica daemons set it so clients fail over
+	// to the primary for writes.
+	ReadOnly bool
+	// Ready, when set, gates GET /readyz: a non-nil error renders 503
+	// with the error's message. /healthz stays liveness-only regardless.
+	Ready func() error
+	// ReplHeartbeat is how often an idle /v1/repl/wal stream emits a
+	// heartbeat frame; zero means DefaultReplHeartbeat.
+	ReplHeartbeat time.Duration
 }
 
 // Defaults for Config's zero values.
@@ -67,6 +82,7 @@ const (
 	DefaultMaxTuples       = 10_000
 	DefaultMaxBatchQueries = 256
 	DefaultBatchWorkers    = 4
+	DefaultReplHeartbeat   = 3 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -91,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchWorkers == 0 {
 		c.BatchWorkers = DefaultBatchWorkers
 	}
+	if c.ReplHeartbeat == 0 {
+		c.ReplHeartbeat = DefaultReplHeartbeat
+	}
 	return c
 }
 
@@ -112,7 +131,8 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	s := &Server{
 		reg: reg,
 		cfg: cfg.withDefaults(),
-		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts", "healthz", "metrics"),
+		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts",
+			"healthz", "readyz", "metrics", "repl_snapshot", "repl_wal"),
 	}
 	s.cache = newAnswerCache(s.cfg.CacheSize)
 
@@ -134,7 +154,19 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		h = http.TimeoutHandler(h, s.cfg.Timeout,
 			`{"error":{"code":"deadline_exceeded","message":"request timed out"}}`)
 	}
-	s.handler = h
+
+	// Streaming and readiness endpoints live outside the timeout wrapper:
+	// TimeoutHandler buffers its child's writes (no http.Flusher), which
+	// would break long-polled WAL streams, and a readiness probe must not
+	// compete with the request deadline during recovery.
+	root := http.NewServeMux()
+	root.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	if s.cfg.Repl != nil {
+		root.HandleFunc("GET /v1/repl/snapshot", s.instrument("repl_snapshot", s.handleReplSnapshot))
+		root.HandleFunc("GET /v1/repl/wal", s.instrument("repl_wal", s.handleReplWAL))
+	}
+	root.Handle("/", h)
+	s.handler = root
 	return s
 }
 
@@ -145,6 +177,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // apiError carries an HTTP status alongside the message sent to the client.
 type apiError struct {
 	status int
+	code   string // machine-readable code; codeForStatus(status) when empty
 	msg    string
 }
 
@@ -152,6 +185,12 @@ func (e *apiError) Error() string { return e.msg }
 
 func errf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errc is errf with an explicit machine-readable code, for statuses whose
+// default code is too generic (403 read_only_replica, 410 compacted).
+func errc(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 // errorBody is the single JSON error envelope every endpoint renders:
@@ -169,7 +208,11 @@ func classify(err error) (int, errorBody) {
 	var pe *parser.ParseError
 	switch {
 	case errors.As(err, &ae):
-		return ae.status, errorBody{Code: codeForStatus(ae.status), Message: ae.msg}
+		code := ae.code
+		if code == "" {
+			code = codeForStatus(ae.status)
+		}
+		return ae.status, errorBody{Code: code, Message: ae.msg}
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge,
 			errorBody{Code: "body_too_large", Message: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)}
@@ -350,7 +393,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// readOnlyError rejects writes on replicas. The code is load-bearing:
+// repl.RemoteClient fails over to the next endpoint when it sees it, so a
+// write aimed at a replica lands on the primary instead of erroring.
+func (s *Server) readOnlyError() error {
+	if !s.cfg.ReadOnly {
+		return nil
+	}
+	return errc(http.StatusForbidden, "read_only_replica", "this node is a read replica; send writes to the primary")
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) error {
+	if err := s.readOnlyError(); err != nil {
+		return err
+	}
 	name := r.PathValue("name")
 	if !registry.ValidName(name) {
 		return errf(http.StatusBadRequest, "invalid database name %q", name)
@@ -376,6 +432,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.readOnlyError(); err != nil {
+		return err
+	}
 	name := r.PathValue("name")
 	removed, err := s.reg.Remove(name)
 	if err != nil {
@@ -398,6 +457,9 @@ type factsRequest struct {
 // recomputes the specification and publishes a new catalog version, so
 // cached answers for the old version expire by key.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) error {
+	if err := s.readOnlyError(); err != nil {
+		return err
+	}
 	name := r.PathValue("name")
 	var req factsRequest
 	if err := s.decodeBody(w, r, &req); err != nil {

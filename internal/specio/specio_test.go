@@ -14,7 +14,7 @@ import (
 	"funcdb/internal/term"
 )
 
-func buildSpec(t *testing.T, src string) *specgraph.Spec {
+func buildSpec(t testing.TB, src string) *specgraph.Spec {
 	t.Helper()
 	prog := parser.MustParse(src).Program
 	prep, err := rewrite.Prepare(prog)

@@ -310,6 +310,70 @@ func (s *Store) loadLatestSnapshot(reg *registry.Registry, st *RecoveryStats) (u
 	return 0, 0, nil
 }
 
+// NewestSnapshot reports the newest snapshot file on disk and the LSN it
+// covers — what a primary serves to a bootstrapping replica.
+func (s *Store) NewestSnapshot() (lsn uint64, path string, ok bool) {
+	snaps := s.listSnapshots()
+	if len(snaps) == 0 {
+		return 0, "", false
+	}
+	newest := snaps[len(snaps)-1]
+	return newest.lsn, newest.path, true
+}
+
+// InspectSnapshot validates raw snapshot bytes without touching any
+// registry, returning the LSN the snapshot covers and the names of the
+// entries it holds. Replicas call it before installing a downloaded
+// snapshot, and use the name set to drop catalog entries the primary
+// deleted while the replica was away.
+func InspectSnapshot(raw []byte) (lsn uint64, names []string, err error) {
+	lsn, entries, _, err := parseSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	names = make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.name)
+	}
+	return lsn, names, nil
+}
+
+// InstallSnapshot validates raw snapshot bytes and writes them into dir
+// under the canonical snapshot name, fsyncing file and directory — the
+// bootstrap half of replication, run before Open/Recover adopt the
+// directory. A crash mid-install leaves either no new file or a complete
+// one, never a half-written snapshot recovery would have to distrust.
+func InstallSnapshot(dir string, raw []byte) (lsn uint64, err error) {
+	lsn, _, _, err = parseSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		return 0, fmt.Errorf("store: refusing to install snapshot: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	final := filepath.Join(dir, fmt.Sprintf("snap-%016x.fsnap", lsn))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return 0, err
+	}
+	return lsn, syncDir(dir)
+}
+
 // parseSnapshotFile reads and validates a whole snapshot without touching
 // any registry — all-or-nothing, so a torn file never half-restores.
 func parseSnapshotFile(path string) (lsn uint64, entries []snapEntry, versions map[string]uint64, err error) {
@@ -318,7 +382,12 @@ func parseSnapshotFile(path string) (lsn uint64, entries []snapEntry, versions m
 		return 0, nil, nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
+	return parseSnapshot(f)
+}
+
+// parseSnapshot reads and validates a whole snapshot stream.
+func parseSnapshot(r io.Reader) (lsn uint64, entries []snapEntry, versions map[string]uint64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
 
 	rec, err := binspec.ReadRecord(br)
 	if err != nil {

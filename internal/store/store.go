@@ -88,15 +88,19 @@ type Store struct {
 	attached *registry.Registry
 
 	// Gauges, atomics so /metrics never takes mu.
-	mWALBytes    atomic.Int64 // bytes across all segments
-	mSinceSnap   atomic.Int64 // records journaled since the last snapshot
-	mRecoveryUS  atomic.Int64 // duration of the last recovery, microseconds
-	mSnapshots   atomic.Int64 // snapshots written over this store's lifetime
-	mWarnings    atomic.Int64 // recovery/compaction warnings logged
+	mWALBytes   atomic.Int64 // bytes across all segments
+	mSinceSnap  atomic.Int64 // records journaled since the last snapshot
+	mRecoveryUS atomic.Int64 // duration of the last recovery, microseconds
+	mSnapshots  atomic.Int64 // snapshots written over this store's lifetime
+	mWarnings   atomic.Int64 // recovery/compaction warnings logged
 
 	// snapOnce serializes whole snapshot operations (a background snapshot
 	// racing the shutdown snapshot) without blocking appends.
 	snapOnce sync.Mutex
+
+	// notify is closed and replaced after every append, waking tailing
+	// cursors (guarded by mu).
+	notify chan struct{}
 
 	snapCh chan struct{}
 	done   chan struct{}
@@ -184,6 +188,7 @@ func Open(opts Options) (*Store, error) {
 	return &Store{
 		opts:   opts,
 		logf:   logf,
+		notify: make(chan struct{}),
 		snapCh: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}, nil
@@ -250,12 +255,38 @@ func (s *Store) observe(m registry.Mutation) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
-	rec := encodeMutation(s.nextLSN, m)
+	return s.appendMutationLocked(s.nextLSN, m)
+}
+
+// AppendReplicated journals one mutation shipped from a primary at its
+// exact log sequence number, which must extend the local tail without a
+// gap. Replicas call it before applying the mutation to their registry
+// (write-ahead order), so the local log stays a byte-equivalent prefix of
+// the primary's history and a restart resumes from the same position.
+func (s *Store) AppendReplicated(lsn uint64, m registry.Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if lsn != s.nextLSN {
+		return fmt.Errorf("store: replicated record lsn %d does not extend local tail (next %d)", lsn, s.nextLSN)
+	}
+	return s.appendMutationLocked(lsn, m)
+}
+
+// appendMutationLocked encodes, frames and appends one mutation, advances
+// the LSN, wakes tailing cursors and schedules an automatic snapshot when
+// the replay debt crosses the threshold.
+func (s *Store) appendMutationLocked(lsn uint64, m registry.Mutation) error {
+	rec := encodeMutation(lsn, m)
 	if err := s.appendLocked(rec); err != nil {
 		return err
 	}
-	s.nextLSN++
+	s.nextLSN = lsn + 1
 	s.mSinceSnap.Add(1)
+	close(s.notify)
+	s.notify = make(chan struct{})
 	if s.opts.SnapshotEvery > 0 && s.mSinceSnap.Load() >= int64(s.opts.SnapshotEvery) {
 		select {
 		case s.snapCh <- struct{}{}:
@@ -263,6 +294,26 @@ func (s *Store) observe(m registry.Mutation) error {
 		}
 	}
 	return nil
+}
+
+// LastLSN returns the sequence number of the newest journaled mutation (0
+// when the log is empty). A record whose LSN is at most LastLSN is fully
+// written and safe for a concurrent cursor to read.
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextLSN == 0 {
+		return 0
+	}
+	return s.nextLSN - 1
+}
+
+// appendWait returns a channel closed by the next append. Callers must
+// re-check LastLSN after acquiring the channel to avoid a missed wakeup.
+func (s *Store) appendWait() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notify
 }
 
 // appendLocked writes one framed record to the active segment, rolling the

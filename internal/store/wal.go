@@ -49,6 +49,35 @@ func encodeMutation(lsn uint64, m registry.Mutation) []byte {
 	return out
 }
 
+// DecodeMutationRecord parses one WAL record payload — the bytes a Cursor
+// delivers and a replication stream ships — into its sequence number and
+// mutation. The inverse of the journal's own encoder, exported so replicas
+// apply exactly what the primary journaled.
+func DecodeMutationRecord(rec []byte) (uint64, registry.Mutation, error) {
+	wr, err := decodeMutation(rec)
+	return wr.lsn, wr.m, err
+}
+
+// EncodeMutationRecord renders a mutation in the WAL payload format at the
+// given sequence number. Tests and benchmarks use it to synthesize streams;
+// the journal itself encodes internally.
+func EncodeMutationRecord(lsn uint64, m registry.Mutation) []byte {
+	return encodeMutation(lsn, m)
+}
+
+// peekLSN extracts just the sequence number from an encoded record, so a
+// cursor can position itself without decoding whole payloads.
+func peekLSN(rec []byte) (uint64, error) {
+	if len(rec) < 2 {
+		return 0, fmt.Errorf("%w: short WAL record", binspec.ErrCorrupt)
+	}
+	lsn, n := binary.Uvarint(rec[1:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated lsn", binspec.ErrCorrupt)
+	}
+	return lsn, nil
+}
+
 func decodeMutation(rec []byte) (walRecord, error) {
 	bad := func(what string) (walRecord, error) {
 		return walRecord{}, fmt.Errorf("%w: %s", binspec.ErrCorrupt, what)
