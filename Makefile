@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl bench bench-store bench-concurrent bench-repl fuzz fuzz-smoke govulncheck tables examples clean
+.PHONY: all check build test vet race race-repl bench bench-store bench-concurrent bench-repl bench-obs fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -36,8 +36,16 @@ bench-concurrent:
 bench-repl:
 	$(GO) run ./cmd/fdbench repl BENCH_repl.json
 
+# Observability overhead: query throughput with the engine-counter sink
+# active vs a no-op sink vs a per-request trace (EXPERIMENTS.md A9).
+bench-obs:
+	$(GO) run ./cmd/fdbench obs BENCH_obs.json
+
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser

@@ -31,6 +31,13 @@
 //	                 requires -data, rejects writes with 403
 //	-ready-max-lag   largest record lag at which a replica's /readyz still
 //	                 reports ready
+//	-log-level       minimum level for structured logs: debug, info, warn
+//	                 or error (default info)
+//	-log-format      structured-log encoding: text or json
+//	-slow-query      log a warning (with trace id, when tracing) for any
+//	                 query evaluated slower than this; 0 disables
+//	-debug-addr      optional second listener exposing /debug/pprof/*;
+//	                 keep it on localhost or a private interface
 //
 // A durable primary serves its snapshot and WAL stream on /v1/repl/* for
 // replicas to consume. The daemon shuts down gracefully on
@@ -47,8 +54,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,12 +92,23 @@ func run(args []string, out io.Writer) error {
 	batchWorkers := fs.Int("batch-workers", server.DefaultBatchWorkers, "worker pool size per /batch request")
 	replicaOf := fs.String("replica-of", "", "primary base URL: run as a read replica of that daemon")
 	readyMaxLag := fs.Uint64("ready-max-lag", replica.DefaultReadyMaxLag, "largest record lag at which a replica reports ready")
+	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "structured-log encoding: text or json")
+	slowQuery := fs.Duration("slow-query", 0, "log queries evaluated slower than this (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "optional listener for /debug/pprof/* (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	// Packages that log outside a request (store recovery, replication)
+	// default to the process-wide logger; make it this one.
+	slog.SetDefault(logger)
 	if *replicaOf != "" {
 		if *dataDir == "" {
 			return fmt.Errorf("-replica-of needs -data: the replica journals the primary's records locally")
@@ -105,13 +125,54 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 	dc := daemonConfig{
 		server: server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
-			MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers},
+			MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers,
+			Logger: logger, SlowQuery: *slowQuery},
 		store:       store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery},
 		preload:     *preload,
 		replicaOf:   strings.TrimSuffix(*replicaOf, "/"),
 		readyMaxLag: *readyMaxLag,
+		debugAddr:   *debugAddr,
 	}
 	return serve(ctx, ln, dc, out)
+}
+
+// newLogger builds the daemon's structured logger from the -log-level and
+// -log-format flags.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// debugHandler mounts the pprof endpoints on a private mux, so the main
+// listener never exposes them.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // daemonConfig is everything serve needs beyond its listener: the HTTP
@@ -123,6 +184,7 @@ type daemonConfig struct {
 	preload     string
 	replicaOf   string
 	readyMaxLag uint64
+	debugAddr   string
 }
 
 // serve runs the daemon on ln until ctx is cancelled, then drains in-flight
@@ -186,6 +248,20 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 		Handler:           server.New(reg, cfg).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	var dbg *http.Server
+	if dc.debugAddr != "" {
+		dln, err := net.Listen("tcp", dc.debugAddr)
+		if err != nil {
+			ln.Close()
+			if rep != nil {
+				rep.Close()
+			}
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg = &http.Server{Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dbg.Serve(dln) }()
+		fmt.Fprintf(out, "fdbd: pprof on http://%s/debug/pprof/\n", dln.Addr())
+	}
 	fmt.Fprintf(out, "fdbd: listening on http://%s\n", ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -200,6 +276,9 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 	fmt.Fprintln(out, "fdbd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if dbg != nil {
+		_ = dbg.Shutdown(shutdownCtx)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}

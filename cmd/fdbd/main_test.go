@@ -118,4 +118,68 @@ func TestRunFlagErrors(t *testing.T) {
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("-replica-of with -preload = %v", err)
 	}
+	if err := run([]string{"-log-level", "loud"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-log-level") {
+		t.Errorf("bad -log-level = %v", err)
+	}
+	if err := run([]string{"-log-format", "xml"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-log-format") {
+		t.Errorf("bad -log-format = %v", err)
+	}
+}
+
+// TestDebugListener checks that -debug-addr serves pprof on its own
+// listener and that the main listener does not expose it.
+func TestDebugListener(t *testing.T) {
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dln.Addr().String()
+	dln.Close() // serve re-listens on the same address
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(ctx, ln, daemonConfig{debugAddr: debugAddr}, io.Discard)
+	}()
+	base := "http://" + ln.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline = %d, want 200", resp.StatusCode)
+	}
+	// The query listener must not serve pprof.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("main listener exposes pprof")
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }

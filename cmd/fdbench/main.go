@@ -8,12 +8,15 @@
 //	fdbench [t41|t42|t43|f1|a2|a3|all]
 //	fdbench concurrent [OUT.json]
 //	fdbench repl [OUT.json]
+//	fdbench obs [OUT.json]
 //
-// The concurrent and repl subcommands are not part of "all": concurrent
-// compares the mutex-serialized and lock-free snapshot read paths at
-// 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
+// The concurrent, repl and obs subcommands are not part of "all":
+// concurrent compares the mutex-serialized and lock-free snapshot read
+// paths at 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
 // snapshot-shipped replica bootstrap and WAL streaming apply throughput
-// against an in-process primary (default BENCH_repl.json).
+// against an in-process primary (default BENCH_repl.json); obs prices the
+// observability layer against a no-op engine-counter sink and a per-request
+// trace (default BENCH_obs.json).
 package main
 
 import (
@@ -36,15 +39,18 @@ func main() {
 	if len(os.Args) > 1 {
 		which = os.Args[1]
 	}
-	if which == "concurrent" || which == "repl" {
+	if which == "concurrent" || which == "repl" || which == "obs" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
 		}
-		if which == "concurrent" {
+		switch which {
+		case "concurrent":
 			concurrent(out)
-		} else {
+		case "repl":
 			replBench(out)
+		case "obs":
+			obsBench(out)
 		}
 		return
 	}

@@ -1,0 +1,206 @@
+// The obs benchmark prices the observability layer: query throughput with
+// the engine-counter sink active (the shipping default), with the sink
+// swapped for a nil no-op, and with a span trace attached to every request
+// (the opt-in worst case). The headline number is the overhead of the
+// default configuration over the no-op sink — EXPERIMENTS.md A9 requires
+// it under 5%. Results land in BENCH_obs.json (make bench-obs).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/datagen"
+	"funcdb/internal/obs"
+)
+
+// obsResult is one (workload, mode) cell of the throughput table.
+type obsResult struct {
+	Workload string  `json:"workload"` // "ask" or "recompute"
+	Mode     string  `json:"mode"`     // "noop_sink", "instrumented" or "traced"
+	QPS      float64 `json:"qps"`
+}
+
+// obsReport is the schema of BENCH_obs.json.
+type obsReport struct {
+	Bench      string      `json:"bench"`
+	Workload   string      `json:"workload"`
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	DurationMS int64       `json:"duration_ms"`
+	Results    []obsResult `json:"results"`
+	// OverheadPctAsk is the throughput the default (instrumented, untraced)
+	// configuration gives up against the no-op sink on the ground-ask
+	// workload — the headline; A9 requires it under 5.
+	OverheadPctAsk float64 `json:"overhead_pct_ask"`
+	// OverheadPctRecompute is the same on the recompute workload, where the
+	// fixpoint engine (and so the counter sink) dominates.
+	OverheadPctRecompute float64 `json:"overhead_pct_recompute"`
+}
+
+// obsQPS runs op over the query list from g goroutines for roughly dur and
+// reports ops/sec. The shape mirrors measureQPS but takes its own queries.
+func obsQPS(g int, dur time.Duration, queries []string, op func(q string)) float64 {
+	var ops atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			var n int64
+			for j := offset; ; j++ {
+				select {
+				case <-stop:
+					ops.Add(n)
+					return
+				default:
+					op(queries[j%len(queries)])
+					n++
+				}
+			}
+		}(i)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / time.Since(start).Seconds()
+}
+
+// obsBench runs the observability-overhead comparison and writes
+// BENCH_obs.json (or the path given as the second CLI argument).
+func obsBench(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_obs.json"
+	}
+	// The question is per-op cost, not scalability (A7 covers that), so one
+	// goroutine keeps scheduler noise out. Best-of-3 per cell, mirroring
+	// timeIt: shared-CPU interference only ever slows a run down, so the max
+	// over repetitions is the least-disturbed one.
+	const perRun = 500 * time.Millisecond
+	const reps = 3
+	const goroutines = 1
+
+	db := open(datagen.CalendarSrc(6))
+	askQueries := []string{
+		"?- Meets(10, s0).",
+		"?- Meets(100, s3).",
+		"?- Meets(512, s5).",
+		"?- Meets(1000, s1).",
+	}
+	// Non-uniform queries recompute the whole pipeline (engine + Algorithm
+	// Q) per call, so the counter sink sits on the measured path. A fresh
+	// database per op keeps the snapshot cold without racing the askers.
+	recomputeSrc := datagen.CalendarSrc(3)
+	recomputeQueries := []string{"?- Meets(T+1, s0).", "?- Meets(T+2, s1)."}
+
+	// Warm the ask snapshot outside the timed region.
+	for _, q := range askQueries {
+		if _, err := db.AskContext(context.Background(), q); err != nil {
+			panic(err)
+		}
+	}
+
+	askOp := func(ctx func() context.Context) func(q string) {
+		return func(q string) {
+			if _, err := db.AskContext(ctx(), q); err != nil {
+				panic(err)
+			}
+		}
+	}
+	recomputeOp := func(ctx func() context.Context) func(q string) {
+		return func(q string) {
+			fresh, err := core.Open(recomputeSrc, core.Options{})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := fresh.AnswersContext(ctx(), q); err != nil {
+				panic(err)
+			}
+		}
+	}
+	plainCtx := func() context.Context { return context.Background() }
+	tracedCtx := func() context.Context { return obs.WithTrace(context.Background(), obs.NewTrace()) }
+
+	// Restore the default sink whatever happens; it is process-global.
+	defaultSink := obs.EngineSink()
+	defer obs.SetEngineSink(defaultSink)
+
+	modes := []struct {
+		name string
+		sink *obs.EngineStats
+		ctx  func() context.Context
+	}{
+		{"noop_sink", nil, plainCtx},
+		{"instrumented", defaultSink, plainCtx},
+		{"traced", defaultSink, tracedCtx},
+	}
+	workloads := []struct {
+		name    string
+		queries []string
+		op      func(ctx func() context.Context) func(q string)
+	}{
+		{"ask", askQueries, askOp},
+		{"recompute", recomputeQueries, recomputeOp},
+	}
+
+	rep := obsReport{
+		Bench:      "obs",
+		Workload:   "calendar(6) ground asks; calendar(3) non-uniform recomputes",
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationMS: perRun.Milliseconds(),
+	}
+	qps := map[string]map[string]float64{}
+	fmt.Println("OBS   observability overhead: no-op sink vs instrumented vs traced")
+	fmt.Printf("workload    mode           qps\n")
+	for _, wl := range workloads {
+		qps[wl.name] = map[string]float64{}
+		// Interleave the repetitions across modes so slow environmental
+		// drift (a neighbor stealing the CPU for a while) degrades every
+		// mode, not whichever one happened to run during it.
+		for r := 0; r < reps; r++ {
+			for _, m := range modes {
+				obs.SetEngineSink(m.sink)
+				q := obsQPS(goroutines, perRun, wl.queries, wl.op(m.ctx))
+				obs.SetEngineSink(defaultSink)
+				if q > qps[wl.name][m.name] {
+					qps[wl.name][m.name] = q
+				}
+			}
+		}
+		for _, m := range modes {
+			v := qps[wl.name][m.name]
+			rep.Results = append(rep.Results, obsResult{Workload: wl.name, Mode: m.name, QPS: v})
+			fmt.Printf("%-11s %-14s %.0f\n", wl.name, m.name, v)
+		}
+	}
+	overhead := func(wl string) float64 {
+		base := qps[wl]["noop_sink"]
+		if base <= 0 {
+			return 0
+		}
+		return (base - qps[wl]["instrumented"]) / base * 100
+	}
+	rep.OverheadPctAsk = overhead("ask")
+	rep.OverheadPctRecompute = overhead("recompute")
+	fmt.Printf("instrumented overhead: ask %.1f%%, recompute %.1f%% (gate: <5%%)\n",
+		rep.OverheadPctAsk, rep.OverheadPctRecompute)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

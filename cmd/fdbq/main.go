@@ -29,6 +29,8 @@
 //	               database before answering queries — durable when the
 //	               daemon runs with -data
 //	-i             with -remote: interactive shell against the daemon
+//	-trace         with -remote: request a per-stage span trace with every
+//	               query and print it as an indented tree
 //	-cc            answer through congruence closure instead of the DFA walk
 //	-info          print the document's (or daemon's) description
 //	-dot           print the successor automaton as Graphviz DOT
@@ -65,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	dbName := fs.String("db", "", "with -remote: database name on the daemon")
 	addFacts := fs.String("add", "", "with -remote: ground facts to append before answering queries")
 	interactive := fs.Bool("i", false, "with -remote: interactive shell against the daemon")
+	trace := fs.Bool("trace", false, "with -remote: print a per-stage span trace for each query")
 	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
 	info := fs.Bool("info", false, "describe the document or daemon database")
 	dot := fs.Bool("dot", false, "print the automaton as Graphviz DOT")
@@ -75,10 +78,10 @@ func run(args []string, out io.Writer) error {
 		if *specPath != "" {
 			return fmt.Errorf("-spec and -remote are mutually exclusive")
 		}
-		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *addFacts, fs.Args(), os.Stdin, out)
+		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *trace, *addFacts, fs.Args(), os.Stdin, out)
 	}
-	if *addFacts != "" || *interactive {
-		return fmt.Errorf("-add and -i need -remote (a local spec document is immutable)")
+	if *addFacts != "" || *interactive || *trace {
+		return fmt.Errorf("-add, -i and -trace need -remote (a local spec document is immutable)")
 	}
 	if *specPath == "" {
 		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]\n       fdbq -remote http://host:port -db NAME [QUERY ...]")
@@ -139,9 +142,9 @@ func run(args []string, out io.Writer) error {
 
 // runRemote answers the queries through a running fdbd daemon via the
 // shared remote client, so HTTP error bodies surface as messages.
-func runRemote(base string, db string, useCC, info, interactive bool, addFacts string, queries []string, in io.Reader, out io.Writer) error {
+func runRemote(base string, db string, useCC, info, interactive, trace bool, addFacts string, queries []string, in io.Reader, out io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
-	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, HTTP: client}
+	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, Trace: trace, HTTP: client}
 	endpoints := rc.Endpoints()
 	if len(endpoints) == 0 {
 		return fmt.Errorf("-remote lists no usable endpoint: %q", base)
@@ -181,11 +184,12 @@ func runRemote(base string, db string, useCC, info, interactive bool, addFacts s
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		for _, q := range queries {
-			yes, _, err := rc.AskContext(ctx, q)
+			yes, _, tr, err := rc.AskTraceContext(ctx, q)
 			if err != nil {
 				return fmt.Errorf("%s: %w", q, err)
 			}
 			fmt.Fprintf(out, "%-40s %v\n", q, yes)
+			repl.RenderTrace(out, tr)
 		}
 	}
 	if interactive {

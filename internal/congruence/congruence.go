@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"funcdb/internal/obs"
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
 )
@@ -123,6 +124,7 @@ func (s *Solver) Assert(t1, t2 term.Term) {
 	s.add(t1)
 	s.add(t2)
 	s.union(t1, t2)
+	obs.EngineSink().AddEquations(1)
 }
 
 // Congruent decides (t1, t2) ∈ Cl(R) for the equations asserted so far.

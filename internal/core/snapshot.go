@@ -9,6 +9,7 @@ import (
 	"funcdb/internal/congruence"
 	"funcdb/internal/engine"
 	"funcdb/internal/facts"
+	"funcdb/internal/obs"
 	"funcdb/internal/parser"
 	"funcdb/internal/query"
 	"funcdb/internal/rewrite"
@@ -160,15 +161,28 @@ func (s *Snapshot) parseQuery(src string) (*evalCtx, *ast.Query, error) {
 // and leaves the snapshot untouched (there is nothing to poison — all
 // intermediate state is query-local).
 func (s *Snapshot) Ask(ctx context.Context, src string) (bool, error) {
+	return s.AskMethod(ctx, src, MethodAuto)
+}
+
+// AskMethod is Ask with an explicit ground-membership method, overriding
+// the snapshot's default (MethodAuto keeps the default). It lets a caller
+// force the congruence-closure path for one query without giving up the
+// lock-free snapshot read.
+func (s *Snapshot) AskMethod(ctx context.Context, src string, m Method) (bool, error) {
+	if m == MethodAuto {
+		m = s.method
+	}
+	_, psp := obs.StartSpan(ctx, "parse")
 	ec, q, err := s.parseQuery(src)
+	psp.End()
 	if err != nil {
 		return false, err
 	}
-	ok, err := s.askQuery(ctx, ec, q)
+	ok, err := s.askQuery(ctx, ec, q, m)
 	return ok, wrapCanceled(err)
 }
 
-func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (bool, error) {
+func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query, m Method) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
@@ -180,15 +194,17 @@ func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (boo
 		}
 	}
 	if ground {
+		gctx, gsp := obs.StartSpan(ctx, "ground_eval")
+		defer gsp.End()
 		var csc *congruence.Scratch
-		if s.method == MethodEquational {
+		if m == MethodEquational {
 			csc = congruence.NewScratch()
 		}
 		for i := range q.Atoms {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			ok, err := s.hasGroundAtom(ec, &q.Atoms[i], csc)
+			ok, err := s.hasGroundAtom(gctx, ec, &q.Atoms[i], csc)
 			if err != nil {
 				return false, err
 			}
@@ -208,7 +224,7 @@ func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (boo
 // hasGroundAtom decides one ground atom. csc is non-nil exactly when the
 // equational method is in force: membership then goes through congruence
 // closure against R instead of the successor DFA.
-func (s *Snapshot) hasGroundAtom(ec *evalCtx, a *ast.Atom, csc *congruence.Scratch) (bool, error) {
+func (s *Snapshot) hasGroundAtom(ctx context.Context, ec *evalCtx, a *ast.Atom, csc *congruence.Scratch) (bool, error) {
 	t, args, err := s.groundAtomParts(ec, a)
 	if err != nil {
 		return false, err
@@ -217,11 +233,19 @@ func (s *Snapshot) hasGroundAtom(ec *evalCtx, a *ast.Atom, csc *congruence.Scrat
 		return s.spec.HasData(ec.w, a.Pred, args), nil
 	}
 	if csc != nil {
+		_, sp := obs.StartSpan(ctx, "congruence")
 		eq, cand := s.canonical()
 		atom := ec.w.Atom(a.Pred, ec.w.Tuple(args))
-		return eq.CongruentToAny(ec.u, t, cand[atom], csc), nil
+		ok := eq.CongruentToAny(ec.u, t, cand[atom], csc)
+		sp.End()
+		// |R|: the equation set whose closure Cl(R) decided membership.
+		obs.SetMax(ctx, "equations", int64(len(s.spec.Merges)))
+		return ok, nil
 	}
-	return s.spec.Has(ec.u, ec.w, a.Pred, t, args)
+	_, sp := obs.StartSpan(ctx, "dfa_walk")
+	ok, err := s.spec.Has(ec.u, ec.w, a.Pred, t, args)
+	sp.End()
+	return ok, err
 }
 
 // groundAtomParts interns a ground atom's functional term (term.None for a
@@ -262,7 +286,9 @@ func (s *Snapshot) groundAtomParts(ec *evalCtx, a *ast.Atom) (term.Term, []symbo
 // concurrent use; enumeration renders through Answers.TermString and
 // friends, never through the live database.
 func (s *Snapshot) Answers(ctx context.Context, src string) (*query.Answers, error) {
+	_, psp := obs.StartSpan(ctx, "parse")
 	ec, q, err := s.parseQuery(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +303,9 @@ func (s *Snapshot) answersQuery(ctx context.Context, ec *evalCtx, q *ast.Query) 
 	var ans *query.Answers
 	var err error
 	if query.IsUniform(q) {
-		ans, err = query.IncrementalContext(ctx, frozenBackend{ec}, q)
+		ictx, sp := obs.StartSpan(ctx, "answers_incremental")
+		ans, err = query.IncrementalContext(ictx, frozenBackend{ec}, q)
+		sp.End()
 	} else {
 		// Recompute builds a private enlarged program: thaw the overlay
 		// into a standalone table (the query's scratch symbols keep their
@@ -340,21 +368,44 @@ func (s *Snapshot) AskBatch(ctx context.Context, queries []string, workers int) 
 	return out
 }
 
+// snapshotTraced returns the current snapshot, recording a "compile" span on
+// the caller's trace when the snapshot actually has to be (re)built — the
+// one moment a read pays for compilation after a mutation.
+func (db *Database) snapshotTraced(ctx context.Context) (*Snapshot, error) {
+	if s := db.snap.Load(); s != nil {
+		return s, nil
+	}
+	_, sp := obs.StartSpan(ctx, "compile")
+	defer sp.End()
+	return db.Snapshot()
+}
+
 // AskContext answers a yes-no query on the current snapshot: the read runs
 // lock-free and concurrently with other readers, honoring ctx. See Ask for
 // the method semantics.
 func (db *Database) AskContext(ctx context.Context, src string) (bool, error) {
-	s, err := db.Snapshot()
+	s, err := db.snapshotTraced(ctx)
 	if err != nil {
 		return false, err
 	}
 	return s.Ask(ctx, src)
 }
 
+// AskCCContext answers a ground yes-no query by congruence closure against
+// the equation set R (the paper's equational specification), on the current
+// snapshot and honoring ctx. Unlike the deprecated AskCC it takes no lock.
+func (db *Database) AskCCContext(ctx context.Context, src string) (bool, error) {
+	s, err := db.snapshotTraced(ctx)
+	if err != nil {
+		return false, err
+	}
+	return s.AskMethod(ctx, src, MethodEquational)
+}
+
 // AnswersContext computes a query's answer specification on the current
 // snapshot, lock-free, honoring ctx.
 func (db *Database) AnswersContext(ctx context.Context, src string) (*query.Answers, error) {
-	s, err := db.Snapshot()
+	s, err := db.snapshotTraced(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +415,7 @@ func (db *Database) AnswersContext(ctx context.Context, src string) (*query.Answ
 // AskBatch evaluates many yes-no queries concurrently on one snapshot of
 // the database. See Snapshot.AskBatch.
 func (db *Database) AskBatch(ctx context.Context, queries []string, workers int) ([]BatchResult, error) {
-	s, err := db.Snapshot()
+	s, err := db.snapshotTraced(ctx)
 	if err != nil {
 		return nil, err
 	}

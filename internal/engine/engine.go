@@ -31,6 +31,7 @@ import (
 	"funcdb/internal/ast"
 	"funcdb/internal/facts"
 	"funcdb/internal/normform"
+	"funcdb/internal/obs"
 	"funcdb/internal/rewrite"
 	"funcdb/internal/subst"
 	"funcdb/internal/symbols"
@@ -57,8 +58,16 @@ type Stats struct {
 	Rounds       int // global fixpoint rounds
 	Cells        int // child-state cells created
 	RuleFirings  int // successful body matches
+	FactsDerived int // atoms actually added to some fact set
 	AnchorsCount int // anchor nodes
 	SkippedEvals int // node evaluations skipped by the dirty check
+}
+
+// obsMark remembers the stats already flushed to the observability layer,
+// so repeated Solve calls (StateOf extends the fixpoint on demand) report
+// deltas rather than re-counting prior work.
+type obsMark struct {
+	rounds, firings, facts, terms int
 }
 
 type memoKey struct {
@@ -105,6 +114,7 @@ type Engine struct {
 
 	opts     Options
 	stats    Stats
+	mark     obsMark
 	overflow error
 	solved   bool
 	ctx      context.Context
@@ -165,6 +175,9 @@ func New(prep *rewrite.Prepared, u *term.Universe, w *facts.World, opts Options)
 		e.anchors[t].Add(w, w.Atom(f.Pred, tu))
 	}
 	e.stats.AnchorsCount = len(e.anchorList)
+	// Terms interned before the first Solve belong to the program itself
+	// (and, in a shared universe, to earlier engines) — not to this fixpoint.
+	e.mark.terms = u.Size()
 	return e, nil
 }
 
@@ -351,6 +364,7 @@ func (e *Engine) emit(r *normform.Rule, ctx *ruleCtx, b *subst.Binding) bool {
 	}
 	if added {
 		e.version++
+		e.stats.FactsDerived++
 	}
 	return added
 }
@@ -483,14 +497,27 @@ func (e *Engine) evalCell(c *cell) bool {
 // the next Solve call resumes from the facts derived so far.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
 
+// Context returns the context set with SetContext (nil if none). Algorithm Q
+// reads it so its exploration spans join the same trace as the fixpoint.
+func (e *Engine) Context() context.Context { return e.ctx }
+
 func (e *Engine) Solve() error {
+	ctx, span := obs.StartSpan(e.ctx, "solve")
+	err := e.run(ctx)
+	e.FlushObs()
+	span.End()
+	return err
+}
+
+func (e *Engine) run(ctx context.Context) error {
 	for {
-		if e.ctx != nil {
-			if err := e.ctx.Err(); err != nil {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		e.stats.Rounds++
+		_, rspan := obs.StartSpan(ctx, "fixpoint_round")
 		changed := e.evalGlobals()
 		for _, t := range e.anchorList {
 			if e.evalAnchor(t) {
@@ -502,6 +529,7 @@ func (e *Engine) Solve() error {
 				changed = true
 			}
 		}
+		rspan.End()
 		if e.overflow != nil {
 			return e.overflow
 		}
@@ -512,6 +540,30 @@ func (e *Engine) Solve() error {
 		if e.opts.MaxRounds > 0 && e.stats.Rounds >= e.opts.MaxRounds {
 			return fmt.Errorf("engine: no fixpoint after %d rounds", e.stats.Rounds)
 		}
+	}
+}
+
+// FlushObs reports the work done since the last flush to the cumulative
+// engine sink and, when the engine's context carries a trace, to the
+// per-query trace counters. Solve flushes automatically; callers that drive
+// the engine piecemeal (StateOf/ChildState also trigger rounds) get the
+// remainder on their next Solve or explicit flush.
+func (e *Engine) FlushObs() {
+	dRounds := int64(e.stats.Rounds - e.mark.rounds)
+	dFirings := int64(e.stats.RuleFirings - e.mark.firings)
+	dFacts := int64(e.stats.FactsDerived - e.mark.facts)
+	dTerms := int64(e.U.Size() - e.mark.terms)
+	e.mark = obsMark{e.stats.Rounds, e.stats.RuleFirings, e.stats.FactsDerived, e.U.Size()}
+	sink := obs.EngineSink()
+	sink.AddRounds(dRounds)
+	sink.AddFirings(dFirings)
+	sink.AddFacts(dFacts)
+	sink.AddTerms(dTerms)
+	if tr := obs.FromContext(e.ctx); tr != nil {
+		tr.Add("fixpoint_rounds", dRounds)
+		tr.Add("rule_firings", dFirings)
+		tr.Add("facts_derived", dFacts)
+		tr.Add("terms_interned", dTerms)
 	}
 }
 

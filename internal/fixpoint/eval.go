@@ -1,10 +1,12 @@
 package fixpoint
 
 import (
+	"context"
 	"fmt"
 
 	"funcdb/internal/ast"
 	"funcdb/internal/facts"
+	"funcdb/internal/obs"
 	"funcdb/internal/subst"
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
@@ -38,11 +40,21 @@ type Result struct {
 // functional terms of depth at most opts.MaxDepth. Terms are interned in u
 // and tuples in w.
 func Eval(p *ast.Program, u *term.Universe, w *facts.World, opts Options) (*Result, error) {
+	return EvalContext(context.Background(), p, u, w, opts)
+}
+
+// EvalContext is Eval with cancellation and tracing: the evaluator checks
+// ctx between rounds, and when ctx carries an obs trace every round is
+// recorded as a child span of a "fixpoint_eval" span.
+func EvalContext(ctx context.Context, p *ast.Program, u *term.Universe, w *facts.World, opts Options) (*Result, error) {
 	if p.HasMixed() {
 		return nil, fmt.Errorf("fixpoint: program has mixed function symbols; run rewrite.EliminateMixed first")
 	}
+	ectx, span := obs.StartSpan(ctx, "fixpoint_eval")
+	defer span.End()
 	e := &evaluator{
 		prog:  p,
+		ctx:   ectx,
 		store: NewStore(u, w),
 		opts:  opts,
 	}
@@ -55,6 +67,11 @@ func Eval(p *ast.Program, u *term.Universe, w *facts.World, opts Options) (*Resu
 	} else {
 		err = e.runNaive()
 	}
+	sink := obs.EngineSink()
+	sink.AddRounds(int64(e.rounds))
+	sink.AddFacts(int64(e.store.Len()))
+	obs.Add(ectx, "fixpoint_rounds", int64(e.rounds))
+	obs.Add(ectx, "facts_derived", int64(e.store.Len()))
 	if err != nil {
 		return nil, err
 	}
@@ -63,10 +80,19 @@ func Eval(p *ast.Program, u *term.Universe, w *facts.World, opts Options) (*Resu
 
 type evaluator struct {
 	prog      *ast.Program
+	ctx       context.Context
 	store     *Store
 	opts      Options
 	rounds    int
 	truncated bool
+}
+
+// checkCtx aborts between rounds once the context has expired.
+func (e *evaluator) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 func (e *evaluator) loadFacts() error {
@@ -108,17 +134,23 @@ func (e *evaluator) checkOverflow() error {
 
 func (e *evaluator) runNaive() error {
 	for {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		e.rounds++
+		_, rspan := obs.StartSpan(e.ctx, "fixpoint_round")
 		changed := false
 		for i := range e.prog.Rules {
 			n, err := e.applyRule(&e.prog.Rules[i], -1, nil)
 			if err != nil {
+				rspan.End()
 				return err
 			}
 			if n > 0 {
 				changed = true
 			}
 		}
+		rspan.End()
 		if !changed {
 			return nil
 		}
@@ -173,17 +205,22 @@ func sameMarks(a, b lenMarks) bool {
 func (e *evaluator) runSeminaive() error {
 	prev := lenMarks{data: map[symbols.PredID]int{}, fn: map[symbols.PredID]int{}}
 	for {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		cur := e.marks()
 		if e.rounds > 0 && sameMarks(prev, cur) {
 			return nil
 		}
 		e.rounds++
+		_, rspan := obs.StartSpan(e.ctx, "fixpoint_round")
 		delta := &deltaRange{from: prev, to: cur}
 		for i := range e.prog.Rules {
 			r := &e.prog.Rules[i]
 			if len(r.Body) == 0 {
 				if e.rounds == 1 {
 					if _, err := e.applyRule(r, -1, nil); err != nil {
+						rspan.End()
 						return err
 					}
 				}
@@ -191,10 +228,12 @@ func (e *evaluator) runSeminaive() error {
 			}
 			for pos := range r.Body {
 				if _, err := e.applyRule(r, pos, delta); err != nil {
+					rspan.End()
 					return err
 				}
 			}
 		}
+		rspan.End()
 		prev = cur
 	}
 }

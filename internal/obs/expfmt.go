@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition parses a Prometheus text exposition and verifies its
+// structure: every sample belongs to the family announced by the preceding
+// # TYPE line, no family name appears twice, every sample value is a valid
+// float, and histogram families carry _bucket/_sum/_count suffixes. It
+// exists so tests (here and in the server) can assert /metrics stays
+// machine-parseable without depending on a Prometheus client library.
+func CheckExposition(text string) error {
+	seenType := make(map[string]string)
+	current := "" // family announced by the last # TYPE line
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) == 0 || fields[0] == "" {
+				return fmt.Errorf("line %d: malformed HELP line", lineNo)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := seenType[name]; dup {
+				return fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+			}
+			seenType[name] = typ
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comment
+		}
+		// Sample line: name[{labels}] value
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unterminated label set", lineNo)
+			}
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: want 'name value', got %q", lineNo, line)
+		}
+		name := fields[0]
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, fields[1])
+		}
+		base := name
+		if typ := seenType[current]; typ == "histogram" || typ == "summary" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) && strings.TrimSuffix(name, suf) == current {
+					base = current
+					break
+				}
+			}
+		}
+		if base != current {
+			return fmt.Errorf("line %d: sample %q not announced by preceding TYPE line (current family %q)", lineNo, name, current)
+		}
+	}
+	if len(seenType) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package obs is funcdb's observability layer: a lightweight span/trace
+// facility, a Prometheus-text-exposition metrics registry, and cumulative
+// engine counters. It has no dependencies outside the standard library and
+// is designed so that the disabled paths cost almost nothing: tracing costs
+// one context lookup per instrumentation site when no trace is attached,
+// and the engine counter sink can be swapped for a nil no-op.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds how many spans a single trace retains. A pathological
+// query (thousands of fixpoint rounds) would otherwise balloon the response;
+// spans past the cap are dropped and counted in Report.DroppedSpans.
+const maxSpans = 512
+
+// Span is one finished (or still-open) timed region of a trace. StartUS is
+// the offset from the trace's start on the monotonic clock; Parent is the ID
+// of the enclosing span, 0 for top-level spans.
+type Span struct {
+	ID      int    `json:"id"`
+	Parent  int    `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace collects the spans and counters of one request. All methods are safe
+// for concurrent use: batch queries fan out to a worker pool, and every
+// worker records into the same trace.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	nextID   int
+	dropped  int
+	counters map[string]int64
+}
+
+// NewTrace starts a new trace with a fresh random ID and the current
+// monotonic time as its origin.
+func NewTrace() *Trace {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return &Trace{
+		id:     hex.EncodeToString(b[:]),
+		start:  time.Now(),
+		nextID: 1,
+	}
+}
+
+// ID returns the trace's hex identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Elapsed returns the time since the trace began, on the monotonic clock.
+func (t *Trace) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Add increments a named trace counter. Zero deltas are dropped so callers
+// can pass raw deltas unconditionally.
+func (t *Trace) Add(name string, n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.counters == nil {
+		t.counters = make(map[string]int64, 8)
+	}
+	t.counters[name] += n
+	t.mu.Unlock()
+}
+
+// SetMax raises a named trace counter to v if v is larger than its current
+// value — used for high-water quantities such as derivation depth.
+func (t *Trace) SetMax(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.counters == nil {
+		t.counters = make(map[string]int64, 8)
+	}
+	if v > t.counters[name] {
+		t.counters[name] = v
+	}
+	t.mu.Unlock()
+}
+
+// SpanHandle ends a span started with StartSpan. A nil handle is valid and
+// all its methods are no-ops, so call sites never need to check whether
+// tracing is enabled.
+type SpanHandle struct {
+	t   *Trace
+	idx int
+	id  int
+}
+
+// End records the span's duration. Safe to call on a nil handle.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	t := h.t
+	el := int64(t.Elapsed() / time.Microsecond)
+	t.mu.Lock()
+	t.spans[h.idx].DurUS = el - t.spans[h.idx].StartUS
+	t.mu.Unlock()
+}
+
+// traceCtxKey carries the trace and the current span ID through a context.
+type traceCtxKey struct{}
+
+type traceCtx struct {
+	t      *Trace
+	spanID int
+}
+
+// WithTrace attaches a trace to ctx. Spans started from the returned context
+// are recorded as top-level spans of t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, traceCtx{t: t})
+}
+
+// FromContext returns the trace attached to ctx, or nil. This is the only
+// cost tracing adds to an untraced request: one context value lookup per
+// instrumentation site.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(traceCtx)
+	return tc.t
+}
+
+// StartSpan opens a named span under the current span of ctx's trace. When
+// ctx carries no trace (the common case) it returns ctx unchanged and a nil
+// handle, whose End is a no-op. The returned context makes the new span the
+// parent of any spans started from it.
+func StartSpan(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	if ctx == nil {
+		return ctx, nil
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(traceCtx)
+	if !ok || tc.t == nil {
+		return ctx, nil
+	}
+	h := tc.t.startSpan(name, tc.spanID)
+	if h == nil {
+		return ctx, nil // span cap reached; children attach to the old parent
+	}
+	return context.WithValue(ctx, traceCtxKey{}, traceCtx{t: tc.t, spanID: h.id}), h
+}
+
+// Add increments a counter on ctx's trace, if any.
+func Add(ctx context.Context, name string, n int64) {
+	if ctx == nil {
+		return
+	}
+	FromContext(ctx).Add(name, n)
+}
+
+// SetMax raises a high-water counter on ctx's trace, if any.
+func SetMax(ctx context.Context, name string, v int64) {
+	if ctx == nil {
+		return
+	}
+	FromContext(ctx).SetMax(name, v)
+}
+
+func (t *Trace) startSpan(name string, parent int) *SpanHandle {
+	start := int64(t.Elapsed() / time.Microsecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return nil
+	}
+	id := t.nextID
+	t.nextID++
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, StartUS: start, DurUS: -1})
+	return &SpanHandle{t: t, idx: len(t.spans) - 1, id: id}
+}
+
+// Report is the JSON shape of a finished trace, embedded in query responses
+// under the "trace" key.
+type Report struct {
+	ID           string           `json:"id"`
+	DurUS        int64            `json:"dur_us"`
+	Spans        []Span           `json:"spans"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+	DroppedSpans int              `json:"dropped_spans,omitempty"`
+}
+
+// Report snapshots the trace. Spans still open are reported with the
+// duration they have accumulated so far.
+func (t *Trace) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	el := int64(t.Elapsed() / time.Microsecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	for i := range spans {
+		if spans[i].DurUS < 0 {
+			spans[i].DurUS = el - spans[i].StartUS
+		}
+	}
+	var counters map[string]int64
+	if len(t.counters) > 0 {
+		counters = make(map[string]int64, len(t.counters))
+		for k, v := range t.counters {
+			counters[k] = v
+		}
+	}
+	return &Report{
+		ID:           t.id,
+		DurUS:        el,
+		Spans:        spans,
+		Counters:     counters,
+		DroppedSpans: t.dropped,
+	}
+}

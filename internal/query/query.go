@@ -32,6 +32,7 @@ import (
 	"funcdb/internal/ast"
 	"funcdb/internal/engine"
 	"funcdb/internal/facts"
+	"funcdb/internal/obs"
 	"funcdb/internal/rewrite"
 	"funcdb/internal/specgraph"
 	"funcdb/internal/subst"
@@ -335,6 +336,8 @@ func Recompute(prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts
 // checks ctx between rounds and the whole evaluation aborts with the
 // context's error.
 func RecomputeContext(ctx context.Context, prog *ast.Program, q *ast.Query, engOpts engine.Options, specOpts specgraph.Options) (*Answers, error) {
+	ctx, csp := obs.StartSpan(ctx, "compile")
+	defer csp.End()
 	enlarged := prog.Clone()
 	fnVar, hasFn := FunctionalVar(q)
 	freeFn := false

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/specio"
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
@@ -101,7 +102,7 @@ func (e *Entry) AskContext(ctx context.Context, q string, viaCC bool) (bool, err
 	switch e.Kind {
 	case KindProgram:
 		if viaCC {
-			return e.db.AskCC(q)
+			return e.db.AskCCContext(ctx, q)
 		}
 		return e.db.AskContext(ctx, q)
 	case KindSpec:
@@ -137,7 +138,9 @@ func (e *Entry) AnswersContext(ctx context.Context, q string, depth, limit int) 
 	if err != nil {
 		return nil, false, err
 	}
-	err = ans.EnumerateContext(ctx, depth, func(ft term.Term, args []symbols.ConstID) bool {
+	ectx, esp := obs.StartSpan(ctx, "enumerate")
+	defer esp.End()
+	err = ans.EnumerateContext(ectx, depth, func(ft term.Term, args []symbols.ConstID) bool {
 		if limit > 0 && len(tuples) >= limit {
 			truncated = true
 			return false

@@ -13,9 +13,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"funcdb/internal/obs"
 )
 
 const remoteHelpText = `commands:
@@ -46,6 +49,9 @@ type RemoteClient struct {
 	DB string
 	// CC answers through congruence closure instead of the DFA walk.
 	CC bool
+	// Trace asks the daemon for a per-stage span trace with every query;
+	// the shell renders it as an indented tree after the answer.
+	Trace bool
 	// HTTP is the client used for requests; nil means a 30s-timeout client.
 	HTTP *http.Client
 
@@ -240,18 +246,74 @@ func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
 
 // AskContext is Ask honoring a cancellation context.
 func (c *RemoteClient) AskContext(ctx context.Context, q string) (bool, uint64, error) {
+	yes, version, _, err := c.AskTraceContext(ctx, q)
+	return yes, version, err
+}
+
+// AskTraceContext is AskContext that additionally returns the daemon's
+// per-stage trace when the client asks for one (Trace field); the report
+// is nil otherwise.
+func (c *RemoteClient) AskTraceContext(ctx context.Context, q string) (bool, uint64, *obs.Report, error) {
 	req := map[string]any{"query": q}
 	if c.CC {
 		req["via"] = "cc"
 	}
+	if c.Trace {
+		req["trace"] = true
+	}
 	var resp struct {
-		Answer  bool   `json:"answer"`
-		Version uint64 `json:"version"`
+		Answer  bool        `json:"answer"`
+		Version uint64      `json:"version"`
+		Trace   *obs.Report `json:"trace"`
 	}
 	if err := c.do(ctx, "POST", "/v1/db/"+c.DB+"/ask", req, &resp); err != nil {
-		return false, 0, err
+		return false, 0, nil, err
 	}
-	return resp.Answer, resp.Version, nil
+	return resp.Answer, resp.Version, resp.Trace, nil
+}
+
+// RenderTrace writes a trace report as an indented span tree followed by
+// the engine counters, e.g.
+//
+//	trace 4f1d2c3b4a5e6f70 (312 µs)
+//	  compile              298 µs
+//	    solve              211 µs
+//	      fixpoint_round    64 µs
+//	  parse                  4 µs
+//	counters: derivation_depth=3 fixpoint_rounds=4
+func RenderTrace(w io.Writer, r *obs.Report) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s (%d µs)\n", r.ID, r.DurUS)
+	children := make(map[int][]obs.Span)
+	for _, s := range r.Spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, s := range children[parent] {
+			indent := strings.Repeat("  ", depth+1)
+			fmt.Fprintf(w, "%s%-*s %d µs\n", indent, 24-2*depth, s.Name, s.DurUS)
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	if r.DroppedSpans > 0 {
+		fmt.Fprintf(w, "  (%d spans dropped)\n", r.DroppedSpans)
+	}
+	if len(r.Counters) > 0 {
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "counters:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, r.Counters[k])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // AddFacts appends ground facts to the database, durably if the daemon
@@ -365,10 +427,11 @@ func ExecuteRemoteContext(ctx context.Context, c *RemoteClient, line string, w i
 }
 
 func remoteAsk(ctx context.Context, c *RemoteClient, q string, w io.Writer) error {
-	yes, version, err := c.AskContext(ctx, q)
+	yes, version, tr, err := c.AskTraceContext(ctx, q)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%v (version %d)\n", yes, version)
+	RenderTrace(w, tr)
 	return nil
 }

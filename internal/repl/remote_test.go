@@ -61,6 +61,47 @@ func TestRunRemoteSession(t *testing.T) {
 	}
 }
 
+// TestRemoteTrace: a tracing client gets the daemon's span trace back and
+// renders it as an indented tree with the engine counters.
+func TestRemoteTrace(t *testing.T) {
+	url := startDaemon(t)
+	c := &repl.RemoteClient{Base: url, DB: "even", Trace: true}
+	yes, _, tr, err := c.AskTraceContext(t.Context(), "?- Even(4).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !yes {
+		t.Error("Even(4) = false")
+	}
+	if tr == nil {
+		t.Fatal("tracing client got no trace report")
+	}
+	var out strings.Builder
+	repl.RenderTrace(&out, tr)
+	text := out.String()
+	if !strings.Contains(text, "trace "+tr.ID) {
+		t.Errorf("rendered trace missing header:\n%s", text)
+	}
+	if !strings.Contains(text, "parse") {
+		t.Errorf("rendered trace missing parse span:\n%s", text)
+	}
+
+	// The interactive session prints the tree after each answer.
+	var session strings.Builder
+	if err := repl.RunRemote(c, strings.NewReader("?- Even(2).\nquit\n"), &session); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(session.String(), "trace ") {
+		t.Errorf("session output missing trace tree:\n%s", session.String())
+	}
+
+	// A non-tracing client keeps the old behavior: no report.
+	c2 := &repl.RemoteClient{Base: url, DB: "even"}
+	if _, _, tr, err := c2.AskTraceContext(t.Context(), "?- Even(4)."); err != nil || tr != nil {
+		t.Fatalf("non-tracing ask = trace %v err %v, want nil trace", tr, err)
+	}
+}
+
 func TestRemoteClientErrors(t *testing.T) {
 	url := startDaemon(t)
 	c := &repl.RemoteClient{Base: url, DB: "nosuch"}

@@ -18,7 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync/atomic"
@@ -53,7 +53,8 @@ type Options struct {
 	// HTTP is the client used for all primary requests; nil means a
 	// dedicated client with no overall timeout (streams are long-lived).
 	HTTP *http.Client
-	// Logf receives connection and replay notices; defaults to log.Printf.
+	// Logf receives connection and replay notices; defaults to the
+	// process-wide structured logger (slog) at Info level.
 	Logf func(format string, args ...any)
 }
 
@@ -116,7 +117,9 @@ func Start(reg *registry.Registry, opts Options) (*Replica, error) {
 	}
 	r := &Replica{reg: reg, opts: opts, logf: opts.Logf, done: make(chan struct{})}
 	if r.logf == nil {
-		r.logf = log.Printf
+		r.logf = func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...), "component", "replica")
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel

@@ -1,100 +1,61 @@
 package server
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync/atomic"
 	"time"
+
+	"funcdb/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds, in microseconds; the last
-// implicit bucket is +Inf.
-var latencyBuckets = []int64{
-	50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
-}
-
-// endpointMetrics counts one endpoint's traffic. All fields are atomics so
-// the hot path never takes a lock.
+// endpointMetrics bundles one endpoint's instruments, all backed by the
+// shared obs.Registry: pure atomics on the hot path, Prometheus text
+// exposition at scrape time. The bespoke microsecond histogram this package
+// used to carry is gone — obs.Histogram observes seconds with explicit
+// buckets and renders cumulative le series itself.
 type endpointMetrics struct {
-	requests    atomic.Int64
-	errors      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	latSum      atomic.Int64 // microseconds
-	latCount    atomic.Int64
-	buckets     []atomic.Int64 // len(latencyBuckets)+1, last is +Inf
-}
-
-func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBuckets)+1)}
+	requests    *obs.Counter
+	errors      *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	latency     *obs.Histogram
 }
 
 func (em *endpointMetrics) observe(d time.Duration, isErr bool) {
-	em.requests.Add(1)
+	em.requests.Inc()
 	if isErr {
-		em.errors.Add(1)
+		em.errors.Inc()
 	}
-	us := d.Microseconds()
-	em.latSum.Add(us)
-	em.latCount.Add(1)
-	i := 0
-	for i < len(latencyBuckets) && us > latencyBuckets[i] {
-		i++
-	}
-	em.buckets[i].Add(1)
+	em.latency.Observe(d.Seconds())
 }
 
-// metrics is the daemon-wide registry of endpoint metrics. The endpoint set
-// is fixed at construction, so reads are lock-free.
+// metrics is the daemon-wide metric surface: one obs.Registry holding the
+// per-endpoint series plus whatever gauges and sources the server wires in
+// (databases, cache, store, replication, engine counters). The endpoint set
+// is fixed at construction, so endpoint lookups are lock-free map reads.
 type metrics struct {
+	reg       *obs.Registry
 	started   time.Time
 	endpoints map[string]*endpointMetrics
 }
 
 func newMetrics(endpoints ...string) *metrics {
-	m := &metrics{started: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	m := &metrics{
+		reg:       obs.NewRegistry(),
+		started:   time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+	}
+	m.reg.GaugeFunc("funcdbd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.started).Seconds() })
 	for _, e := range endpoints {
-		m.endpoints[e] = newEndpointMetrics()
+		m.endpoints[e] = &endpointMetrics{
+			requests:    m.reg.Counter("funcdbd_requests_total", "Requests handled, by endpoint.", "endpoint", e),
+			errors:      m.reg.Counter("funcdbd_errors_total", "Requests that ended in an error, by endpoint.", "endpoint", e),
+			cacheHits:   m.reg.Counter("funcdbd_cache_hits_total", "Answer cache hits, by endpoint.", "endpoint", e),
+			cacheMisses: m.reg.Counter("funcdbd_cache_misses_total", "Answer cache misses, by endpoint.", "endpoint", e),
+			latency: m.reg.Histogram("funcdbd_request_duration_seconds",
+				"Request latency in seconds, by endpoint.", obs.DurationBuckets, "endpoint", e),
+		}
 	}
 	return m
 }
 
 func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
-
-// render writes the metrics in an expvar/Prometheus-style text form.
-// gauges carries point-in-time values (number of databases, cache size).
-func (m *metrics) render(w io.Writer, gauges map[string]int64) {
-	fmt.Fprintf(w, "funcdbd_uptime_seconds %d\n", int64(time.Since(m.started).Seconds()))
-	gnames := make([]string, 0, len(gauges))
-	for g := range gauges {
-		gnames = append(gnames, g)
-	}
-	sort.Strings(gnames)
-	for _, g := range gnames {
-		fmt.Fprintf(w, "funcdbd_%s %d\n", g, gauges[g])
-	}
-	names := make([]string, 0, len(m.endpoints))
-	for n := range m.endpoints {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		em := m.endpoints[n]
-		fmt.Fprintf(w, "funcdbd_requests_total{endpoint=%q} %d\n", n, em.requests.Load())
-		fmt.Fprintf(w, "funcdbd_errors_total{endpoint=%q} %d\n", n, em.errors.Load())
-		if n == "ask" || n == "answers" {
-			fmt.Fprintf(w, "funcdbd_cache_hits_total{endpoint=%q} %d\n", n, em.cacheHits.Load())
-			fmt.Fprintf(w, "funcdbd_cache_misses_total{endpoint=%q} %d\n", n, em.cacheMisses.Load())
-		}
-		cum := int64(0)
-		for i, b := range latencyBuckets {
-			cum += em.buckets[i].Load()
-			fmt.Fprintf(w, "funcdbd_request_duration_us_bucket{endpoint=%q,le=\"%d\"} %d\n", n, b, cum)
-		}
-		cum += em.buckets[len(latencyBuckets)].Load()
-		fmt.Fprintf(w, "funcdbd_request_duration_us_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(w, "funcdbd_request_duration_us_sum{endpoint=%q} %d\n", n, em.latSum.Load())
-		fmt.Fprintf(w, "funcdbd_request_duration_us_count{endpoint=%q} %d\n", n, em.latCount.Load())
-	}
-}

@@ -26,9 +26,11 @@ import (
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) error {
 	if s.cfg.Ready != nil {
 		if err := s.cfg.Ready(); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable,
-				map[string]errorBody{"error": {Code: "not_ready", Message: err.Error()}})
-			return nil
+			// Returning the error (instead of writing the body here) routes
+			// the failure through instrument: it renders the standard
+			// {"error":{...}} envelope AND counts in funcdbd_errors_total,
+			// which the old inline write silently skipped.
+			return errc(http.StatusServiceUnavailable, "not_ready", "%v", err)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "databases": s.reg.Len()})

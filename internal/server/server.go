@@ -12,15 +12,19 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/parser"
 	"funcdb/internal/query"
 	"funcdb/internal/registry"
@@ -71,6 +75,15 @@ type Config struct {
 	// ReplHeartbeat is how often an idle /v1/repl/wal stream emits a
 	// heartbeat frame; zero means DefaultReplHeartbeat.
 	ReplHeartbeat time.Duration
+	// Logger receives structured request and slow-query logs; nil means
+	// slog.Default(). Per-request lines carry the request ID (and trace ID
+	// when the client asked for a trace) at debug level; errors log at
+	// warn.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any query evaluation that takes at
+	// least this long at warn level, with the database, query text and
+	// trace ID. Zero disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // Defaults for Config's zero values.
@@ -119,6 +132,7 @@ type Server struct {
 	cfg     Config
 	cache   *answerCache
 	met     *metrics
+	log     *slog.Logger
 	handler http.Handler
 
 	// slow, when set, runs at the start of ask handling; tests use it to
@@ -132,13 +146,38 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		reg: reg,
 		cfg: cfg.withDefaults(),
 		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts",
-			"healthz", "readyz", "metrics", "repl_snapshot", "repl_wal"),
+			"healthz", "readyz", "metrics", "metrics_json", "repl_snapshot", "repl_wal"),
+	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	s.cache = newAnswerCache(s.cfg.CacheSize)
+
+	// Point-in-time gauges and scrape-time sources, all rendered by the one
+	// obs.Registry: catalog size, cache occupancy, the durability store's
+	// and replica's gauges (ExtraGauges), and the engine's cumulative
+	// counters.
+	s.met.reg.GaugeFunc("funcdbd_databases", "Databases in the catalog.",
+		func() float64 { return float64(s.reg.Len()) })
+	s.met.reg.GaugeFunc("funcdbd_cache_entries", "Entries in the answer cache.",
+		func() float64 { return float64(s.cache.len()) })
+	if s.cfg.ExtraGauges != nil {
+		s.met.reg.Source("funcdbd_", "gauge",
+			"Store or replication gauge contributed by the daemon.", s.cfg.ExtraGauges)
+	}
+	s.met.reg.Source("funcdb_engine_", "counter",
+		"Cumulative engine work counter.", func() map[string]int64 {
+			return obs.EngineSink().Counters()
+		})
+	s.met.reg.GaugeFunc("funcdb_engine_max_derivation_depth",
+		"High-water derivation depth reached by any query.",
+		func() float64 { return float64(obs.EngineSink().MaxDepth()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
 	mux.HandleFunc("GET /v1/dbs", s.instrument("dbs", s.handleList))
 	mux.HandleFunc("GET /v1/db/{name}", s.instrument("db", s.handleInfo))
 	mux.HandleFunc("PUT /v1/db/{name}", s.instrument("put", s.handlePut))
@@ -258,21 +297,54 @@ func queryError(err error) error {
 	return errf(http.StatusBadRequest, "%v", err)
 }
 
+// newRequestID returns a short random hex ID correlating a request's log
+// lines with its X-Request-Id response header.
+func newRequestID() string {
+	var b [6]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
 // instrument adapts a handler returning an error into an http.HandlerFunc,
-// recording request counts, error counts and latency for the endpoint and
-// rendering errors in the {"error":{"code","message"}} envelope.
+// recording request counts, error counts and latency for the endpoint,
+// rendering errors in the {"error":{"code","message"}} envelope, and
+// emitting one structured log line per request (debug on success, warn on
+// failure) tagged with the request ID.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	em := s.met.endpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := newRequestID()
+		w.Header().Set("X-Request-Id", reqID)
 		err := h(w, r)
-		em.observe(time.Since(start), err != nil)
+		d := time.Since(start)
+		em.observe(d, err != nil)
 		if err == nil {
+			s.log.Debug("request",
+				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+				"request_id", reqID, "dur_ms", d.Milliseconds())
 			return
 		}
 		status, body := classify(err)
 		writeJSON(w, status, map[string]errorBody{"error": body})
+		s.log.Warn("request failed",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"request_id", reqID, "dur_ms", d.Milliseconds(),
+			"status", status, "code", body.Code, "error", body.Message)
 	}
+}
+
+// logSlow emits the slow-query log line when evaluation of one query took at
+// least Config.SlowQuery. tr may be nil (no trace requested).
+func (s *Server) logSlow(endpoint, db, q string, d time.Duration, tr *obs.Trace) {
+	if s.cfg.SlowQuery <= 0 || d < s.cfg.SlowQuery {
+		return
+	}
+	args := []any{"endpoint", endpoint, "db", db, "query", normalizeQuery(q), "dur_ms", d.Milliseconds()}
+	if tr != nil {
+		args = append(args, "trace_id", tr.ID())
+	}
+	s.log.Warn("slow query", args...)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -313,23 +385,30 @@ func (s *Server) entry(r *http.Request) (*registry.Entry, error) {
 func normalizeQuery(q string) string { return strings.Join(strings.Fields(q), " ") }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	// Liveness can only fail if the process is wired wrong; when it does,
+	// the failure still renders as the standard {"error":{...}} envelope
+	// (via instrument), like every other endpoint.
+	if s.reg == nil {
+		return errc(http.StatusServiceUnavailable, "not_live", "server has no registry")
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "databases": s.reg.Len()})
 	return nil
 }
 
+// handleMetrics serves the Prometheus text exposition: server counters and
+// latency histograms, cache hit/miss, store and replication gauges, and the
+// engine's cumulative work counters, all from one registry.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	extra := map[string]int64{
-		"databases":     int64(s.reg.Len()),
-		"cache_entries": int64(s.cache.len()),
-	}
-	if s.cfg.ExtraGauges != nil {
-		for name, v := range s.cfg.ExtraGauges() {
-			extra[name] = v
-		}
-	}
-	s.met.render(w, extra)
-	return nil
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return s.met.reg.WriteText(w)
+}
+
+// handleMetricsJSON serves the legacy JSON view of the same samples.
+// Deprecated: kept for one release so scrapers of the old hand-rolled
+// /metrics output can migrate to the Prometheus endpoint.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "application/json")
+	return s.met.reg.WriteJSON(w)
 }
 
 // dbInfo is the wire form of one catalog entry.
@@ -482,12 +561,17 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) error {
 type askRequest struct {
 	Query string `json:"query"`
 	Via   string `json:"via,omitempty"` // "" (DFA walk) or "cc"
+	// Trace asks for a per-stage span trace of this query's evaluation. A
+	// traced request bypasses the answer cache (a cached verdict has no
+	// stages worth tracing) but still populates it.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type askResponse struct {
-	Answer  bool   `json:"answer"`
-	Version uint64 `json:"version"`
-	Cached  bool   `json:"cached"`
+	Answer  bool        `json:"answer"`
+	Version uint64      `json:"version"`
+	Cached  bool        `json:"cached"`
+	Trace   *obs.Report `json:"trace,omitempty"`
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
@@ -510,25 +594,43 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	}
 	em := s.met.endpoint("ask")
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(req.Query), via: req.Via}
-	if v, ok := s.cache.get(key); ok {
-		em.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, askResponse{Answer: v.(bool), Version: e.Version, Cached: true})
-		return nil
+	if !req.Trace {
+		if v, ok := s.cache.get(key); ok {
+			em.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, askResponse{Answer: v.(bool), Version: e.Version, Cached: true})
+			return nil
+		}
 	}
 	em.cacheMisses.Add(1)
-	ans, err := e.AskContext(r.Context(), req.Query, req.Via == "cc")
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	start := time.Now()
+	ans, err := e.AskContext(ctx, req.Query, req.Via == "cc")
+	s.logSlow("ask", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
 	}
 	s.cache.put(key, ans)
-	writeJSON(w, http.StatusOK, askResponse{Answer: ans, Version: e.Version, Cached: false})
+	writeJSON(w, http.StatusOK, askResponse{Answer: ans, Version: e.Version, Cached: false, Trace: tr.Report()})
 	return nil
+}
+
+// traceContext attaches a fresh trace to ctx when the request opted in;
+// otherwise it returns ctx unchanged and a nil trace (whose Report is nil,
+// so the response's trace block is simply omitted).
+func (s *Server) traceContext(ctx context.Context, want bool) (context.Context, *obs.Trace) {
+	if !want {
+		return ctx, nil
+	}
+	tr := obs.NewTrace()
+	return obs.WithTrace(ctx, tr), tr
 }
 
 type answersRequest struct {
 	Query string `json:"query"`
 	Depth int    `json:"depth,omitempty"`
 	Limit int    `json:"limit,omitempty"`
+	// Trace asks for a per-stage span trace; see askRequest.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type answersResponse struct {
@@ -537,6 +639,7 @@ type answersResponse struct {
 	Truncated bool                   `json:"truncated"`
 	Version   uint64                 `json:"version"`
 	Cached    bool                   `json:"cached"`
+	Trace     *obs.Report            `json:"trace,omitempty"`
 }
 
 // answersResult is the cached portion of an answers response.
@@ -570,15 +673,20 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	em := s.met.endpoint("answers")
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "answers",
 		query: normalizeQuery(req.Query), depth: req.Depth, limit: limit}
-	if v, ok := s.cache.get(key); ok {
-		em.cacheHits.Add(1)
-		res := v.(answersResult)
-		writeJSON(w, http.StatusOK, answersResponse{Tuples: res.tuples, Count: len(res.tuples),
-			Truncated: res.truncated, Version: e.Version, Cached: true})
-		return nil
+	if !req.Trace {
+		if v, ok := s.cache.get(key); ok {
+			em.cacheHits.Add(1)
+			res := v.(answersResult)
+			writeJSON(w, http.StatusOK, answersResponse{Tuples: res.tuples, Count: len(res.tuples),
+				Truncated: res.truncated, Version: e.Version, Cached: true})
+			return nil
+		}
 	}
 	em.cacheMisses.Add(1)
-	tuples, truncated, err := e.AnswersContext(r.Context(), req.Query, req.Depth, limit)
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	start := time.Now()
+	tuples, truncated, err := e.AnswersContext(ctx, req.Query, req.Depth, limit)
+	s.logSlow("answers", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
 	}
@@ -587,7 +695,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	}
 	s.cache.put(key, answersResult{tuples: tuples, truncated: truncated})
 	writeJSON(w, http.StatusOK, answersResponse{Tuples: tuples, Count: len(tuples),
-		Truncated: truncated, Version: e.Version, Cached: false})
+		Truncated: truncated, Version: e.Version, Cached: false, Trace: tr.Report()})
 	return nil
 }
 
@@ -595,6 +703,9 @@ type batchRequest struct {
 	// Queries are yes-no queries in the entry's surface syntax, evaluated
 	// concurrently against one immutable snapshot.
 	Queries []string `json:"queries"`
+	// Trace asks for one shared span trace covering the whole batch; the
+	// worker pool's spans interleave in it. See askRequest.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // batchItem is one query's outcome inside a batch response; exactly one of
@@ -608,6 +719,7 @@ type batchItem struct {
 type batchResponse struct {
 	Results []batchItem `json:"results"`
 	Version uint64      `json:"version"`
+	Trace   *obs.Report `json:"trace,omitempty"`
 }
 
 // handleBatch evaluates many yes-no queries on one snapshot via a bounded
@@ -643,18 +755,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 			continue
 		}
 		keys[i] = cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(q)}
-		if v, ok := s.cache.get(keys[i]); ok {
-			em.cacheHits.Add(1)
-			items[i].Answer = v.(bool)
-			continue
+		if !req.Trace {
+			if v, ok := s.cache.get(keys[i]); ok {
+				em.cacheHits.Add(1)
+				items[i].Answer = v.(bool)
+				continue
+			}
 		}
 		em.cacheMisses.Add(1)
 		misses = append(misses, q)
 		missIdx = append(missIdx, i)
 	}
 
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
 	if len(misses) > 0 {
-		results, err := e.AskBatch(r.Context(), misses, s.cfg.BatchWorkers)
+		start := time.Now()
+		results, err := e.AskBatch(ctx, misses, s.cfg.BatchWorkers)
+		s.logSlow("batch", e.Name, fmt.Sprintf("(%d queries)", len(misses)), time.Since(start), tr)
 		if err != nil {
 			return queryError(err)
 		}
@@ -674,7 +791,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 			s.cache.put(keys[i], res.OK)
 		}
 	}
-	writeJSON(w, http.StatusOK, batchResponse{Results: items, Version: e.Version})
+	writeJSON(w, http.StatusOK, batchResponse{Results: items, Version: e.Version, Trace: tr.Report()})
 	return nil
 }
 

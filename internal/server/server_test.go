@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/registry"
 )
 
@@ -333,22 +334,99 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
 	raw, _ := io.ReadAll(resp.Body)
 	text := string(raw)
 	for _, want := range []string{
+		"# TYPE funcdbd_requests_total counter",
+		"# TYPE funcdbd_request_duration_seconds histogram",
 		`funcdbd_requests_total{endpoint="ask"} 3`,
 		`funcdbd_errors_total{endpoint="ask"} 1`,
 		`funcdbd_cache_hits_total{endpoint="ask"} 1`,
 		`funcdbd_cache_misses_total{endpoint="ask"} 1`,
 		`funcdbd_databases 2`,
 		`funcdbd_cache_entries 1`,
-		`funcdbd_request_duration_us_count{endpoint="ask"} 3`,
-		`funcdbd_request_duration_us_bucket{endpoint="ask",le="+Inf"} 3`,
+		`funcdbd_request_duration_seconds_count{endpoint="ask"} 3`,
+		`funcdbd_request_duration_seconds_bucket{endpoint="ask",le="+Inf"} 3`,
+		"funcdb_engine_terms_interned_total",
+		"funcdb_engine_max_derivation_depth",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
 		}
 	}
+	if err := obs.CheckExposition(text); err != nil {
+		t.Errorf("exposition not well-formed: %v", err)
+	}
+
+	// The legacy flat-JSON view stays available at /metrics.json for one
+	// release.
+	code, body := doJSON(t, "GET", ts.URL+"/metrics.json", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	if got := body[`funcdbd_requests_total{endpoint="ask"}`]; got != float64(3) {
+		t.Errorf("metrics.json ask requests = %v, want 3", got)
+	}
+}
+
+// TestConcurrentScrape races 8 scrapers of /metrics against 8 goroutines
+// issuing queries and fact extensions; run under -race. Every scrape must
+// come back as well-formed exposition text.
+func TestConcurrentScrape(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	const (
+		scrapers = 8
+		loaders  = 8
+		iters    = 12
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := obs.CheckExposition(string(raw)); err != nil {
+					t.Errorf("scrape %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < loaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if g%2 == 0 {
+					n := (g + i) % 8
+					code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask",
+						map[string]any{"query": fmt.Sprintf("?- Even(%d).", n), "trace": i%3 == 0})
+					if code != http.StatusOK {
+						t.Errorf("ask: %d %v", code, body)
+						return
+					}
+				} else {
+					code, _ := doJSON(t, "POST", ts.URL+"/v1/db/even/facts",
+						map[string]any{"facts": fmt.Sprintf("Even(%d).", 2*(g*iters+i)+101)})
+					if code != http.StatusOK {
+						t.Errorf("facts: %d", code)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // TestConcurrentMixedLoad hammers the server with 32+ goroutines mixing
@@ -481,9 +559,111 @@ func TestExtraGauges(t *testing.T) {
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
 	text := string(raw)
-	for _, want := range []string{"wal_bytes 12345", "snapshots_total 7"} {
+	for _, want := range []string{"funcdbd_wal_bytes 12345", "funcdbd_snapshots_total 7"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// traceReport pulls the "trace" block out of a response body.
+func traceReport(t *testing.T, body map[string]any) (spans []map[string]any, counters map[string]any) {
+	t.Helper()
+	tr, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no trace block: %v", body)
+	}
+	if id, _ := tr["id"].(string); id == "" {
+		t.Errorf("trace has no id: %v", tr)
+	}
+	for _, s := range tr["spans"].([]any) {
+		spans = append(spans, s.(map[string]any))
+	}
+	counters, _ = tr["counters"].(map[string]any)
+	return spans, counters
+}
+
+func spanNames(spans []map[string]any) map[string]int {
+	names := make(map[string]int)
+	for _, s := range spans {
+		names[s["name"].(string)]++
+	}
+	return names
+}
+
+// TestTraceBlock exercises the opt-in per-request trace: a non-uniform
+// query recomputes the whole pipeline, so its trace must report the
+// compile/solve stages, at least one fixpoint-iteration span, and a
+// nonzero derivation-depth counter from Algorithm Q.
+func TestTraceBlock(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	// Even(T+2) has function structure over a variable base: non-uniform,
+	// answered by Recompute on an enlarged program.
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/answers",
+		map[string]any{"query": "?- Even(T+2).", "trace": true, "depth": 3})
+	if code != http.StatusOK {
+		t.Fatalf("answers = %d %v", code, body)
+	}
+	spans, counters := traceReport(t, body)
+	names := spanNames(spans)
+	for _, want := range []string{"parse", "compile", "solve", "algoq"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span; have %v", want, names)
+		}
+	}
+	if names["fixpoint_round"] < 1 {
+		t.Errorf("trace has %d fixpoint_round spans, want >= 1; spans: %v", names["fixpoint_round"], names)
+	}
+	if d, _ := counters["derivation_depth"].(float64); d <= 0 {
+		t.Errorf("derivation_depth counter = %v, want > 0; counters: %v", counters["derivation_depth"], counters)
+	}
+	for _, s := range spans {
+		if s["dur_us"].(float64) < 0 {
+			t.Errorf("span %v reported negative duration", s)
+		}
+	}
+
+	// An untraced request reports no trace block.
+	_, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+	if _, ok := body["trace"]; ok {
+		t.Errorf("untraced ask leaked a trace block: %v", body)
+	}
+
+	// A ground ask via congruence closure records the congruence stage and
+	// the size of the equation set Cl(R) is derived from.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask",
+		map[string]any{"query": "?- Even(4).", "via": "cc", "trace": true})
+	if code != http.StatusOK {
+		t.Fatalf("ask via cc = %d %v", code, body)
+	}
+	spans, counters = traceReport(t, body)
+	if names := spanNames(spans); names["congruence"] == 0 {
+		t.Errorf("cc trace missing congruence span; have %v", names)
+	}
+	if eq, _ := counters["equations"].(float64); eq <= 0 {
+		t.Errorf("equations counter = %v, want > 0", counters["equations"])
+	}
+}
+
+// TestReadyzEnvelope: a failing readiness probe must use the standard
+// error envelope and count in funcdbd_errors_total.
+func TestReadyzEnvelope(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{Ready: func() error { return fmt.Errorf("replica lag 12s over bound") }})
+	code, body := doJSON(t, "GET", ts.URL+"/readyz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d %v, want 503", code, body)
+	}
+	if errCode(body) != "not_ready" || !strings.Contains(errMessage(body), "replica lag") {
+		t.Fatalf("readyz envelope = %v", body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `funcdbd_errors_total{endpoint="readyz"} 1`) {
+		t.Errorf("readyz failure not counted in errors_total")
 	}
 }

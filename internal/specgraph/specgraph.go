@@ -23,6 +23,7 @@ import (
 
 	"funcdb/internal/engine"
 	"funcdb/internal/facts"
+	"funcdb/internal/obs"
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
 )
@@ -80,6 +81,8 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 	if err := eng.Solve(); err != nil {
 		return nil, err
 	}
+	ctx, qspan := obs.StartSpan(eng.Context(), "algoq")
+	defer qspan.End()
 	sp := &Spec{
 		Eng:       eng,
 		U:         eng.U,
@@ -139,13 +142,26 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 		}
 	}
 
-	// Breadth-first Potential/Active loop.
+	// Breadth-first Potential/Active loop. The queue is in breadth-first
+	// order, so one trace span per depth wave is one "round" of Algorithm Q.
 	activeByState := make(map[facts.StateID]term.Term)
+	maxDepth := 0
+	curDepth := -1
+	var rspan *obs.SpanHandle
 	for qi := 0; qi < len(queue); qi++ {
 		t := queue[qi]
+		if d := sp.U.Depth(t); d != curDepth {
+			rspan.End()
+			_, rspan = obs.StartSpan(ctx, "algoq_round")
+			curDepth = d
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
 		sp.Potentials = append(sp.Potentials, t)
 		s, err := eng.StateOf(t)
 		if err != nil {
+			rspan.End()
 			return nil, err
 		}
 		if rep, ok := activeByState[s]; ok {
@@ -155,12 +171,26 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 		activeByState[s] = t
 		sp.Active = append(sp.Active, t)
 		if err := addRep(t); err != nil {
+			rspan.End()
 			return nil, err
 		}
 		for _, f := range sp.Alphabet {
 			queue = append(queue, sp.U.Apply(f, t))
 		}
 	}
+	rspan.End()
+
+	// Report Algorithm Q's work: exploration steps, the merge equations that
+	// generate Cl(R), and the derivation depth the search reached — the
+	// BDD/FC cost driver worth measuring per query.
+	// Cumulative equations_total is counted where Cl(R) is actually built
+	// (congruence.Solver.Assert); here we only report per-query numbers.
+	sink := obs.EngineSink()
+	sink.AddQRounds(int64(len(sp.Potentials)))
+	sink.ObserveDepth(int64(maxDepth))
+	obs.Add(ctx, "algoq_steps", int64(len(sp.Potentials)))
+	obs.Add(ctx, "equations", int64(len(sp.Merges)))
+	obs.SetMax(ctx, "derivation_depth", int64(maxDepth))
 
 	// Successor mappings for every representative.
 	for _, t := range sp.Reps {

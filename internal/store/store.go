@@ -26,7 +26,7 @@ package store
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -64,7 +64,7 @@ type Options struct {
 	// Snapshot calls still work).
 	SnapshotEvery int
 	// Logf receives recovery warnings and compaction notices; defaults to
-	// log.Printf.
+	// the process-wide structured logger (slog) at Warn level.
 	Logf func(format string, args ...any)
 }
 
@@ -183,7 +183,9 @@ func Open(opts Options) (*Store, error) {
 	}
 	logf := opts.Logf
 	if logf == nil {
-		logf = log.Printf
+		logf = func(format string, args ...any) {
+			slog.Warn(fmt.Sprintf(format, args...), "component", "store")
+		}
 	}
 	return &Store{
 		opts:   opts,
