@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl bench bench-store bench-concurrent bench-repl bench-obs fuzz fuzz-smoke govulncheck staticcheck tables examples clean
+.PHONY: all check build test vet race race-repl race-watch bench bench-store bench-concurrent bench-repl bench-obs bench-watch fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -24,6 +24,12 @@ race:
 race-repl:
 	$(GO) test -race -count=1 ./internal/store/ ./internal/replica/ ./internal/repl/ ./internal/server/ ./cmd/fdbd/
 
+# The live-query stack alone under the race detector: the hub's worker and
+# backpressure paths, the streaming endpoint, the failover watch client and
+# the process-level watch-across-crash end-to-end test.
+race-watch:
+	$(GO) test -race -count=1 ./internal/watch/ ./internal/server/ ./internal/repl/ ./cmd/fdbd/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -41,6 +47,11 @@ bench-repl:
 bench-obs:
 	$(GO) run ./cmd/fdbench obs BENCH_obs.json
 
+# Live-query fan-out: delta delivery latency to many concurrent watch
+# subscribers under paced extends (EXPERIMENTS.md A10).
+bench-watch:
+	$(GO) run ./cmd/fdbench watch BENCH_watch.json
+
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
@@ -51,11 +62,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/parser
 
 # Short fuzz passes over every binary decoder that reads untrusted bytes:
-# the binspec document/record readers and the specio JSON reader.
+# the binspec document/record readers, the specio JSON reader and the watch
+# frame codec.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzBinspecRead -fuzztime=30s ./internal/binspec
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=30s ./internal/binspec
 	$(GO) test -fuzz=FuzzSpecioRead -fuzztime=30s ./internal/specio
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/watch
 
 tables:
 	$(GO) run ./cmd/fdbench all

@@ -69,6 +69,7 @@ import (
 	"funcdb/internal/replica"
 	"funcdb/internal/server"
 	"funcdb/internal/store"
+	"funcdb/internal/watch"
 )
 
 func main() {
@@ -244,6 +245,19 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 		}
 		fmt.Fprintf(out, "fdbd: preloaded %d database(s) from %s\n", n, dc.preload)
 	}
+	// The watch hub tails the registry's version bumps; its frames carry
+	// the journal position of whichever log this node applies from — its
+	// own WAL on a primary, the primary's on a replica.
+	var lsnFn func() uint64
+	switch {
+	case rep != nil:
+		lsnFn = rep.JournalLSN
+	case st != nil:
+		lsnFn = st.LastLSN
+	}
+	hub := watch.NewHub(watch.Options{Reg: reg, LSN: lsnFn})
+	reg.SetNotifier(hub.Notify)
+	cfg.Watch = hub
 	srv := &http.Server{
 		Handler:           server.New(reg, cfg).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -279,6 +293,9 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 	if dbg != nil {
 		_ = dbg.Shutdown(shutdownCtx)
 	}
+	// End live-query streams first: their handlers write an end frame and
+	// return, so the graceful drain below is not held open by watchers.
+	hub.Close()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"funcdb/internal/repl"
+	"funcdb/internal/watch"
+)
+
+// The live-query end-to-end test runs a durable primary and a replica as
+// real child processes and holds one failover watch across a primary
+// SIGKILL and restart. The client resumes at its last delivered LSN, so
+// the subscriber must observe every fact exactly once — no duplicates from
+// replayed frames, no gaps from the crash window.
+
+// watchRecorder tallies which Seen(cK) facts a watch delivered, and how
+// often.
+type watchRecorder struct {
+	mu     sync.Mutex
+	counts map[int]int
+	dels   int
+}
+
+func (w *watchRecorder) record(f watch.Frame) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.counts == nil {
+		w.counts = make(map[int]int)
+	}
+	for _, tu := range f.Add {
+		if len(tu.Args) != 1 || !strings.HasPrefix(tu.Args[0], "c") {
+			continue
+		}
+		if k, err := strconv.Atoi(tu.Args[0][1:]); err == nil {
+			w.counts[k]++
+		}
+	}
+	w.dels += len(f.Del)
+}
+
+// seen reports how many of facts 0..hi the watch has delivered at least
+// once, plus the worst duplicate count.
+func (w *watchRecorder) seen(hi int) (delivered, maxDup int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for k := 0; k <= hi; k++ {
+		if c := w.counts[k]; c > 0 {
+			delivered++
+			if c > maxDup {
+				maxDup = c
+			}
+		}
+	}
+	return delivered, maxDup
+}
+
+func waitDelivered(t *testing.T, rec *watchRecorder, hi int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		delivered, _ := rec.seen(hi)
+		if delivered == hi+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: watch delivered %d of %d facts", what, delivered, hi+1)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// extendSeen posts one fact to the primary, retrying while the daemon is
+// still coming up after a restart.
+func extendSeen(t *testing.T, base string, k int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpJSON(t, "POST", base+"/v1/db/seen/facts",
+			fmt.Sprintf(`{"facts":"Seen(c%d)."}`, k))
+		if code == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("facts %d: %d %v", k, code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestWatchFailoverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	primaryDir, replicaDir := t.TempDir(), t.TempDir()
+	p := spawnDaemon(t, "-data", primaryDir, "-fsync", "always")
+	primaryAddr := addrOf(p.base)
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/seen", "Seen(c0)."); code != http.StatusCreated {
+		t.Fatalf("put seen: %d %v", code, body)
+	}
+	r := spawnDaemon(t, "-replica-of", p.base, "-data", replicaDir, "-fsync", "never",
+		"-ready-max-lag", "1000000")
+
+	// The replica bootstraps asynchronously; a watch opened before "seen"
+	// exists there would die on a terminal 404. Wait until it can answer.
+	bootDeadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := httpJSON(t, "POST", r.base+"/v1/db/seen/ask", `{"query":"?- Seen(c0)."}`)
+		if code == http.StatusOK && body["answer"] == true {
+			break
+		}
+		if time.Now().After(bootDeadline) {
+			t.Fatalf("replica never bootstrapped seen: %d %v", code, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Two watches span the whole test: one through the failover client
+	// (primary first, replica as fallback), and one pinned to the replica
+	// alone — deltas must flow as the replica applies its tailed WAL.
+	rec := &watchRecorder{}
+	recReplica := &watchRecorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan error, 1)
+	replicaDone := make(chan error, 1)
+	rc := &repl.RemoteClient{Base: p.base + "," + r.base, DB: "seen"}
+	go func() {
+		watchDone <- rc.Watch(ctx, "?- Seen(X).", repl.WatchOptions{
+			BackoffMin: 50 * time.Millisecond,
+			BackoffMax: time.Second,
+		}, rec.record)
+	}()
+	rcReplica := &repl.RemoteClient{Base: r.base, DB: "seen"}
+	go func() {
+		replicaDone <- rcReplica.Watch(ctx, "?- Seen(X).", repl.WatchOptions{
+			BackoffMin: 50 * time.Millisecond,
+			BackoffMax: time.Second,
+		}, recReplica.record)
+	}()
+	waitDelivered(t, rec, 0, "init")
+	waitDelivered(t, recReplica, 0, "replica init")
+
+	for k := 1; k <= 100; k++ {
+		extendSeen(t, p.base, k)
+	}
+	waitDelivered(t, rec, 100, "pre-crash stream")
+	waitDelivered(t, recReplica, 100, "pre-crash via-replica stream")
+
+	// Let the replica catch up before the crash so the failover target can
+	// serve the watch's resume LSN.
+	repDeadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := httpJSON(t, "POST", r.base+"/v1/db/seen/ask", `{"query":"?- Seen(c100)."}`)
+		if code == http.StatusOK && body["answer"] == true {
+			break
+		}
+		if time.Now().After(repDeadline) {
+			t.Fatalf("replica never caught up: %d %v", code, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL the primary mid-watch, restart it on the same address, and
+	// keep extending. The watch must fail over (replica or restarted
+	// primary) and deliver the post-crash facts without replaying any
+	// pre-crash ones.
+	p.kill(t)
+	p2 := spawnDaemon(t, "-data", primaryDir, "-fsync", "always", "-addr", primaryAddr)
+	for k := 101; k <= 200; k++ {
+		extendSeen(t, p2.base, k)
+	}
+	waitDelivered(t, rec, 200, "post-restart stream")
+	waitDelivered(t, recReplica, 200, "post-restart via-replica stream")
+
+	for name, rr := range map[string]*watchRecorder{"failover": rec, "via-replica": recReplica} {
+		delivered, maxDup := rr.seen(200)
+		if delivered != 201 || maxDup != 1 {
+			t.Fatalf("%s watch: exactly-once violated: %d of 201 facts delivered, worst duplicate count %d",
+				name, delivered, maxDup)
+		}
+		rr.mu.Lock()
+		dels := rr.dels
+		rr.mu.Unlock()
+		if dels != 0 {
+			t.Fatalf("%s watch reported %d deletions; no fact was ever removed", name, dels)
+		}
+	}
+
+	cancel()
+	if err := <-watchDone; err != nil && err != context.Canceled {
+		t.Fatalf("watch ended with %v, want context.Canceled", err)
+	}
+	if err := <-replicaDone; err != nil && err != context.Canceled {
+		t.Fatalf("replica watch ended with %v, want context.Canceled", err)
+	}
+	r.terminate(t)
+	p2.terminate(t)
+}

@@ -9,14 +9,17 @@
 //	fdbench concurrent [OUT.json]
 //	fdbench repl [OUT.json]
 //	fdbench obs [OUT.json]
+//	fdbench watch [OUT.json]
 //
-// The concurrent, repl and obs subcommands are not part of "all":
+// The concurrent, repl, obs and watch subcommands are not part of "all":
 // concurrent compares the mutex-serialized and lock-free snapshot read
 // paths at 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
 // snapshot-shipped replica bootstrap and WAL streaming apply throughput
 // against an in-process primary (default BENCH_repl.json); obs prices the
 // observability layer against a no-op engine-counter sink and a per-request
-// trace (default BENCH_obs.json).
+// trace (default BENCH_obs.json); watch fans paced extends out to many live
+// query subscribers and measures delta delivery latency
+// (default BENCH_watch.json).
 package main
 
 import (
@@ -39,7 +42,7 @@ func main() {
 	if len(os.Args) > 1 {
 		which = os.Args[1]
 	}
-	if which == "concurrent" || which == "repl" || which == "obs" {
+	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
@@ -51,6 +54,8 @@ func main() {
 			replBench(out)
 		case "obs":
 			obsBench(out)
+		case "watch":
+			watchBench(out)
 		}
 		return
 	}

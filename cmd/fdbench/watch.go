@@ -1,0 +1,191 @@
+// The watch benchmark measures the live-query subsystem end to end: many
+// concurrent subscribers hold NDJSON watch streams against an in-process
+// daemon while a writer extends the database at a paced rate, and every
+// delivered delta is timed from the moment its fact was posted. The result
+// is recorded as JSON for CI artifact upload (make bench-watch).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/repl"
+	"funcdb/internal/server"
+	"funcdb/internal/watch"
+)
+
+// watchReport is the schema of BENCH_watch.json.
+type watchReport struct {
+	Bench         string  `json:"bench"`
+	Workload      string  `json:"workload"`
+	Subscribers   int     `json:"subscribers"`
+	Facts         int     `json:"facts"`
+	ExtendPerSec  float64 `json:"extends_per_sec"`
+	AddsExpected  int64   `json:"adds_expected"`
+	AddsDelivered int64   `json:"adds_delivered"`
+	Resyncs       int64   `json:"resyncs"`
+	SlowDrops     int64   `json:"slow_consumer_disconnects"`
+	P50Ms         float64 `json:"delta_p50_ms"`
+	P99Ms         float64 `json:"delta_p99_ms"`
+	MaxMs         float64 `json:"delta_max_ms"`
+	WallS         float64 `json:"wall_s"`
+}
+
+// watchBench subscribes many live queries to one database, extends it at a
+// paced rate, and checks that every subscriber saw every fact exactly once.
+func watchBench(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_watch.json"
+	}
+	const (
+		subscribers = 120
+		facts       = 300
+		pace        = 4 * time.Millisecond // ~250 extends/sec offered
+	)
+
+	reg := registry.New(core.Options{})
+	if _, err := reg.PutProgram("seen", []byte("Seen(c0).")); err != nil {
+		panic(err)
+	}
+	hub := watch.NewHub(watch.Options{
+		Reg:             reg,
+		QueueLen:        256,
+		MaxStreams:      subscribers + 8,
+		MaxStreamsPerDB: subscribers + 8,
+	})
+	reg.SetNotifier(hub.Notify)
+	defer hub.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: server.New(reg, server.Config{Watch: hub}).Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// sendTimes[k] is written strictly before the extend that creates
+	// Seen(ck) is journaled, so every read after delivery is ordered.
+	sendTimes := make([]time.Time, facts+1)
+	var (
+		inited    atomic.Int64
+		delivered atomic.Int64
+		latMu     sync.Mutex
+		lats      []time.Duration
+	)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	rc := &repl.RemoteClient{Base: "http://" + ln.Addr().String(), DB: "seen"}
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			err := rc.Watch(ctx, "?- Seen(X).", repl.WatchOptions{}, func(f watch.Frame) {
+				if f.Type == watch.FrameInit {
+					inited.Add(1)
+				}
+				now := time.Now()
+				for _, t := range f.Add {
+					if len(t.Args) != 1 || !strings.HasPrefix(t.Args[0], "c") {
+						continue
+					}
+					k, err := strconv.Atoi(t.Args[0][1:])
+					if err != nil || k < 1 || k > facts {
+						continue
+					}
+					mine = append(mine, now.Sub(sendTimes[k]))
+					delivered.Add(1)
+				}
+			})
+			if err != nil && ctx.Err() == nil {
+				panic(fmt.Sprintf("watch subscriber failed: %v", err))
+			}
+			latMu.Lock()
+			lats = append(lats, mine...)
+			latMu.Unlock()
+		}()
+	}
+	waitCount(&inited, subscribers, "subscribers connected")
+
+	start := time.Now()
+	tick := time.NewTicker(pace)
+	for k := 1; k <= facts; k++ {
+		<-tick.C
+		sendTimes[k] = time.Now()
+		if _, err := reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", k))); err != nil {
+			panic(err)
+		}
+	}
+	tick.Stop()
+	extendWall := time.Since(start)
+	waitCount(&delivered, subscribers*facts, "deltas delivered")
+	wall := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	counters := hub.Counters()
+	rep := watchReport{
+		Bench:         "watch",
+		Workload:      fmt.Sprintf("%d subscribers on ?- Seen(X)., %d paced single-fact extends", subscribers, facts),
+		Subscribers:   subscribers,
+		Facts:         facts,
+		ExtendPerSec:  float64(facts) / extendWall.Seconds(),
+		AddsExpected:  int64(subscribers * facts),
+		AddsDelivered: delivered.Load(),
+		Resyncs:       counters["resyncs_total"],
+		SlowDrops:     counters["slow_consumer_disconnects_total"],
+		P50Ms:         pct(0.50),
+		P99Ms:         pct(0.99),
+		MaxMs:         pct(1.0),
+		WallS:         wall.Seconds(),
+	}
+	fmt.Println("WATCH live-query delta fan-out latency")
+	fmt.Printf("subscribers: %d, facts: %d (%.0f extends/sec offered)\n",
+		rep.Subscribers, rep.Facts, rep.ExtendPerSec)
+	fmt.Printf("delivered:   %d/%d adds (resyncs %d, slow-consumer drops %d)\n",
+		rep.AddsDelivered, rep.AddsExpected, rep.Resyncs, rep.SlowDrops)
+	fmt.Printf("latency:     p50 %.2fms  p99 %.2fms  max %.2fms (wall %.1fs)\n",
+		rep.P50Ms, rep.P99Ms, rep.MaxMs, rep.WallS)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// waitCount blocks until the counter reaches want.
+func waitCount(c *atomic.Int64, want int, what string) {
+	deadline := time.Now().Add(60 * time.Second)
+	for int(c.Load()) < want {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("stuck waiting for %s: %d of %d", what, c.Load(), want))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -28,6 +28,10 @@
 //	-add FACTS     with -remote: append ground facts ("Even(100).") to the
 //	               database before answering queries — durable when the
 //	               daemon runs with -data
+//	-watch QUERY   with -remote: subscribe to a live query and print one
+//	               line per answer delta (+ appeared, - disappeared) until
+//	               interrupted; survives daemon failover by resuming at the
+//	               last delivered LSN
 //	-i             with -remote: interactive shell against the daemon
 //	-trace         with -remote: request a per-stage span trace with every
 //	               query and print it as an indented tree
@@ -51,6 +55,7 @@ import (
 
 	"funcdb/internal/repl"
 	"funcdb/internal/specio"
+	"funcdb/internal/watch"
 )
 
 func main() {
@@ -66,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	remote := fs.String("remote", "", "comma-separated base URLs of running fdbd daemons (failover order)")
 	dbName := fs.String("db", "", "with -remote: database name on the daemon")
 	addFacts := fs.String("add", "", "with -remote: ground facts to append before answering queries")
+	watchQuery := fs.String("watch", "", "with -remote: subscribe to a live query and stream answer deltas")
 	interactive := fs.Bool("i", false, "with -remote: interactive shell against the daemon")
 	trace := fs.Bool("trace", false, "with -remote: print a per-stage span trace for each query")
 	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
@@ -78,10 +84,10 @@ func run(args []string, out io.Writer) error {
 		if *specPath != "" {
 			return fmt.Errorf("-spec and -remote are mutually exclusive")
 		}
-		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *trace, *addFacts, fs.Args(), os.Stdin, out)
+		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *trace, *addFacts, *watchQuery, fs.Args(), os.Stdin, out)
 	}
-	if *addFacts != "" || *interactive || *trace {
-		return fmt.Errorf("-add, -i and -trace need -remote (a local spec document is immutable)")
+	if *addFacts != "" || *interactive || *trace || *watchQuery != "" {
+		return fmt.Errorf("-add, -i, -trace and -watch need -remote (a local spec document is immutable)")
 	}
 	if *specPath == "" {
 		return fmt.Errorf("usage: fdbq -spec spec.json [flags] [QUERY ...]\n       fdbq -remote http://host:port -db NAME [QUERY ...]")
@@ -142,7 +148,7 @@ func run(args []string, out io.Writer) error {
 
 // runRemote answers the queries through a running fdbd daemon via the
 // shared remote client, so HTTP error bodies surface as messages.
-func runRemote(base string, db string, useCC, info, interactive, trace bool, addFacts string, queries []string, in io.Reader, out io.Writer) error {
+func runRemote(base string, db string, useCC, info, interactive, trace bool, addFacts, watchQuery string, queries []string, in io.Reader, out io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, Trace: trace, HTTP: client}
 	endpoints := rc.Endpoints()
@@ -168,7 +174,7 @@ func runRemote(base string, db string, useCC, info, interactive, trace bool, add
 			out.Write(append(bytes.TrimRight(body, "\n"), '\n'))
 		}
 	}
-	if (len(queries) > 0 || addFacts != "" || interactive) && db == "" {
+	if (len(queries) > 0 || addFacts != "" || interactive || watchQuery != "") && db == "" {
 		return fmt.Errorf("-remote queries need -db NAME")
 	}
 	if addFacts != "" {
@@ -192,6 +198,9 @@ func runRemote(base string, db string, useCC, info, interactive, trace bool, add
 			repl.RenderTrace(out, tr)
 		}
 	}
+	if watchQuery != "" {
+		return runWatch(rc, watchQuery, out)
+	}
 	if interactive {
 		// RunRemoteContext arms SIGINT per command: Ctrl-C mid-query
 		// cancels that query and returns to the prompt; Ctrl-C at the
@@ -199,6 +208,36 @@ func runRemote(base string, db string, useCC, info, interactive, trace bool, add
 		return repl.RunRemoteContext(context.Background(), rc, in, out)
 	}
 	return nil
+}
+
+// runWatch streams live answer deltas until Ctrl-C: a header line per
+// frame, then one "+"/"-" line per appearing/disappearing answer.
+func runWatch(rc *repl.RemoteClient, q string, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := rc.Watch(ctx, q, repl.WatchOptions{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, "# "+format+"\n", args...)
+		},
+	}, func(f watch.Frame) {
+		switch f.Type {
+		case watch.FrameInit, watch.FrameResync:
+			fmt.Fprintf(out, "%s version=%d lsn=%d (%d answers)\n", f.Type, f.Version, f.LSN, len(f.Add))
+		default:
+			fmt.Fprintf(out, "%s version=%d lsn=%d\n", f.Type, f.Version, f.LSN)
+		}
+		for _, t := range f.Add {
+			fmt.Fprintf(out, "+ %s\n", t)
+		}
+		for _, t := range f.Del {
+			fmt.Fprintf(out, "- %s\n", t)
+		}
+	})
+	if ctx.Err() != nil {
+		fmt.Fprintln(out, "watch interrupted")
+		return nil
+	}
+	return err
 }
 
 func get(client *http.Client, url string) ([]byte, error) {

@@ -357,30 +357,6 @@ func (db *Database) groundAtomParts(a *ast.Atom) (term.Term, []symbols.ConstID, 
 	return t, args, nil
 }
 
-// AskCC answers a ground query through the equational specification: each
-// functional atom's membership is decided by congruence closure against
-// the relation R of the canonical form (§3.5), never by the DFA walk.
-// Non-functional atoms are looked up in the global database as usual.
-//
-// Deprecated: set Options.Method to MethodEquational and use Ask. AskCC
-// remains as a thin wrapper forcing the equational method for one call; it
-// still rejects open queries, which Ask evaluates through the graph.
-func (db *Database) AskCC(src string) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	q, err := parser.ParseQuery(db.Source, src)
-	if err != nil {
-		return false, err
-	}
-	for i := range q.Atoms {
-		a := &q.Atoms[i]
-		if !a.IsGround() {
-			return false, fmt.Errorf("core: the congruence-closure path needs a ground query; %s has variables", a.Format(db.Tab()))
-		}
-	}
-	return db.askQueryMethodLocked(q, MethodEquational)
-}
-
 // hasGroundAtomCC decides one ground atom by congruence closure.
 func (db *Database) hasGroundAtomCC(form *canonical.Form, a *ast.Atom) (bool, error) {
 	t, args, err := db.groundAtomParts(a)

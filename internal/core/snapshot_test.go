@@ -275,13 +275,13 @@ func TestMethodEquational(t *testing.T) {
 			t.Errorf("locked equational Ask(%s) = %v, snapshot = %v", q, el, e)
 		}
 	}
-	// The deprecated wrapper still answers ground queries and still
-	// rejects open ones.
-	if got, err := graphDB.AskCC(`?- Meets(8, tony).`); err != nil || !got {
-		t.Errorf("AskCC = %v, %v; want true", got, err)
+	// The lock-free equational entry point answers ground queries by
+	// congruence closure and folds open ones into the graph evaluation.
+	if got, err := graphDB.AskCCContext(ctx, `?- Meets(8, tony).`); err != nil || !got {
+		t.Errorf("AskCCContext = %v, %v; want true", got, err)
 	}
-	if _, err := graphDB.AskCC(`?- Meets(T, tony).`); err == nil {
-		t.Error("AskCC accepted an open query")
+	if got, err := graphDB.AskCCContext(ctx, `?- Meets(T, tony).`); err != nil || !got {
+		t.Errorf("AskCCContext(open) = %v, %v; want true", got, err)
 	}
 }
 

@@ -2,7 +2,6 @@ package obs
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -311,40 +310,6 @@ func writeSeries(w *bufio.Writer, f *family, s *series) {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// WriteJSON renders every sample as a flat JSON object keyed by the series
-// name (with label suffix). This is the legacy /metrics.json view kept for
-// one release while scrapers move to the Prometheus endpoint.
-func (r *Registry) WriteJSON(w io.Writer) error {
-	fams, srcs := r.snapshot()
-	out := make(map[string]any, len(fams)*2)
-	for _, f := range fams {
-		for _, s := range f.series {
-			switch {
-			case s.c != nil:
-				out[f.name+s.labels] = s.c.Value()
-			case s.gf != nil:
-				out[f.name+s.labels] = s.gf()
-			case s.g != nil:
-				out[f.name+s.labels] = s.g.Value()
-			case s.h != nil:
-				out[f.name+"_sum"+s.labels] = s.h.Sum()
-				out[f.name+"_count"+s.labels] = s.h.Count()
-			}
-		}
-	}
-	for _, src := range srcs {
-		for k, v := range src.fn() {
-			name := src.prefix + k
-			if _, ok := out[name]; !ok {
-				out[name] = v
-			}
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
 }
 
 // snapshot copies the family and source lists under the read lock so

@@ -203,19 +203,19 @@ func TestRegistryTypeConflictPanics(t *testing.T) {
 	r.Gauge("x_total", "X.")
 }
 
-func TestWriteJSON(t *testing.T) {
+func TestSourceInText(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("j_total", "J.", "endpoint", "ask").Add(4)
 	r.Gauge("j_up", "Up.").Set(1)
 	r.Source("j_", "gauge", "S.", func() map[string]int64 { return map[string]int64{"wal_bytes": 9} })
 	var b strings.Builder
-	if err := r.WriteJSON(&b); err != nil {
+	if err := r.WriteText(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{`"j_total{endpoint=\"ask\"}": 4`, `"j_up": 1`, `"j_wal_bytes": 9`} {
+	for _, want := range []string{`j_total{endpoint="ask"} 4`, "j_up 1", "j_wal_bytes 9"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("JSON missing %q\n%s", want, out)
+			t.Errorf("exposition missing %q\n%s", want, out)
 		}
 	}
 }

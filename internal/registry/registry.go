@@ -240,6 +240,16 @@ type Mutation struct {
 // registry.
 type Observer func(Mutation) error
 
+// Notifier is called after a catalog change has become visible, still
+// under the writer lock, so calls arrive in exactly the commit order:
+// version is the installed entry's version, or 0 when name was removed.
+// Unlike Observer it cannot veto anything and it fires on every install
+// path — including replays, restores and local drops that bypass the
+// observer — which is what lets a watch hub on a replica see the same
+// version bumps a primary's hub does. Notifiers must only enqueue and
+// return: no blocking, no calls back into the registry.
+type Notifier func(name string, version uint64)
+
 // snapshot is the immutable catalog state; Registry swaps whole snapshots.
 type snapshot struct {
 	entries map[string]*Entry
@@ -255,6 +265,7 @@ type Registry struct {
 	versions map[string]uint64
 	opts     core.Options
 	obs      Observer
+	notify   Notifier
 }
 
 // SetObserver installs the mutation observer (nil disables). It is meant
@@ -263,6 +274,14 @@ func (r *Registry) SetObserver(obs Observer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.obs = obs
+}
+
+// SetNotifier installs the post-commit change notifier (nil disables). It
+// is meant to be set once, before the registry starts taking traffic.
+func (r *Registry) SetNotifier(n Notifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notify = n
 }
 
 // New returns an empty registry; opts configure compilation of program
@@ -435,6 +454,9 @@ func (r *Registry) installLocked(e *Entry) {
 	}
 	next.entries[e.Name] = e
 	r.snap.Store(next)
+	if r.notify != nil {
+		r.notify(e.Name, e.Version)
+	}
 }
 
 // Remove deletes name from the catalog, reporting whether it was present.
@@ -479,6 +501,9 @@ func (r *Registry) removeLocked(name string) {
 		}
 	}
 	r.snap.Store(next)
+	if r.notify != nil {
+		r.notify(name, 0)
+	}
 }
 
 // Capture runs f with a point-in-time view of the catalog while holding

@@ -110,6 +110,7 @@ func (r *Replica) openStore() error {
 	}
 	r.st = st
 	r.applied.Store(st.LastLSN())
+	r.journalLSN.Store(st.LastLSN())
 	r.sinceSnap = 0
 	r.bootstrapped.Store(true)
 	r.logf("replica: recovered %d database(s) (snapshot lsn %d, %d records replayed); resuming after lsn %d",

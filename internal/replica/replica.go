@@ -82,6 +82,7 @@ type Replica struct {
 	bootstrapped atomic.Bool
 	connected    atomic.Bool
 	applied      atomic.Uint64
+	journalLSN   atomic.Uint64
 	primaryLast  atomic.Uint64
 	lagMillis    atomic.Int64
 	reconnects   atomic.Int64
@@ -155,6 +156,13 @@ func (r *Replica) Ready() error {
 
 // Applied returns the highest primary LSN journaled and applied locally.
 func (r *Replica) Applied() uint64 { return r.applied.Load() }
+
+// JournalLSN returns the highest primary LSN journaled locally. It is
+// stored between journaling and catalog apply, so a registry notifier
+// firing during the apply already sees the LSN of the mutation that
+// produced the bump — mirroring the primary's own write-ahead order. Safe
+// from any goroutine; a watch hub on a replica uses it to tag frames.
+func (r *Replica) JournalLSN() uint64 { return r.journalLSN.Load() }
 
 func (r *Replica) lagRecords() uint64 {
 	last, applied := r.primaryLast.Load(), r.applied.Load()

@@ -118,6 +118,7 @@ func (r *Replica) apply(recPayload []byte) error {
 	if err := r.st.AppendReplicated(lsn, m); err != nil {
 		return err
 	}
+	r.journalLSN.Store(lsn)
 	if err := r.reg.ApplyAt(m); err != nil {
 		r.applyErrors.Add(1)
 		r.logf("replica: apply of %s %q (lsn %d) failed: %v", m.Op, m.Name, lsn, err)

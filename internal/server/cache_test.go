@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheNeverServesStaleAnswerAcrossExtend pins the answer cache's
+// consistency contract under concurrent extends: a response whose version
+// is at or past the catalog version that installed fact Seen(ci) must
+// report the fact present. The cache key carries the entry version and
+// cachePut refuses to store a result computed against a superseded entry,
+// so a pre-extension verdict can never be served to a post-extension ask
+// racing the version bump.
+func TestCacheNeverServesStaleAnswerAcrossExtend(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{})
+	if _, err := reg.PutProgram("seen", []byte("Seen(c0).")); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		facts  = 40
+		askers = 4
+	)
+	// versions[i] is the catalog version that made Seen(ci) visible,
+	// published only after the extend committed.
+	var versions [facts + 1]atomic.Uint64
+	var extended atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= facts; i++ {
+			e, err := reg.ExtendFacts("seen", []byte(fmt.Sprintf("Seen(c%d).", i)))
+			if err != nil {
+				t.Errorf("ExtendFacts %d: %v", i, err)
+				return
+			}
+			versions[i].Store(e.Version)
+			extended.Store(int64(i))
+		}
+	}()
+	for a := 0; a < askers; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				hi := extended.Load()
+				if hi == 0 {
+					continue
+				}
+				i := int64(1 + (iter+a)%int(hi))
+				code, body := doJSON(t, "POST", ts.URL+"/v1/db/seen/ask",
+					map[string]any{"query": fmt.Sprintf("?- Seen(c%d).", i)})
+				if code != http.StatusOK {
+					t.Errorf("ask: status %d: %v", code, body)
+					return
+				}
+				answer := body["answer"].(bool)
+				version := uint64(body["version"].(float64))
+				if vi := versions[i].Load(); vi > 0 && version >= vi && !answer {
+					t.Errorf("stale cache: Seen(c%d) reported absent at version %d, but it was installed at version %d (cached=%v)",
+						i, version, vi, body["cached"])
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+}

@@ -29,6 +29,7 @@ import (
 	"funcdb/internal/query"
 	"funcdb/internal/registry"
 	"funcdb/internal/store"
+	"funcdb/internal/watch"
 )
 
 // StatusClientClosedRequest is the nonstandard (nginx) status for a request
@@ -75,6 +76,16 @@ type Config struct {
 	// ReplHeartbeat is how often an idle /v1/repl/wal stream emits a
 	// heartbeat frame; zero means DefaultReplHeartbeat.
 	ReplHeartbeat time.Duration
+	// Watch serves POST /v1/db/{name}/watch live-query streams. When nil,
+	// New builds a hub over the registry and installs its Notify as the
+	// registry's notifier (a deliberate side effect: the hub is useless
+	// without version bumps). Daemons that journal pass a pre-wired hub so
+	// frames carry real LSNs. Watches are served even when ReadOnly is set
+	// — replicas push deltas exactly like primaries.
+	Watch *watch.Hub
+	// WatchHeartbeat is how often an idle watch stream emits a heartbeat
+	// frame; zero means DefaultWatchHeartbeat.
+	WatchHeartbeat time.Duration
 	// Logger receives structured request and slow-query logs; nil means
 	// slog.Default(). Per-request lines carry the request ID (and trace ID
 	// when the client asked for a trace) at debug level; errors log at
@@ -96,6 +107,7 @@ const (
 	DefaultMaxBatchQueries = 256
 	DefaultBatchWorkers    = 4
 	DefaultReplHeartbeat   = 3 * time.Second
+	DefaultWatchHeartbeat  = 3 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -123,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.ReplHeartbeat == 0 {
 		c.ReplHeartbeat = DefaultReplHeartbeat
 	}
+	if c.WatchHeartbeat == 0 {
+		c.WatchHeartbeat = DefaultWatchHeartbeat
+	}
 	return c
 }
 
@@ -146,7 +161,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		reg: reg,
 		cfg: cfg.withDefaults(),
 		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts",
-			"healthz", "readyz", "metrics", "metrics_json", "repl_snapshot", "repl_wal"),
+			"healthz", "readyz", "metrics", "repl_snapshot", "repl_wal", "watch"),
 	}
 	s.log = s.cfg.Logger
 	if s.log == nil {
@@ -177,7 +192,6 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("GET /metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
 	mux.HandleFunc("GET /v1/dbs", s.instrument("dbs", s.handleList))
 	mux.HandleFunc("GET /v1/db/{name}", s.instrument("db", s.handleInfo))
 	mux.HandleFunc("PUT /v1/db/{name}", s.instrument("put", s.handlePut))
@@ -204,6 +218,12 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		root.HandleFunc("GET /v1/repl/snapshot", s.instrument("repl_snapshot", s.handleReplSnapshot))
 		root.HandleFunc("GET /v1/repl/wal", s.instrument("repl_wal", s.handleReplWAL))
 	}
+	if s.cfg.Watch == nil {
+		s.cfg.Watch = watch.NewHub(watch.Options{Reg: reg})
+		reg.SetNotifier(s.cfg.Watch.Notify)
+	}
+	s.cfg.Watch.Instrument(s.met.reg)
+	root.HandleFunc("POST /v1/db/{name}/watch", s.instrument("watch", s.handleWatch))
 	root.Handle("/", h)
 	s.handler = root
 	return s
@@ -384,6 +404,20 @@ func (s *Server) entry(r *http.Request) (*registry.Entry, error) {
 // one query share a cache slot.
 func normalizeQuery(q string) string { return strings.Join(strings.Fields(q), " ") }
 
+// cachePut stores v under key only while e is still the current version of
+// its database. ExtendFacts mutates the underlying database in place before
+// bumping the version, so an evaluation that raced the bump may already
+// reflect the new facts — caching that under the old version's key would
+// freeze a cross-version answer into a slot readers trust to be exactly
+// as-of-version. Dropping the put is always safe: the next same-key request
+// just recomputes.
+func (s *Server) cachePut(e *registry.Entry, key cacheKey, v any) {
+	if cur, ok := s.reg.Get(e.Name); !ok || cur.Version != e.Version {
+		return
+	}
+	s.cache.put(key, v)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	// Liveness can only fail if the process is wired wrong; when it does,
 	// the failure still renders as the standard {"error":{...}} envelope
@@ -401,14 +435,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	return s.met.reg.WriteText(w)
-}
-
-// handleMetricsJSON serves the legacy JSON view of the same samples.
-// Deprecated: kept for one release so scrapers of the old hand-rolled
-// /metrics output can migrate to the Prometheus endpoint.
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) error {
-	w.Header().Set("Content-Type", "application/json")
-	return s.met.reg.WriteJSON(w)
 }
 
 // dbInfo is the wire form of one catalog entry.
@@ -609,7 +635,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return queryError(err)
 	}
-	s.cache.put(key, ans)
+	s.cachePut(e, key, ans)
 	writeJSON(w, http.StatusOK, askResponse{Answer: ans, Version: e.Version, Cached: false, Trace: tr.Report()})
 	return nil
 }
@@ -693,7 +719,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	if tuples == nil {
 		tuples = []registry.AnswerTuple{}
 	}
-	s.cache.put(key, answersResult{tuples: tuples, truncated: truncated})
+	s.cachePut(e, key, answersResult{tuples: tuples, truncated: truncated})
 	writeJSON(w, http.StatusOK, answersResponse{Tuples: tuples, Count: len(tuples),
 		Truncated: truncated, Version: e.Version, Cached: false, Trace: tr.Report()})
 	return nil
@@ -788,7 +814,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 				continue
 			}
 			items[i].Answer = res.OK
-			s.cache.put(keys[i], res.OK)
+			s.cachePut(e, keys[i], res.OK)
 		}
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: items, Version: e.Version, Trace: tr.Report()})

@@ -361,14 +361,11 @@ func TestMetricsExposition(t *testing.T) {
 		t.Errorf("exposition not well-formed: %v", err)
 	}
 
-	// The legacy flat-JSON view stays available at /metrics.json for one
-	// release.
-	code, body := doJSON(t, "GET", ts.URL+"/metrics.json", nil)
-	if code != http.StatusOK {
-		t.Fatalf("/metrics.json = %d", code)
-	}
-	if got := body[`funcdbd_requests_total{endpoint="ask"}`]; got != float64(3) {
-		t.Errorf("metrics.json ask requests = %v, want 3", got)
+	// The legacy flat-JSON view is gone; Prometheus text is the only
+	// exposition now.
+	code, _ := doJSON(t, "GET", ts.URL+"/metrics.json", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("/metrics.json = %d, want 404", code)
 	}
 }
 

@@ -1,0 +1,48 @@
+package watch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame checks that arbitrary NDJSON lines never panic the
+// decoder and that every accepted frame re-encodes to a line that decodes
+// to the same value (the codec is a retraction).
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []string{
+		`{"type":"init","db":"seen","version":1,"lsn":4,"add":[{"args":["a"]}]}`,
+		`{"type":"delta","db":"seen","version":2,"lsn":5,"add":[{"term":"succ","args":["b"]}],"del":[{"args":["a"]}]}`,
+		`{"type":"resync","db":"even","version":3,"lsn":6,"truncated":true,"reason":"enumeration_truncated"}`,
+		`{"type":"heartbeat","lsn":7}`,
+		`{"type":"end","db":"seen","reason":"slow_consumer"}`,
+		`{"type":"wat"}`,
+		`{}`,
+		`null`,
+		"{\"type\":\"init\",\"add\":[{\"args\":[\"\\u0000\\u0001\"]}]}",
+		`{"type":"delta","lsn":18446744073709551615}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := DecodeFrame(line)
+		if err != nil {
+			return
+		}
+		raw, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %+v: %v", fr, err)
+		}
+		again, err := DecodeFrame(bytes.TrimSuffix(raw, []byte("\n")))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %q: %v", raw, err)
+		}
+		raw2, err := EncodeFrame(again)
+		if err != nil {
+			t.Fatalf("second encode failed: %+v: %v", again, err)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatalf("codec not stable: %q vs %q", raw, raw2)
+		}
+	})
+}
