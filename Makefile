@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl race-watch bench bench-store bench-concurrent bench-repl bench-obs bench-watch fuzz fuzz-smoke govulncheck staticcheck tables examples clean
+.PHONY: all check build test vet race race-repl race-watch race-shard bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -30,6 +30,15 @@ race-repl:
 race-watch:
 	$(GO) test -race -count=1 ./internal/watch/ ./internal/server/ ./internal/repl/ ./cmd/fdbd/
 
+# The sharding stack alone under the race detector: the ring/codec/source
+# unit tests, the router proxy paths, the live-reshard orchestration, the
+# fdbrouter daemon smoke tests, and the process-level sharded-cluster
+# end-to-end test (router + 3 groups, primary SIGKILL + live reshard under
+# mixed traffic).
+race-shard:
+	$(GO) test -race -count=1 ./internal/shard/ ./cmd/fdbrouter/
+	$(GO) test -race -count=1 -run 'TestShardedClusterEndToEnd' ./cmd/fdbd/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -51,6 +60,12 @@ bench-obs:
 # subscribers under paced extends (EXPERIMENTS.md A10).
 bench-watch:
 	$(GO) run ./cmd/fdbench watch BENCH_watch.json
+
+# Router hop overhead and scatter-gather fan-out: the same ask workload
+# direct vs through fdbrouter, plus /v1/dbs across 3 groups
+# (EXPERIMENTS.md A11).
+bench-router:
+	$(GO) run ./cmd/fdbench router BENCH_router.json
 
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -19,15 +19,27 @@
 // Example:
 //
 //	fdbc -dump graph -ask '?- Meets(10, tony).' meetings.fdb
+//
+// One operational subcommand rides along:
+//
+//	fdbc reshard -routers URL[,URL...] -db NAME -to GROUP
+//
+// moves a database to another shard group, live, through the fdbrouter
+// fleet (see internal/shard).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"funcdb/internal/core"
 	"funcdb/internal/repl"
+	"funcdb/internal/shard"
 	"funcdb/internal/symbols"
 	"funcdb/internal/term"
 )
@@ -39,7 +51,53 @@ func main() {
 	}
 }
 
+// runReshard is the `fdbc reshard` subcommand: a thin CLI over
+// shard.Reshard.
+func runReshard(args []string) error {
+	fs := flag.NewFlagSet("fdbc reshard", flag.ContinueOnError)
+	routers := fs.String("routers", "", "comma-separated fdbrouter base URLs (required)")
+	db := fs.String("db", "", "database to move (required)")
+	to := fs.String("to", "", "destination shard group name (required)")
+	tailTimeout := fs.Duration("tail-timeout", 30*time.Second, "bound on the post-freeze WAL catch-up")
+	drainTimeout := fs.Duration("drain-timeout", 0, "per-router in-flight write drain bound (0: router default)")
+	out := fs.String("out", "", "also write the final shard map to this file")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *routers == "" || *db == "" || *to == "" {
+		return fmt.Errorf("usage: fdbc reshard -routers URL[,URL...] -db NAME -to GROUP")
+	}
+	opts := shard.ReshardOptions{
+		DB:           *db,
+		TargetGroup:  *to,
+		Routers:      strings.Split(*routers, ","),
+		TailTimeout:  *tailTimeout,
+		DrainTimeout: *drainTimeout,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := shard.Reshard(ctx, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("moved %q: %s -> %s (map v%d, %d mutations replayed, watermark lsn %d)\n",
+		*db, res.From, res.To, res.Map.Version, res.Replayed, res.Watermark)
+	if *out != "" {
+		return shard.WriteFile(*out, res.Map)
+	}
+	return nil
+}
+
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "reshard" {
+		return runReshard(args[1:])
+	}
 	fs := flag.NewFlagSet("fdbc", flag.ContinueOnError)
 	dump := fs.String("dump", "", "print a specification: graph, eq, temporal, canonical, congr or min")
 	ask := fs.String("ask", "", "answer one yes-no query")

@@ -96,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "structured-log encoding: text or json")
 	slowQuery := fs.Duration("slow-query", 0, "log queries evaluated slower than this (0 disables)")
+	maxDerivation := fs.Int("max-derivation-depth", 0, "largest derivation depth one query may explore (0: unlimited)")
 	debugAddr := fs.String("debug-addr", "", "optional listener for /debug/pprof/* (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,7 +128,7 @@ func run(args []string, out io.Writer) error {
 	dc := daemonConfig{
 		server: server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
 			MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers,
-			Logger: logger, SlowQuery: *slowQuery},
+			Logger: logger, SlowQuery: *slowQuery, MaxDerivationDepth: *maxDerivation},
 		store:       store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery},
 		preload:     *preload,
 		replicaOf:   strings.TrimSuffix(*replicaOf, "/"),

@@ -10,8 +10,10 @@
 //	fdbench repl [OUT.json]
 //	fdbench obs [OUT.json]
 //	fdbench watch [OUT.json]
+//	fdbench router [OUT.json]
 //
-// The concurrent, repl, obs and watch subcommands are not part of "all":
+// The concurrent, repl, obs, watch and router subcommands are not part of
+// "all":
 // concurrent compares the mutex-serialized and lock-free snapshot read
 // paths at 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
 // snapshot-shipped replica bootstrap and WAL streaming apply throughput
@@ -19,7 +21,9 @@
 // observability layer against a no-op engine-counter sink and a per-request
 // trace (default BENCH_obs.json); watch fans paced extends out to many live
 // query subscribers and measures delta delivery latency
-// (default BENCH_watch.json).
+// (default BENCH_watch.json); router prices the fdbrouter proxy hop and
+// scatter-gather fan-out against direct daemon access
+// (default BENCH_router.json).
 package main
 
 import (
@@ -42,7 +46,7 @@ func main() {
 	if len(os.Args) > 1 {
 		which = os.Args[1]
 	}
-	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" {
+	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
@@ -56,6 +60,8 @@ func main() {
 			obsBench(out)
 		case "watch":
 			watchBench(out)
+		case "router":
+			routerBench(out)
 		}
 		return
 	}

@@ -1,0 +1,180 @@
+// The router benchmark prices the fdbrouter hop: the same ask workload is
+// sent straight to a daemon and through a router in front of it, and both
+// latency distributions are recorded side by side — the acceptance bar is
+// routed p50 under 2x direct p50. A second section measures scatter-gather
+// fan-out (GET /v1/dbs) across several groups. The result is recorded as
+// JSON for CI artifact upload (make bench-router).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/registry"
+	"funcdb/internal/server"
+	"funcdb/internal/shard"
+)
+
+// routerReport is the schema of BENCH_router.json.
+type routerReport struct {
+	Bench    string `json:"bench"`
+	Workload string `json:"workload"`
+
+	AskN           int     `json:"ask_n"`
+	DirectP50US    float64 `json:"direct_p50_us"`
+	DirectP99US    float64 `json:"direct_p99_us"`
+	RoutedP50US    float64 `json:"routed_p50_us"`
+	RoutedP99US    float64 `json:"routed_p99_us"`
+	HopOverheadP50 float64 `json:"hop_overhead_p50"` // routed_p50 / direct_p50
+
+	FanoutGroups int     `json:"fanout_groups"`
+	FanoutN      int     `json:"fanout_n"`
+	FanoutP50US  float64 `json:"fanout_p50_us"`
+	FanoutP99US  float64 `json:"fanout_p99_us"`
+}
+
+// routerBench stands up three single-daemon shard groups and a router in
+// front, then measures proxied ask latency against direct ask latency and
+// the cost of a full scatter-gather.
+func routerBench(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_router.json"
+	}
+	const (
+		groups = 3
+		askN   = 2000
+		fanN   = 500
+	)
+
+	var ms []shard.Group
+	var direct *httptest.Server
+	for g := 0; g < groups; g++ {
+		reg := registry.New(core.Options{})
+		if _, err := reg.PutProgram(fmt.Sprintf("even%d", g), []byte("Even(0).\nEven(T) -> Even(T+2).\n")); err != nil {
+			panic(err)
+		}
+		// Answer caching is off so every ask pays one real evaluation on
+		// both paths; an all-cache-hit workload would reduce the bench to
+		// HTTP-parse floors and overstate the relative hop cost.
+		ts := httptest.NewServer(server.New(reg, server.Config{CacheSize: -1}).Handler())
+		defer ts.Close()
+		if g == 0 {
+			direct = ts
+		}
+		ms = append(ms, shard.Group{Name: fmt.Sprintf("g%d", g), Primary: ts.URL})
+	}
+	src := shard.NewSource(&shard.Map{Version: 1, Groups: ms})
+	defer src.Close()
+	router := httptest.NewServer(shard.NewRouter(src, shard.Options{ShardTimeout: 5 * time.Second}))
+	defer router.Close()
+
+	// Queries rotate through a window of ground atoms so successive
+	// requests don't degenerate into one hot code path.
+	ask := func(base string, i int) time.Duration {
+		body := []byte(fmt.Sprintf(`{"query":"?- Even(%d)."}`, (i*2)%1000))
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/db/even0/ask", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		var out struct {
+			Answer bool `json:"answer"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if !out.Answer {
+			panic("ask answered false")
+		}
+		return time.Since(start)
+	}
+	list := func() time.Duration {
+		start := time.Now()
+		resp, err := http.Get(router.URL + "/v1/dbs")
+		if err != nil {
+			panic(err)
+		}
+		var out struct {
+			Databases []any `json:"databases"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if len(out.Databases) != groups {
+			panic(fmt.Sprintf("dbs listed %d databases, want %d", len(out.Databases), groups))
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths (health probes, connections, the engine's graph).
+	for i := 0; i < 50; i++ {
+		ask(direct.URL, i)
+		ask(router.URL, i)
+		list()
+	}
+	directLat := make([]time.Duration, askN)
+	for i := range directLat {
+		directLat[i] = ask(direct.URL, i)
+	}
+	routedLat := make([]time.Duration, askN)
+	for i := range routedLat {
+		routedLat[i] = ask(router.URL, i)
+	}
+	fanLat := make([]time.Duration, fanN)
+	for i := range fanLat {
+		fanLat[i] = list()
+	}
+
+	rep := routerReport{
+		Bench:        "router",
+		Workload:     fmt.Sprintf("%d groups, %d uncached asks direct vs routed, %d dbs fan-outs", groups, askN, fanN),
+		AskN:         askN,
+		DirectP50US:  us(pctDur(directLat, 50)),
+		DirectP99US:  us(pctDur(directLat, 99)),
+		RoutedP50US:  us(pctDur(routedLat, 50)),
+		RoutedP99US:  us(pctDur(routedLat, 99)),
+		FanoutGroups: groups,
+		FanoutN:      fanN,
+		FanoutP50US:  us(pctDur(fanLat, 50)),
+		FanoutP99US:  us(pctDur(fanLat, 99)),
+	}
+	rep.HopOverheadP50 = rep.RoutedP50US / rep.DirectP50US
+
+	fmt.Println("ROUTER  proxy hop overhead + scatter-gather fan-out")
+	fmt.Printf("direct ask: p50 %.0fus  p99 %.0fus\n", rep.DirectP50US, rep.DirectP99US)
+	fmt.Printf("routed ask: p50 %.0fus  p99 %.0fus  (%.2fx direct p50)\n",
+		rep.RoutedP50US, rep.RoutedP99US, rep.HopOverheadP50)
+	fmt.Printf("dbs fanout: p50 %.0fus  p99 %.0fus across %d groups\n",
+		rep.FanoutP50US, rep.FanoutP99US, groups)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+// pctDur returns the p-th percentile of lat (sorted copy, nearest-rank).
+func pctDur(lat []time.Duration, p int) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}

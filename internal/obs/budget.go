@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+)
+
+// Per-query evaluation budgets ride the context the same way traces do, so
+// the engine layers (specgraph, query) can enforce them without new
+// plumbing through every call signature.
+
+type depthBudgetKey struct{}
+
+// WithDepthBudget attaches a maximum derivation depth to ctx. Algorithm Q's
+// breadth-first construction aborts with a DepthBudgetError as soon as a
+// wave would exceed it — bounding worst-case work on a hostile or
+// runaway query instead of relying on the wall-clock deadline alone.
+// max <= 0 means unlimited.
+func WithDepthBudget(ctx context.Context, max int) context.Context {
+	if max <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, depthBudgetKey{}, max)
+}
+
+// DepthBudget returns the derivation-depth budget carried by ctx, or 0 when
+// unlimited.
+func DepthBudget(ctx context.Context) int {
+	if ctx == nil {
+		// Engines built outside any request run with a nil context.
+		return 0
+	}
+	if v, ok := ctx.Value(depthBudgetKey{}).(int); ok {
+		return v
+	}
+	return 0
+}
+
+// DepthBudgetError reports that evaluation needed to derive terms deeper
+// than the query's budget allows. It is a client-classifiable condition
+// (the query is too deep for this server's policy), not a server fault.
+type DepthBudgetError struct {
+	// Max is the budget that was exceeded.
+	Max int
+}
+
+func (e *DepthBudgetError) Error() string {
+	return fmt.Sprintf("derivation depth budget of %d exceeded", e.Max)
+}

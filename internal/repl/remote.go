@@ -84,6 +84,10 @@ type RemoteError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After header in seconds (0 when
+	// absent): how long the server asks clients to back off before
+	// retrying a transient refusal (stream caps, reshard freezes).
+	RetryAfter int
 }
 
 func (e *RemoteError) Error() string { return e.Message }
@@ -122,17 +126,68 @@ func (c *RemoteClient) healthy(ctx context.Context, base string) bool {
 	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound
 }
 
-// do sends one request, failing over across endpoints: the preferred
+// do sends one request, failing over across endpoints and then, for
+// explicitly transient refusals — a database frozen mid-reshard (409
+// resharding), stream caps (429), a router that lost its shard group (502
+// with Retry-After) — retrying the whole sweep after the server-suggested
+// pause. The attempt budget bounds the total wait to a few seconds; a
+// client that needs to outlast a longer outage should loop itself.
+func (c *RemoteClient) do(ctx context.Context, method, path string, body, out any) error {
+	const maxAttempts = 8
+	backoff := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := c.sweep(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		wait, ok := retryDelay(err, backoff)
+		if !ok || attempt == maxAttempts-1 || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// retryDelay reports whether err is a transient server refusal worth
+// retrying after a pause, and how long to wait — the server's Retry-After
+// when it sent one, the caller's backoff otherwise.
+func retryDelay(err error, backoff time.Duration) (time.Duration, bool) {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return 0, false // transport errors already swept every endpoint
+	}
+	transient := (re.Status == http.StatusConflict && re.Code == "resharding") ||
+		re.Status == http.StatusTooManyRequests ||
+		((re.Status == http.StatusBadGateway || re.Status == http.StatusServiceUnavailable) && re.RetryAfter > 0)
+	if !transient {
+		return 0, false
+	}
+	if d := time.Duration(re.RetryAfter) * time.Second; d > backoff {
+		return d, true
+	}
+	return backoff, true
+}
+
+// sweep sends one request, failing over across endpoints: the preferred
 // endpoint is tried as-is, alternates are health-checked first (and
 // retried unconditionally if every endpoint was skipped or failed), and
 // the endpoint that answers becomes preferred for subsequent requests.
-func (c *RemoteClient) do(ctx context.Context, method, path string, body, out any) error {
+func (c *RemoteClient) sweep(ctx context.Context, method, path string, body, out any) error {
 	eps := c.Endpoints()
 	if len(eps) == 0 {
 		return errors.New("no daemon endpoints configured")
 	}
 	var raw []byte
-	if body != nil {
+	if rb, ok := body.(rawBody); ok {
+		raw = rb
+	} else if body != nil {
 		var err error
 		if raw, err = json.Marshal(body); err != nil {
 			return err
@@ -198,7 +253,8 @@ func (c *RemoteClient) doOne(ctx context.Context, base, method, path string, bod
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		code, msg := remoteErrorParts(raw, resp.StatusCode)
-		return &RemoteError{Status: resp.StatusCode, Code: code, Message: msg}
+		return &RemoteError{Status: resp.StatusCode, Code: code, Message: msg,
+			RetryAfter: retryAfterSeconds(resp.Header)}
 	}
 	if out == nil {
 		return nil
@@ -207,6 +263,20 @@ func (c *RemoteClient) doOne(ctx context.Context, base, method, path string, bod
 		return fmt.Errorf("bad response from daemon: %w", err)
 	}
 	return nil
+}
+
+// retryAfterSeconds parses a delay-seconds Retry-After header; HTTP-date
+// values and absent headers read as 0.
+func retryAfterSeconds(h http.Header) int {
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	var secs int
+	if _, err := fmt.Sscanf(v, "%d", &secs); err != nil || secs < 0 {
+		return 0
+	}
+	return secs
 }
 
 // RemoteErrorMessage extracts the daemon's error message from a response
@@ -331,6 +401,31 @@ func (c *RemoteClient) AddFactsContext(ctx context.Context, facts string) (uint6
 		return 0, err
 	}
 	return resp.Version, nil
+}
+
+// rawBody marks a request body sent verbatim instead of JSON-encoded —
+// PUT bodies are program surface syntax or exported spec JSON as-is.
+type rawBody []byte
+
+// Put creates or replaces the client's database from src: program surface
+// syntax or an exported specification document.
+func (c *RemoteClient) Put(src []byte) error {
+	return c.PutContext(context.Background(), src)
+}
+
+// PutContext is Put honoring a cancellation context.
+func (c *RemoteClient) PutContext(ctx context.Context, src []byte) error {
+	return c.do(ctx, "PUT", "/v1/db/"+c.DB, rawBody(src), nil)
+}
+
+// Delete removes the client's database from the daemon.
+func (c *RemoteClient) Delete() error {
+	return c.DeleteContext(context.Background())
+}
+
+// DeleteContext is Delete honoring a cancellation context.
+func (c *RemoteClient) DeleteContext(ctx context.Context) error {
+	return c.do(ctx, "DELETE", "/v1/db/"+c.DB, nil, nil)
 }
 
 // Info returns the daemon's description of the database as rendered JSON.

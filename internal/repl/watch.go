@@ -65,6 +65,7 @@ func (c *RemoteClient) Watch(ctx context.Context, query string, opts WatchOption
 		state: make(map[string]watch.Tuple)}
 	backoff := opts.BackoffMin
 	idx := int(c.preferred.Load())
+	behind := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -76,9 +77,32 @@ func (c *RemoteClient) Watch(ctx context.Context, query string, opts WatchOption
 		if progressed {
 			backoff = opts.BackoffMin
 		}
+		// Resume-point degradation: when every endpoint keeps answering 409
+		// watch_behind, the stream has most likely been re-routed to a node
+		// in a different LSN space (a reshard moved the database to another
+		// group). Drop the LSN gate and reconnect from scratch — the
+		// answer-set mirror still suppresses already-delivered deltas, so
+		// exactly-once delivery survives the reset.
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == "watch_behind" {
+			if behind++; behind >= 2*len(eps) && s.lastLSN > 0 {
+				logf("watch: every endpoint is behind lsn %d; assuming the database moved and resetting the resume point", s.lastLSN)
+				s.lastLSN = 0
+				behind = 0
+			}
+		} else {
+			behind = 0
+		}
 		logf("watch: %v; retrying on next endpoint in ~%v", err, backoff)
 		idx++
 		d := time.Duration(rand.Int63n(int64(backoff)) + int64(opts.BackoffMin))
+		// A server that said how long to back off overrides the jitter.
+		if errors.As(err, &re) && re.RetryAfter > 0 {
+			d = time.Duration(re.RetryAfter) * time.Second
+			if d > opts.BackoffMax {
+				d = opts.BackoffMax
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// cycleSrc has an 8-person meeting cycle, so Algorithm Q needs ~8 depth
+// waves to converge — deep enough for a tight budget to bite.
+const cycleSrc = `
+Meets(0, p0).
+Next(p0, p1). Next(p1, p2). Next(p2, p3). Next(p3, p4).
+Next(p4, p5). Next(p5, p6). Next(p6, p7). Next(p7, p0).
+Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
+`
+
+// TestDepthBudget: a query whose evaluation must rebuild the spec graph to
+// a depth beyond Config.MaxDerivationDepth fails fast with 422 and the
+// machine code depth_budget_exceeded; the same query under a generous
+// budget succeeds. The query is non-uniform (an application above the
+// functional variable), so /answers recomputes the graph per request — the
+// path the budget protects.
+func TestDepthBudget(t *testing.T) {
+	_, reg, ts := newTestServer(t, Config{MaxDerivationDepth: 2})
+	if _, err := reg.PutProgram("meetings", []byte(cycleSrc)); err != nil {
+		t.Fatal(err)
+	}
+	req := map[string]any{"query": "?- Meets(T+1, p0).", "depth": 20}
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/meetings/answers", req)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("tight budget: %d %v", code, body)
+	}
+	errBody, _ := body["error"].(map[string]any)
+	if errBody["code"] != "depth_budget_exceeded" {
+		t.Fatalf("tight budget error: %v", body)
+	}
+
+	_, reg2, ts2 := newTestServer(t, Config{MaxDerivationDepth: 64})
+	if _, err := reg2.PutProgram("meetings", []byte(cycleSrc)); err != nil {
+		t.Fatal(err)
+	}
+	code, body = doJSON(t, "POST", ts2.URL+"/v1/db/meetings/answers", req)
+	if code != http.StatusOK {
+		t.Fatalf("generous budget: %d %v", code, body)
+	}
+	if n, _ := body["count"].(float64); n == 0 {
+		t.Fatalf("generous budget returned no tuples: %v", body)
+	}
+}

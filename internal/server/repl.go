@@ -37,6 +37,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// handleReplLSN reports this node's last applied WAL position. The reshard
+// flow reads it from the source group to learn the watermark its WAL tail
+// must reach before the cut-over is final.
+func (s *Server) handleReplLSN(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]any{"lsn": s.cfg.Repl.LastLSN()})
+	return nil
+}
+
 // handleReplSnapshot sends the newest durable snapshot prefixed by a
 // framed manifest record: the replica learns which LSN the snapshot
 // captures and how far the journal extends beyond it before the first

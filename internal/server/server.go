@@ -20,6 +20,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -95,6 +96,11 @@ type Config struct {
 	// least this long at warn level, with the database, query text and
 	// trace ID. Zero disables the slow-query log.
 	SlowQuery time.Duration
+	// MaxDerivationDepth, when positive, bounds the derivation depth any
+	// single query may force Algorithm Q to explore. A query that needs a
+	// deeper wave fails fast with 422 depth_budget_exceeded instead of
+	// burning its full wall-clock deadline. Zero means unlimited.
+	MaxDerivationDepth int
 }
 
 // Defaults for Config's zero values.
@@ -160,8 +166,8 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	s := &Server{
 		reg: reg,
 		cfg: cfg.withDefaults(),
-		met: newMetrics("ask", "answers", "batch", "explain", "dbs", "db", "put", "delete", "facts",
-			"healthz", "readyz", "metrics", "repl_snapshot", "repl_wal", "watch"),
+		met: newMetrics("ask", "answers", "batch", "explain", "export", "dbs", "db", "put", "delete",
+			"facts", "healthz", "readyz", "metrics", "repl_snapshot", "repl_wal", "repl_lsn", "watch"),
 	}
 	s.log = s.cfg.Logger
 	if s.log == nil {
@@ -201,6 +207,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/db/{name}/answers", s.instrument("answers", s.handleAnswers))
 	mux.HandleFunc("POST /v1/db/{name}/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/db/{name}/explain", s.instrument("explain", s.handleExplain))
+	mux.HandleFunc("GET /v1/db/{name}/export", s.instrument("export", s.handleExport))
 
 	var h http.Handler = mux
 	if s.cfg.Timeout > 0 {
@@ -217,6 +224,7 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	if s.cfg.Repl != nil {
 		root.HandleFunc("GET /v1/repl/snapshot", s.instrument("repl_snapshot", s.handleReplSnapshot))
 		root.HandleFunc("GET /v1/repl/wal", s.instrument("repl_wal", s.handleReplWAL))
+		root.HandleFunc("GET /v1/repl/lsn", s.instrument("repl_lsn", s.handleReplLSN))
 	}
 	if s.cfg.Watch == nil {
 		s.cfg.Watch = watch.NewHub(watch.Options{Reg: reg})
@@ -235,12 +243,20 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // apiError carries an HTTP status alongside the message sent to the client.
 type apiError struct {
-	status int
-	code   string // machine-readable code; codeForStatus(status) when empty
-	msg    string
+	status     int
+	code       string // machine-readable code; codeForStatus(status) when empty
+	msg        string
+	retryAfter int // seconds; > 0 emits a Retry-After header
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// withRetryAfter marks the error as transient: instrument adds a
+// Retry-After header so clients back off instead of hammering.
+func (e *apiError) withRetryAfter(seconds int) *apiError {
+	e.retryAfter = seconds
+	return e
+}
 
 func errf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
@@ -286,6 +302,8 @@ func classify(err error) (int, errorBody) {
 		return http.StatusBadRequest, errorBody{Code: "parse_error", Message: err.Error()}
 	case errors.Is(err, query.ErrUnsafeQuery):
 		return http.StatusBadRequest, errorBody{Code: "unsafe_query", Message: err.Error()}
+	case errors.As(err, new(*obs.DepthBudgetError)):
+		return http.StatusUnprocessableEntity, errorBody{Code: "depth_budget_exceeded", Message: err.Error()}
 	}
 	return http.StatusInternalServerError, errorBody{Code: "internal", Message: err.Error()}
 }
@@ -311,7 +329,8 @@ func codeForStatus(status int) string {
 func queryError(err error) error {
 	var pe *parser.ParseError
 	if errors.Is(err, core.ErrCanceled) || errors.Is(err, registry.ErrUnknownDatabase) ||
-		errors.Is(err, query.ErrUnsafeQuery) || errors.As(err, &pe) {
+		errors.Is(err, query.ErrUnsafeQuery) || errors.As(err, &pe) ||
+		errors.As(err, new(*obs.DepthBudgetError)) {
 		return err
 	}
 	return errf(http.StatusBadRequest, "%v", err)
@@ -339,18 +358,27 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		err := h(w, r)
 		d := time.Since(start)
 		em.observe(d, err != nil)
+		logArgs := []any{
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"request_id", reqID, "dur_ms", d.Milliseconds()}
+		if via := r.Header.Get("X-Funcdb-Router"); via != "" {
+			// Forwarded by an fdbrouter; the value is the shard-map version
+			// the router routed under, which is what you need when
+			// debugging a misrouted request after a reshard.
+			logArgs = append(logArgs, "router", via)
+		}
 		if err == nil {
-			s.log.Debug("request",
-				"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
-				"request_id", reqID, "dur_ms", d.Milliseconds())
+			s.log.Debug("request", logArgs...)
 			return
 		}
 		status, body := classify(err)
+		var ae *apiError
+		if errors.As(err, &ae) && ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		}
 		writeJSON(w, status, map[string]errorBody{"error": body})
-		s.log.Warn("request failed",
-			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
-			"request_id", reqID, "dur_ms", d.Milliseconds(),
-			"status", status, "code", body.Code, "error", body.Message)
+		logArgs = append(logArgs, "status", status, "code", body.Code, "error", body.Message)
+		s.log.Warn("request failed", logArgs...)
 	}
 }
 
@@ -640,10 +668,12 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// traceContext attaches a fresh trace to ctx when the request opted in;
-// otherwise it returns ctx unchanged and a nil trace (whose Report is nil,
-// so the response's trace block is simply omitted).
+// traceContext prepares the evaluation context for one query request: the
+// configured derivation-depth budget always rides along, and a fresh trace
+// is attached when the request opted in; otherwise the trace is nil (whose
+// Report is nil, so the response's trace block is simply omitted).
 func (s *Server) traceContext(ctx context.Context, want bool) (context.Context, *obs.Trace) {
+	ctx = obs.WithDepthBudget(ctx, s.cfg.MaxDerivationDepth)
 	if !want {
 		return ctx, nil
 	}
@@ -818,6 +848,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: items, Version: e.Version, Trace: tr.Report()})
+	return nil
+}
+
+// exportResponse is a portable copy of one database: the source text plus
+// enough metadata to recreate it with a plain PUT on another daemon. The
+// reshard flow uses it as its "snapshot": a database ships as a compact
+// relational specification, never as materialized answers.
+type exportResponse struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Version uint64 `json:"version"`
+	// LSN is a WAL position known to be ≤ every mutation NOT reflected in
+	// Source. It is read before the entry, so tailing the WAL from LSN+1
+	// can only re-apply mutations already folded in — harmless under the
+	// registry's set semantics — never miss one.
+	LSN    uint64 `json:"lsn"`
+	Source string `json:"source"`
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) error {
+	var lsn uint64
+	if s.cfg.Repl != nil {
+		lsn = s.cfg.Repl.LastLSN()
+	}
+	e, err := s.entry(r)
+	if err != nil {
+		return err
+	}
+	var src string
+	switch e.Kind {
+	case registry.KindProgram:
+		// SourceText renders the live program, extended facts included.
+		src = e.Database().SourceText()
+	case registry.KindSpec:
+		var b strings.Builder
+		if err := e.Document().Write(&b); err != nil {
+			return err
+		}
+		src = b.String()
+	default:
+		return errf(http.StatusInternalServerError, "cannot export kind %q", e.Kind)
+	}
+	writeJSON(w, http.StatusOK, exportResponse{
+		Name: e.Name, Kind: string(e.Kind), Version: e.Version, LSN: lsn, Source: src})
 	return nil
 }
 

@@ -48,12 +48,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) error {
 	if req.FromLSN > 0 && hub.LSN() < req.FromLSN {
 		return errc(http.StatusConflict, "watch_behind",
 			"this node has applied lsn %d, behind requested %d; retry or use another endpoint",
-			hub.LSN(), req.FromLSN)
+			hub.LSN(), req.FromLSN).withRetryAfter(1)
 	}
 	sub, err := hub.Subscribe(name, req.Query, req.Depth, limit)
 	if err != nil {
 		if errors.Is(err, watch.ErrTooManyStreams) {
-			return errc(http.StatusTooManyRequests, "too_many_streams", "%v", err)
+			return errc(http.StatusTooManyRequests, "too_many_streams", "%v", err).withRetryAfter(2)
 		}
 		if errors.Is(err, watch.ErrClosed) {
 			return errc(http.StatusServiceUnavailable, "shutting_down", "%v", err)

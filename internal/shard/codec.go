@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+)
+
+// wireMap is the JSON envelope of a shard map on disk and on the
+// /v1/shardmap endpoints. The format field guards against feeding some
+// other JSON file to the router; bumping it is a wire-breaking change.
+type wireMap struct {
+	Format string `json:"format"`
+	*Map
+}
+
+// FormatV1 is the current shard-map wire format identifier.
+const FormatV1 = "funcdb-shardmap/v1"
+
+// EncodeMap renders m as indented JSON in the versioned wire envelope.
+func EncodeMap(m *Map) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	raw, err := json.MarshalIndent(wireMap{Format: FormatV1, Map: m}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// DecodeMap parses and validates a wire-format shard map and materializes
+// its ring, so the result is immediately safe for concurrent readers.
+func DecodeMap(raw []byte) (*Map, error) {
+	var w wireMap
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("shard: parse map: %w", err)
+	}
+	if w.Format != FormatV1 {
+		return nil, fmt.Errorf("shard: unknown map format %q (want %q)", w.Format, FormatV1)
+	}
+	if w.Map == nil {
+		return nil, fmt.Errorf("shard: map body missing")
+	}
+	if err := w.Map.Validate(); err != nil {
+		return nil, err
+	}
+	w.Map.Ring()
+	return w.Map, nil
+}
+
+// LoadFile reads and validates a shard map from a JSON file.
+func LoadFile(path string) (*Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeMap(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteFile atomically writes m to path in the wire format.
+func WriteFile(path string, m *Map) error {
+	raw, err := EncodeMap(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Validate checks structural invariants: a positive version, at least one
+// group, unique non-empty group names, parseable http(s) endpoint URLs,
+// and overrides/frozen entries that reference known groups.
+func (m *Map) Validate() error {
+	if m.Version == 0 {
+		return fmt.Errorf("shard: map version must be positive")
+	}
+	if len(m.Groups) == 0 {
+		return fmt.Errorf("shard: map v%d has no groups", m.Version)
+	}
+	if m.VNodes < 0 {
+		return fmt.Errorf("shard: negative vnodes")
+	}
+	seen := make(map[string]bool, len(m.Groups))
+	for _, g := range m.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("shard: group with empty name")
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("shard: duplicate group name %q", g.Name)
+		}
+		seen[g.Name] = true
+		for _, ep := range g.Endpoints() {
+			u, err := url.Parse(ep)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return fmt.Errorf("shard: group %q has invalid endpoint %q", g.Name, ep)
+			}
+		}
+	}
+	for db, gname := range m.Overrides {
+		if !seen[gname] {
+			return fmt.Errorf("shard: override %q -> unknown group %q", db, gname)
+		}
+	}
+	return nil
+}

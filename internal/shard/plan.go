@@ -1,0 +1,30 @@
+package shard
+
+// Move is one database that must change groups to realize a new map.
+type Move struct {
+	DB   string
+	From string // current owner group
+	To   string // owner group under the new map
+}
+
+// Plan compares the placement of dbs under old and new and returns the
+// databases that must move, in input order. It is the reshard flow's
+// work list: apply each move (snapshot-ship + WAL-tail catch-up), then
+// record it as an override in the flipped map.
+func Plan(old, new *Map, dbs []string) ([]Move, error) {
+	var moves []Move
+	for _, db := range dbs {
+		from, err := old.Owner(db)
+		if err != nil {
+			return nil, err
+		}
+		to, err := new.Owner(db)
+		if err != nil {
+			return nil, err
+		}
+		if from.Name != to.Name {
+			moves = append(moves, Move{DB: db, From: from.Name, To: to.Name})
+		}
+	}
+	return moves, nil
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testMap(version uint64, groups ...string) *Map {
+	m := &Map{Version: version}
+	for i, g := range groups {
+		m.Groups = append(m.Groups, Group{Name: g,
+			Primary:  fmt.Sprintf("http://10.0.0.%d:8344", i+1),
+			Replicas: []string{fmt.Sprintf("http://10.0.1.%d:8344", i+1)}})
+	}
+	return m
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("db-%c%d", 'a'+i%17, i)
+	}
+	return out
+}
+
+// TestRingDistribution: with virtual nodes, 1k names spread across the
+// groups within ±15% of uniform — the property the ISSUE gates placement
+// quality on.
+func TestRingDistribution(t *testing.T) {
+	for _, ngroups := range []int{2, 3, 4, 8} {
+		var gs []string
+		for i := 0; i < ngroups; i++ {
+			gs = append(gs, fmt.Sprintf("g%d", i))
+		}
+		m := testMap(1, gs...)
+		counts := make(map[string]int)
+		for _, db := range names(1000) {
+			g, err := m.Owner(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[g.Name]++
+		}
+		uniform := 1000.0 / float64(ngroups)
+		for g, c := range counts {
+			if dev := (float64(c) - uniform) / uniform; dev < -0.15 || dev > 0.15 {
+				t.Errorf("%d groups: %s owns %d names, %+.1f%% off uniform %v (want within ±15%%)",
+					ngroups, g, c, dev*100, uniform)
+			}
+		}
+	}
+}
+
+// TestRingStability: adding one group moves only roughly 1/(n+1) of the
+// keys, and removing it moves exactly those keys back; no key moves
+// between two groups that are present in both maps.
+func TestRingStability(t *testing.T) {
+	dbs := names(1000)
+	before := testMap(1, "g0", "g1", "g2")
+	after := testMap(2, "g0", "g1", "g2", "g3")
+
+	moves, err := Plan(before, after, dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected fraction moved: 1/4. Allow up to 1.6× the expectation —
+	// generous for hash variance, far below the ~3/4 a modulo scheme moves.
+	expected := float64(len(dbs)) / 4
+	if f := float64(len(moves)); f == 0 || f > expected*1.6 {
+		t.Errorf("adding g3 moved %d/%d keys, want ~%.0f (≤%.0f)", len(moves), len(dbs), expected, expected*1.6)
+	}
+	for _, mv := range moves {
+		if mv.To != "g3" {
+			t.Errorf("adding g3 moved %q from %s to %s; only moves INTO the new group are legitimate",
+				mv.DB, mv.From, mv.To)
+		}
+	}
+	// Removing the group again restores the original placement exactly.
+	back, err := Plan(after, before, dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(moves) {
+		t.Errorf("removing g3 moved %d keys, adding moved %d; must be symmetric", len(back), len(moves))
+	}
+	for _, mv := range back {
+		if mv.From != "g3" {
+			t.Errorf("removing g3 moved %q from %s; only keys owned by g3 may move", mv.DB, mv.From)
+		}
+	}
+}
+
+// TestRingDeterminism: placement is a pure function of (map, name).
+func TestRingDeterminism(t *testing.T) {
+	m1, m2 := testMap(1, "g0", "g1", "g2"), testMap(1, "g2", "g0", "g1") // group order irrelevant
+	for _, db := range names(200) {
+		a, _ := m1.Owner(db)
+		b, _ := m2.Owner(db)
+		if a.Name != b.Name {
+			t.Fatalf("owner of %q depends on group declaration order: %s vs %s", db, a.Name, b.Name)
+		}
+	}
+}
+
+func TestOverridesAndFrozen(t *testing.T) {
+	m := testMap(3, "g0", "g1")
+	m.Overrides = map[string]string{"pinned": "g1"}
+	m.Frozen = []string{"moving"}
+	g, err := m.Owner("pinned")
+	if err != nil || g.Name != "g1" {
+		t.Fatalf("override ignored: %v %v", g, err)
+	}
+	if !m.IsFrozen("moving") || m.IsFrozen("pinned") {
+		t.Fatal("Frozen membership wrong")
+	}
+	m.Overrides["bad"] = "nope"
+	if err := m.Validate(); err == nil {
+		t.Fatal("override to unknown group validated")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := testMap(7, "g0", "g1")
+	m.Overrides = map[string]string{"hot": "g1"}
+	raw, err := EncodeMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMap(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 || len(got.Groups) != 2 || got.Overrides["hot"] != "g1" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// Rejections: wrong format, no groups, bad URL, version 0, dup names.
+	for name, raw := range map[string]string{
+		"format":  `{"format":"nope/v9","version":1,"groups":[{"name":"g","primary":"http://x"}]}`,
+		"empty":   `{"format":"funcdb-shardmap/v1","version":1,"groups":[]}`,
+		"badurl":  `{"format":"funcdb-shardmap/v1","version":1,"groups":[{"name":"g","primary":"not a url"}]}`,
+		"ver0":    `{"format":"funcdb-shardmap/v1","version":0,"groups":[{"name":"g","primary":"http://x"}]}`,
+		"dupname": `{"format":"funcdb-shardmap/v1","version":1,"groups":[{"name":"g","primary":"http://x"},{"name":"g","primary":"http://y"}]}`,
+	} {
+		if _, err := DecodeMap([]byte(raw)); err == nil {
+			t.Errorf("%s: invalid map decoded", name)
+		}
+	}
+}
+
+func TestSourceInstallMonotonic(t *testing.T) {
+	s := NewSource(testMap(5, "g0"))
+	defer s.Close()
+	if err := s.Install(testMap(5, "g0")); err == nil {
+		t.Fatal("same-version install accepted")
+	}
+	if err := s.Install(testMap(4, "g0")); err == nil {
+		t.Fatal("older install accepted")
+	}
+	var gotOld, gotNew uint64
+	s.OnChange(func(old, new *Map) { gotOld, gotNew = old.Version, new.Version })
+	if err := s.Install(testMap(6, "g0", "g1")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 6 || gotOld != 5 || gotNew != 6 {
+		t.Fatalf("install: version=%d change=(%d->%d)", s.Version(), gotOld, gotNew)
+	}
+}
+
+func TestSourceFileHotReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shardmap.json")
+	if err := WriteFile(path, testMap(1, "g0")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSource(nil)
+	defer s.Close()
+	if err := s.WatchFile(path, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("initial load: version %d", s.Version())
+	}
+	// A newer file is picked up; mtime granularity can be coarse, so nudge it.
+	if err := WriteFile(path, testMap(2, "g0", "g1")); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	os.Chtimes(path, future, future)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Version() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hot reload never happened (version %d)", s.Version())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A stale (older-version) file never rolls the live map back.
+	if err := s.Install(testMap(9, "g0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, testMap(3, "g0")); err != nil {
+		t.Fatal(err)
+	}
+	future = future.Add(2 * time.Second)
+	os.Chtimes(path, future, future)
+	time.Sleep(50 * time.Millisecond)
+	if s.Version() != 9 {
+		t.Fatalf("stale file rolled the map back to v%d", s.Version())
+	}
+}
+
+func TestWatchFileBadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSource(nil)
+	defer s.Close()
+	if err := s.WatchFile(path, time.Second); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("bad file accepted: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Source holds the router's current shard map and keeps it fresh: an
+// atomic pointer for lock-free readers, Install for admin-driven bumps
+// (the reshard flow), and an optional file poller for operator-driven hot
+// reload. Both paths enforce version monotonicity, so a stale file left on
+// disk can never roll back a reshard the admin API already flipped.
+type Source struct {
+	cur atomic.Pointer[Map]
+
+	mu       sync.Mutex
+	path     string
+	fileMod  time.Time
+	fileSize int64
+	onChange []func(old, new *Map)
+	stop     chan struct{}
+	stopOnce sync.Once
+	log      *slog.Logger
+}
+
+// NewSource returns a source serving m (which may be nil: the router stays
+// unready until a map arrives via Install or a file reload).
+func NewSource(m *Map) *Source {
+	s := &Source{stop: make(chan struct{}), log: slog.Default()}
+	if m != nil {
+		m.Ring()
+		s.cur.Store(m)
+	}
+	return s
+}
+
+// SetLogger routes reload notices; nil keeps slog.Default().
+func (s *Source) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// Current returns the live map, or nil before the first install.
+func (s *Source) Current() *Map { return s.cur.Load() }
+
+// Version returns the live map's version, 0 before the first install.
+func (s *Source) Version() uint64 {
+	if m := s.cur.Load(); m != nil {
+		return m.Version
+	}
+	return 0
+}
+
+// OnChange registers a callback invoked (outside the source's lock) after
+// every successful install with the previous and new map. The router uses
+// it to cut proxied streams whose database changed owners.
+func (s *Source) OnChange(fn func(old, new *Map)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = append(s.onChange, fn)
+}
+
+// Install publishes m if it validates and is strictly newer than the live
+// map. Returns the error that names the stale version otherwise.
+func (s *Source) Install(m *Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	m.Ring()
+	s.mu.Lock()
+	old := s.cur.Load()
+	if old != nil && m.Version <= old.Version {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: map v%d is not newer than live v%d", m.Version, old.Version)
+	}
+	s.cur.Store(m)
+	fns := append(s.onChange[:0:0], s.onChange...)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(old, m)
+	}
+	return nil
+}
+
+// WatchFile starts polling path every interval and installs the file's map
+// whenever its version is newer than the live map. Shard maps are small,
+// so every poll decodes the file outright — an mtime gate would miss
+// writes landing within the kernel's coarse-clock timestamp granularity.
+// The first load happens synchronously so a bad file fails startup loudly.
+func (s *Source) WatchFile(path string, interval time.Duration) error {
+	m, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if cur := s.cur.Load(); cur == nil || m.Version > cur.Version {
+		if err := s.Install(m); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.path = path
+	s.fileMod = st.ModTime()
+	s.fileSize = st.Size()
+	s.mu.Unlock()
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go s.poll(interval)
+	return nil
+}
+
+// Close stops the file poller, if any.
+func (s *Source) Close() { s.stopOnce.Do(func() { close(s.stop) }) }
+
+func (s *Source) poll(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		path, mod, size := s.path, s.fileMod, s.fileSize
+		s.mu.Unlock()
+		st, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		// The stat identity only gates the warnings below, so a bad or
+		// stale file is reported once per edit instead of every poll.
+		changed := !st.ModTime().Equal(mod) || st.Size() != size
+		if changed {
+			s.mu.Lock()
+			s.fileMod, s.fileSize = st.ModTime(), st.Size()
+			s.mu.Unlock()
+		}
+		m, err := LoadFile(path)
+		if err != nil {
+			if changed {
+				s.log.Warn("shard map reload failed", "path", path, "error", err)
+			}
+			continue
+		}
+		if cur := s.cur.Load(); cur != nil && m.Version <= cur.Version {
+			// A completed reshard bumped past the file; the operator's copy
+			// is stale, not wrong. Stay on the newer live map.
+			if changed {
+				s.log.Warn("shard map file is stale", "path", path,
+					"file_version", m.Version, "live_version", cur.Version)
+			}
+			continue
+		}
+		if err := s.Install(m); err != nil {
+			s.log.Warn("shard map install failed", "path", path, "error", err)
+			continue
+		}
+		s.log.Info("shard map reloaded", "path", path, "version", m.Version)
+	}
+}

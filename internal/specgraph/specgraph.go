@@ -152,6 +152,12 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 		t := queue[qi]
 		if d := sp.U.Depth(t); d != curDepth {
 			rspan.End()
+			if budget := obs.DepthBudget(ctx); budget > 0 && d > budget {
+				// The wave about to start is deeper than the query's budget:
+				// stop before deriving any of it, so the cost of a rejected
+				// query is bounded by the budget, not by the rejection.
+				return nil, &obs.DepthBudgetError{Max: budget}
+			}
 			_, rspan = obs.StartSpan(ctx, "algoq_round")
 			curDepth = d
 			if d > maxDepth {
