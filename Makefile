@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl race-watch race-shard bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router fuzz fuzz-smoke govulncheck staticcheck tables examples clean
+.PHONY: all check build test vet race race-repl race-watch race-shard bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router bench-hotpath fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -66,6 +66,13 @@ bench-watch:
 # (EXPERIMENTS.md A11).
 bench-router:
 	$(GO) run ./cmd/fdbench router BENCH_router.json
+
+# Compiled-plan hot-path gate: single-core ground-ask throughput through
+# the flat DFA tables vs the pre-plan seed baseline (~900 qps/core). Fails
+# (exits nonzero) if the speedup drops under 5x or the steady-state ask
+# allocates (EXPERIMENTS.md A12).
+bench-hotpath:
+	$(GO) run ./cmd/fdbench hotpath BENCH_hotpath.json
 
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -4,6 +4,7 @@ package funcdb_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -34,7 +35,7 @@ func BenchmarkYesNoTemporal(b *testing.B) {
 			src := datagen.CalendarSrc(n)
 			for i := 0; i < b.N; i++ {
 				db := open(b, src)
-				if _, err := db.Ask("?- Meets(100, s0)."); err != nil {
+				if _, err := db.Ask(context.Background(), "?- Meets(100, s0)."); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -48,7 +49,7 @@ func BenchmarkYesNoFunctional(b *testing.B) {
 			src := datagen.SubsetsSrc(n)
 			for i := 0; i < b.N; i++ {
 				db := open(b, src)
-				if _, err := db.Ask("?- Member(ext(0, e0), e0)."); err != nil {
+				if _, err := db.Ask(context.Background(), "?- Member(ext(0, e0), e0)."); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -417,13 +418,9 @@ func BenchmarkIncrementalQuery(b *testing.B) {
 	if _, err := db.Graph(); err != nil {
 		b.Fatal(err)
 	}
-	q, err := db.ParseQuery("?- Member(S, e0).")
-	if err != nil {
-		b.Fatal(err)
-	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ans, err := db.AnswersQuery(q)
+		ans, err := db.Answers(context.Background(), "?- Member(S, e0).")
 		if err != nil {
 			b.Fatal(err)
 		}

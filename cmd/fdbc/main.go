@@ -180,7 +180,7 @@ func run(args []string) error {
 	}
 
 	if *ask != "" {
-		yes, err := db.Ask(*ask)
+		yes, err := db.Ask(context.Background(), *ask)
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func run(args []string) error {
 	}
 
 	printAnswers := func(qsrc string) error {
-		ans, err := db.Answers(qsrc)
+		ans, err := db.Answers(context.Background(), qsrc)
 		if err != nil {
 			return err
 		}
@@ -198,10 +198,10 @@ func run(args []string) error {
 			return ans.Enumerate(*enum, func(ft term.Term, args []symbols.ConstID) bool {
 				fmt.Print("  ")
 				if ft != term.None {
-					fmt.Print(db.Universe().String(ft, db.Tab()))
+					fmt.Print(ans.CompactTermString(ft))
 				}
 				for _, c := range args {
-					fmt.Print(" ", db.Tab().ConstName(c))
+					fmt.Print(" ", ans.ConstName(c))
 				}
 				fmt.Println()
 				return true
@@ -219,7 +219,7 @@ func run(args []string) error {
 	for _, q := range db.EmbeddedQueries() {
 		q := q
 		fmt.Printf("\n%s\n", q.Format(db.Tab()))
-		ans, err := db.AnswersQuery(&q)
+		ans, err := db.Answers(context.Background(), q.Format(db.Tab()))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,6 @@
 // The concurrent benchmark measures read throughput of the two query
-// paths — the PR1-style mutex-serialized Ask and the snapshot-based
-// lock-free AskContext — at growing goroutine counts, and records the
+// entry points — per-call db.Ask (a plan-cache text hit per op) and a
+// pre-compiled plan.Ask — at growing goroutine counts, and records the
 // result as JSON for CI artifact upload (make bench-concurrent).
 package main
 
@@ -14,12 +14,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"funcdb/internal/core"
 	"funcdb/internal/datagen"
 )
 
 // concurrentResult is one (mode, goroutines) cell of the throughput table.
 type concurrentResult struct {
-	Mode       string  `json:"mode"` // "locked" or "snapshot"
+	Mode       string  `json:"mode"` // "ask" or "prepared"
 	Goroutines int     `json:"goroutines"`
 	QPS        float64 `json:"qps"`
 }
@@ -32,13 +33,13 @@ type concurrentReport struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	DurationMS int64              `json:"duration_ms"`
 	Results    []concurrentResult `json:"results"`
-	// Speedup8 is snapshot-vs-locked qps at 8 goroutines — the headline
-	// number; >1 means lock-free reads scale past the mutex.
+	// Speedup8 is prepared-vs-ask qps at 8 goroutines; >1 means skipping
+	// the text lookup on a pre-compiled plan still buys throughput.
 	Speedup8 float64 `json:"speedup_8"`
 }
 
 // concurrentQueries are ground yes-no queries over calendar(6) at mixed
-// depths, so each op exercises parsing, the scratch arenas and the DFA walk.
+// depths, so each op exercises the plan cache and the flat DFA walk.
 var concurrentQueries = []string{
 	"?- Meets(10, s0).",
 	"?- Meets(100, s3).",
@@ -48,7 +49,7 @@ var concurrentQueries = []string{
 
 // measureQPS runs op from g goroutines for roughly dur and reports ops/sec.
 // Each goroutine cycles through the query list from its own offset.
-func measureQPS(g int, dur time.Duration, op func(q string)) float64 {
+func measureQPS(g int, dur time.Duration, op func(i int)) float64 {
 	var ops atomic.Int64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -63,7 +64,7 @@ func measureQPS(g int, dur time.Duration, op func(q string)) float64 {
 					ops.Add(n)
 					return
 				default:
-					op(concurrentQueries[j%len(concurrentQueries)])
+					op(j % len(concurrentQueries))
 					n++
 				}
 			}
@@ -83,29 +84,34 @@ func concurrent(outPath string) {
 		outPath = "BENCH_concurrent.json"
 	}
 	const perRun = 300 * time.Millisecond
+	ctx := context.Background()
 	db := open(datagen.CalendarSrc(6))
 	// Warm both paths so compilation and snapshot publication happen
-	// outside the timed region.
-	for _, q := range concurrentQueries {
-		if _, err := db.Ask(q); err != nil {
+	// outside the timed region; keep the compiled plans for the
+	// "prepared" mode.
+	plans := make([]*core.Plan, len(concurrentQueries))
+	for i, q := range concurrentQueries {
+		p, err := db.Prepare(ctx, q)
+		if err != nil {
 			panic(err)
 		}
-		if _, err := db.AskContext(context.Background(), q); err != nil {
+		if _, err := p.Ask(ctx); err != nil {
 			panic(err)
 		}
+		plans[i] = p
 	}
 
 	modes := []struct {
 		name string
-		op   func(q string)
+		op   func(i int)
 	}{
-		{"locked", func(q string) {
-			if _, err := db.Ask(q); err != nil {
+		{"ask", func(i int) {
+			if _, err := db.Ask(ctx, concurrentQueries[i]); err != nil {
 				panic(err)
 			}
 		}},
-		{"snapshot", func(q string) {
-			if _, err := db.AskContext(context.Background(), q); err != nil {
+		{"prepared", func(i int) {
+			if _, err := plans[i].Ask(ctx); err != nil {
 				panic(err)
 			}
 		}},
@@ -119,7 +125,7 @@ func concurrent(outPath string) {
 		DurationMS: perRun.Milliseconds(),
 	}
 	qpsAt8 := map[string]float64{}
-	fmt.Println("CONC  read throughput: mutex-serialized Ask vs lock-free snapshot")
+	fmt.Println("CONC  read throughput: per-call Ask vs pre-compiled plan")
 	fmt.Printf("mode       goroutines   qps\n")
 	for _, g := range []int{1, 4, 8} {
 		for _, m := range modes {
@@ -131,8 +137,8 @@ func concurrent(outPath string) {
 			fmt.Printf("%-10s %-12d %.0f\n", m.name, g, qps)
 		}
 	}
-	if qpsAt8["locked"] > 0 {
-		rep.Speedup8 = qpsAt8["snapshot"] / qpsAt8["locked"]
+	if qpsAt8["ask"] > 0 {
+		rep.Speedup8 = qpsAt8["prepared"] / qpsAt8["ask"]
 	}
 	fmt.Printf("speedup at 8 goroutines: %.2fx (on %d CPUs)\n", rep.Speedup8, rep.CPUs)
 

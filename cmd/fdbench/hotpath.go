@@ -1,0 +1,155 @@
+// The hotpath benchmark gates the compiled-plan work: single-core ground-ask
+// throughput through the flat DFA tables must beat the pre-plan seed
+// baseline by at least 5x, and the steady-state ask must not allocate.
+// It records BENCH_hotpath.json for CI artifact upload (make bench-hotpath)
+// and exits nonzero when the gate fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"funcdb/internal/datagen"
+)
+
+// seedBaselineQPS is the single-core ground-ask throughput of the seed
+// before compiled plans landed (A7, BENCH_concurrent.json at 1 goroutine:
+// ~900-954 qps/core through the old parse-per-call Ask path).
+const seedBaselineQPS = 900.0
+
+// hotpathGate is the required speedup over the seed baseline.
+const hotpathGate = 5.0
+
+// hotpathReport is the schema of BENCH_hotpath.json.
+type hotpathReport struct {
+	Bench      string `json:"bench"`
+	Workload   string `json:"workload"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	DurationMS int64  `json:"duration_ms"`
+	// HotPreparedQPS: one goroutine re-asking a pre-compiled plan — the
+	// pure flat-table walk.
+	HotPreparedQPS float64 `json:"hot_prepared_qps"`
+	// HotTextQPS: one goroutine re-asking by query text — one plan-cache
+	// map hit on top of the walk. This is the number gated against the
+	// seed, since the seed measured the text entry point.
+	HotTextQPS float64 `json:"hot_text_qps"`
+	// ColdTextQPS: distinct query texts sharing one canonical shape, so
+	// every op takes the text-miss/shape-hit path through the cache.
+	ColdTextQPS     float64 `json:"cold_text_qps"`
+	AllocsPerAsk    float64 `json:"allocs_per_ask"`
+	BaselineQPS     float64 `json:"baseline_qps"`
+	Speedup         float64 `json:"speedup"`
+	SpeedupPrepared float64 `json:"speedup_prepared"`
+	Gate            float64 `json:"gate"`
+	Pass            bool    `json:"pass"`
+}
+
+// measureSingle runs op in a single goroutine for roughly dur and reports
+// ops/sec.
+func measureSingle(dur time.Duration, op func(i int)) float64 {
+	var n int64
+	start := time.Now()
+	for deadline := start.Add(dur); ; n++ {
+		op(int(n))
+		if n%1024 == 0 && time.Now().After(deadline) {
+			break
+		}
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// hotpath runs the gate and writes BENCH_hotpath.json (or the path given as
+// the second CLI argument).
+func hotpath(outPath string) {
+	if outPath == "" {
+		outPath = "BENCH_hotpath.json"
+	}
+	const perRun = 500 * time.Millisecond
+	ctx := context.Background()
+	db := open(datagen.CalendarSrc(6))
+	const hotQuery = "?- Meets(512, s3)."
+	plan, err := db.Prepare(ctx, hotQuery)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := plan.Ask(ctx); err != nil {
+		panic(err)
+	}
+	// Spelling variants of the hot query: distinct text-cache keys, one
+	// shared canonical shape.
+	variants := make([]string, 64)
+	for i := range variants {
+		variants[i] = fmt.Sprintf("?- %sMeets(512, s3).", spaces(i%8+1))
+	}
+
+	rep := hotpathReport{
+		Bench:       "hotpath",
+		Workload:    "calendar(6), ground Meets at depth 512",
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationMS:  perRun.Milliseconds(),
+		BaselineQPS: seedBaselineQPS,
+		Gate:        hotpathGate,
+	}
+	rep.HotPreparedQPS = measureSingle(perRun, func(int) {
+		if _, err := plan.Ask(ctx); err != nil {
+			panic(err)
+		}
+	})
+	rep.HotTextQPS = measureSingle(perRun, func(int) {
+		if _, err := db.Ask(ctx, hotQuery); err != nil {
+			panic(err)
+		}
+	})
+	rep.ColdTextQPS = measureSingle(perRun, func(i int) {
+		if _, err := db.Ask(ctx, variants[i%len(variants)]); err != nil {
+			panic(err)
+		}
+	})
+	rep.AllocsPerAsk = testing.AllocsPerRun(200, func() {
+		if _, err := db.Ask(ctx, hotQuery); err != nil {
+			panic(err)
+		}
+	})
+	rep.Speedup = rep.HotTextQPS / rep.BaselineQPS
+	rep.SpeedupPrepared = rep.HotPreparedQPS / rep.BaselineQPS
+	rep.Pass = rep.Speedup >= rep.Gate && rep.AllocsPerAsk == 0
+
+	fmt.Println("HOT   compiled-plan hot path vs seed baseline (single core)")
+	fmt.Printf("hot prepared qps    %.0f\n", rep.HotPreparedQPS)
+	fmt.Printf("hot text qps        %.0f\n", rep.HotTextQPS)
+	fmt.Printf("cold text qps       %.0f\n", rep.ColdTextQPS)
+	fmt.Printf("allocs per ask      %.1f\n", rep.AllocsPerAsk)
+	fmt.Printf("baseline qps/core   %.0f (seed, A7)\n", rep.BaselineQPS)
+	fmt.Printf("speedup             %.0fx text, %.0fx prepared (gate %.0fx)\n",
+		rep.Speedup, rep.SpeedupPrepared, rep.Gate)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "hotpath gate FAILED: speedup %.2fx < %.0fx or allocs %.1f != 0\n",
+			rep.Speedup, rep.Gate, rep.AllocsPerAsk)
+		os.Exit(1)
+	}
+	fmt.Println("hotpath gate PASSED")
+}
+
+func spaces(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += " "
+	}
+	return s
+}

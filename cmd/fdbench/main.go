@@ -11,9 +11,10 @@
 //	fdbench obs [OUT.json]
 //	fdbench watch [OUT.json]
 //	fdbench router [OUT.json]
+//	fdbench hotpath [OUT.json]
 //
-// The concurrent, repl, obs, watch and router subcommands are not part of
-// "all":
+// The concurrent, repl, obs, watch, router and hotpath subcommands are not
+// part of "all":
 // concurrent compares the mutex-serialized and lock-free snapshot read
 // paths at 1/4/8 goroutines (default BENCH_concurrent.json); repl measures
 // snapshot-shipped replica bootstrap and WAL streaming apply throughput
@@ -23,10 +24,14 @@
 // query subscribers and measures delta delivery latency
 // (default BENCH_watch.json); router prices the fdbrouter proxy hop and
 // scatter-gather fan-out against direct daemon access
-// (default BENCH_router.json).
+// (default BENCH_router.json); hotpath gates the compiled-plan ground-ask
+// path against the pre-plan seed baseline — it exits nonzero if the
+// speedup falls under 5x or the steady-state ask allocates
+// (default BENCH_hotpath.json).
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -46,7 +51,7 @@ func main() {
 	if len(os.Args) > 1 {
 		which = os.Args[1]
 	}
-	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" {
+	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" || which == "hotpath" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
@@ -62,6 +67,8 @@ func main() {
 			watchBench(out)
 		case "router":
 			routerBench(out)
+		case "hotpath":
+			hotpath(out)
 		}
 		return
 	}
@@ -113,13 +120,13 @@ func t41() {
 	for _, n := range []int{2, 4, 6, 8, 10, 12} {
 		cal := timeIt(3, func() {
 			db := open(datagen.CalendarSrc(n))
-			if _, err := db.Ask("?- Meets(100, s0)."); err != nil {
+			if _, err := db.Ask(context.Background(), "?- Meets(100, s0)."); err != nil {
 				panic(err)
 			}
 		})
 		sub := timeIt(3, func() {
 			db := open(datagen.SubsetsSrc(n))
-			if _, err := db.Ask("?- Member(ext(0, e0), e0)."); err != nil {
+			if _, err := db.Ask(context.Background(), "?- Member(ext(0, e0), e0)."); err != nil {
 				panic(err)
 			}
 		})

@@ -104,14 +104,14 @@ func obsBench(outPath string) {
 
 	// Warm the ask snapshot outside the timed region.
 	for _, q := range askQueries {
-		if _, err := db.AskContext(context.Background(), q); err != nil {
+		if _, err := db.Ask(context.Background(), q); err != nil {
 			panic(err)
 		}
 	}
 
 	askOp := func(ctx func() context.Context) func(q string) {
 		return func(q string) {
-			if _, err := db.AskContext(ctx(), q); err != nil {
+			if _, err := db.Ask(ctx(), q); err != nil {
 				panic(err)
 			}
 		}
@@ -122,7 +122,7 @@ func obsBench(outPath string) {
 			if err != nil {
 				panic(err)
 			}
-			if _, err := fresh.AnswersContext(ctx(), q); err != nil {
+			if _, err := fresh.Answers(ctx(), q); err != nil {
 				panic(err)
 			}
 		}

@@ -190,7 +190,7 @@ func runRemote(base string, db string, useCC, info, interactive, trace bool, add
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		for _, q := range queries {
-			yes, _, tr, err := rc.AskTraceContext(ctx, q)
+			yes, _, tr, err := rc.AskTrace(ctx, q)
 			if err != nil {
 				return fmt.Errorf("%s: %w", q, err)
 			}

@@ -1,6 +1,7 @@
 package funcdb_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -81,7 +82,7 @@ func TestConcurrentAskAnswers(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				n := (g + i) % 12
 				want := n%3 == 0
-				got, err := db.Ask(fmt.Sprintf("?- Meets(%d, s0).", n))
+				got, err := db.Ask(context.Background(), fmt.Sprintf("?- Meets(%d, s0).", n))
 				if err != nil {
 					t.Errorf("Ask: %v", err)
 					return
@@ -90,7 +91,7 @@ func TestConcurrentAskAnswers(t *testing.T) {
 					t.Errorf("Meets(%d, s0) = %v, want %v", n, got, want)
 					return
 				}
-				ans, err := db.Answers("?- Meets(T, s0).")
+				ans, err := db.Answers(context.Background(), "?- Meets(T, s0).")
 				if err != nil {
 					t.Errorf("Answers: %v", err)
 					return

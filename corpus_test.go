@@ -2,6 +2,7 @@ package funcdb_test
 
 import (
 	"bufio"
+	"context"
 
 	"os"
 	"path/filepath"
@@ -115,7 +116,7 @@ func TestAcceptanceCorpus(t *testing.T) {
 				t.Errorf("reps = %d, want %d", st.Reps, c.wantReps)
 			}
 			for _, q := range c.queries {
-				got, err := db.Ask(q.query)
+				got, err := db.Ask(context.Background(), q.query)
 				if err != nil {
 					t.Fatalf("Ask(%s): %v", q.query, err)
 				}
@@ -148,9 +149,9 @@ func TestCorpusAcrossRepresentations(t *testing.T) {
 				if !ground {
 					continue
 				}
-				got, err := a.db.AskQuery(pq)
+				got, err := a.db.Ask(context.Background(), q.query)
 				if err != nil {
-					t.Fatalf("AskQuery: %v", err)
+					t.Fatalf("Ask: %v", err)
 				}
 				if got != q.want {
 					t.Errorf("graph: Ask(%s) = %v, want %v", q.query, got, q.want)
@@ -202,7 +203,7 @@ func TestCorpusExtendStability(t *testing.T) {
 				t.Fatalf("Extend(%s): %v", seed, err)
 			}
 			for _, q := range c.queries {
-				got, err := db.Ask(q.query)
+				got, err := db.Ask(context.Background(), q.query)
 				if err != nil {
 					t.Fatalf("Ask(%s): %v", q.query, err)
 				}

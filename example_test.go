@@ -1,6 +1,7 @@
 package funcdb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func ExampleOpen() {
 		"?- Meets(4, tony).",
 		"?- Meets(5, tony).",
 	} {
-		yes, err := db.Ask(q)
+		yes, err := db.Ask(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,12 +44,12 @@ func ExampleDatabase_Answers() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := db.Answers("?- Even(T).")
+	ans, err := db.Answers(context.Background(), "?- Even(T).")
 	if err != nil {
 		log.Fatal(err)
 	}
 	err = ans.Enumerate(7, func(t funcdb.Term, _ []funcdb.ConstID) bool {
-		fmt.Print(db.Universe().String(t, db.Tab()), " ")
+		fmt.Print(ans.CompactTermString(t), " ")
 		return true
 	})
 	if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func main() {
 
 	// The section 5 query: which lists contain a? The incremental answer
 	// specification is Q(B) = {QUERY(a), QUERY(ab)} with T unchanged.
-	ans, err := db.Answers(`?- Member(S, a).`)
+	ans, err := db.Answers(context.Background(), `?- Member(S, a).`)
 	if err != nil {
 		log.Fatalf("answers: %v", err)
 	}
@@ -78,7 +79,7 @@ func main() {
 
 	fmt.Println("\nlists containing a, up to 3 elements:")
 	err = ans.Enumerate(3, func(list funcdb.Term, _ []funcdb.ConstID) bool {
-		fmt.Printf("  %s\n", u.CompactString(list, tab))
+		fmt.Printf("  %s\n", ans.CompactTermString(list))
 		return true
 	})
 	if err != nil {

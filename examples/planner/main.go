@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,7 +48,7 @@ func main() {
 		`?- At(move(move(0, dock, aisle), aisle, shelf), packing).`,
 		`?- At(move(0, shelf, aisle), aisle).`, // illegal: robot starts at dock
 	} {
-		yes, err := db.Ask(q)
+		yes, err := db.Ask(context.Background(), q)
 		if err != nil {
 			log.Fatalf("ask: %v", err)
 		}
@@ -56,7 +57,7 @@ func main() {
 
 	// All plans that reach the packing station: an infinite answer,
 	// enumerated here up to 4 moves.
-	ans, err := db.Answers(`?- At(S, packing).`)
+	ans, err := db.Answers(context.Background(), `?- At(S, packing).`)
 	if err != nil {
 		log.Fatalf("answers: %v", err)
 	}
@@ -64,7 +65,7 @@ func main() {
 	count := 0
 	err = ans.Enumerate(4, func(plan funcdb.Term, _ []funcdb.ConstID) bool {
 		count++
-		fmt.Printf("  %s\n", formatPlan(db, plan))
+		fmt.Printf("  %s\n", formatPlan(ans, plan))
 		return true
 	})
 	if err != nil {
@@ -74,13 +75,13 @@ func main() {
 }
 
 // formatPlan renders a move term as a route: dock -> aisle -> shelf.
-func formatPlan(db *funcdb.Database, plan funcdb.Term) string {
-	u := db.Universe()
-	tab := db.Tab()
+// Answer terms live in the answer's own arena, so symbols and names must
+// come from the answer, not the database.
+func formatPlan(ans *funcdb.Answers, plan funcdb.Term) string {
 	stops := []string{"dock"}
-	for _, f := range u.Symbols(plan) {
+	for _, f := range ans.TermSymbols(plan) {
 		// Derived symbols are named move'from'to.
-		parts := strings.Split(tab.FuncName(f), "'")
+		parts := strings.Split(ans.FuncName(f), "'")
 		stops = append(stops, parts[2])
 	}
 	return strings.Join(stops, " -> ")

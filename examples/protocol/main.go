@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 		`?- State(login(login(0)), error).`,
 		`?- State(send(login(0)), error).`,
 	} {
-		yes, err := db.Ask(q)
+		yes, err := db.Ask(context.Background(), q)
 		if err != nil {
 			log.Fatalf("ask: %v", err)
 		}
@@ -87,7 +88,7 @@ func main() {
 	fmt.Printf("\nmonitor: %d states (from %d representatives)\n", m.NumStates(), len(spec.Reps))
 
 	// All invalid traces up to 3 events.
-	ans, err := db.Answers(`?- State(S, error).`)
+	ans, err := db.Answers(context.Background(), `?- State(S, error).`)
 	if err != nil {
 		log.Fatalf("answers: %v", err)
 	}
@@ -100,7 +101,7 @@ func main() {
 	}
 	fmt.Printf("invalid traces of length <= 3: %d of %d\n", count, 3+9+27)
 
-	reachable, err := db.Ask(`?- Reachable(error).`)
+	reachable, err := db.Ask(context.Background(), `?- Reachable(error).`)
 	if err != nil {
 		log.Fatalf("ask: %v", err)
 	}

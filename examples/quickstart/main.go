@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		`?- Meets(5, tony).`,
 		`?- Meets(1001, jan).`,
 	} {
-		yes, err := db.Ask(q)
+		yes, err := db.Ask(context.Background(), q)
 		if err != nil {
 			log.Fatalf("ask: %v", err)
 		}
@@ -53,14 +54,14 @@ func main() {
 
 	// The infinite answer to ?- Meets(T, X), represented finitely and then
 	// enumerated up to day 6.
-	ans, err := db.Answers(`?- Meets(T, X).`)
+	ans, err := db.Answers(context.Background(), `?- Meets(T, X).`)
 	if err != nil {
 		log.Fatalf("answers: %v", err)
 	}
 	fmt.Println("\nanswers to ?- Meets(T, X) up to day 6:")
 	err = ans.Enumerate(6, func(day funcdb.Term, args []funcdb.ConstID) bool {
 		fmt.Printf("  T = %-3s X = %s\n",
-			db.Universe().String(day, db.Tab()), db.Tab().ConstName(args[0]))
+			ans.CompactTermString(day), ans.ConstName(args[0]))
 		return true
 	})
 	if err != nil {

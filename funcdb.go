@@ -20,9 +20,14 @@
 //	    Next(jan, tony).
 //	    Meets(T, X), Next(X, Y) -> Meets(T+1, Y).
 //	`, funcdb.Options{})
-//	yes, err := db.Ask("?- Meets(1000, tony).")
-//	ans, err := db.Answers("?- Meets(T, X).")
+//	yes, err := db.Ask(ctx, "?- Meets(1000, tony).")
+//	ans, err := db.Answers(ctx, "?- Meets(T, X).")
 //	ans.Enumerate(6, func(day funcdb.Term, args []funcdb.ConstID) bool { ... })
+//
+// Hot paths prepare a query once and execute the compiled plan many times:
+//
+//	plan, err := db.Prepare(ctx, "?- Meets(1000, tony).")
+//	yes, err := plan.Ask(ctx)
 //
 // The package is a façade over the internal packages; see DESIGN.md for the
 // full architecture.
@@ -99,6 +104,14 @@ type (
 	Snapshot = core.Snapshot
 	// BatchResult is one query's outcome from AskBatch.
 	BatchResult = core.BatchResult
+	// Plan is a query compiled against one immutable snapshot; execute it
+	// any number of times with Plan.Ask / Plan.Answers.
+	Plan = core.Plan
+	// Option is a per-query functional option for Ask/Answers/Plan
+	// execution (WithMethod, WithDepth, WithLimit, WithTrace).
+	Option = core.Option
+	// Opts is the resolved form of a list of Options; see BuildOpts.
+	Opts = core.Opts
 	// Method selects the ground-query decision procedure (see Options).
 	Method = core.Method
 	// ParseError is a syntax error with line/column position.
@@ -126,6 +139,22 @@ var (
 	// ErrCanceled matches (via errors.Is) any evaluation abandoned
 	// because its context expired.
 	ErrCanceled = core.ErrCanceled
+)
+
+// Per-query options for Database.Ask/Answers and Plan execution.
+var (
+	// WithMethod forces the ground-membership decision procedure for one
+	// query, overriding the database default.
+	WithMethod = core.WithMethod
+	// WithDepth bounds the term depth of answer enumeration.
+	WithDepth = core.WithDepth
+	// WithLimit caps the number of answer tuples an enumerating caller
+	// renders.
+	WithLimit = core.WithLimit
+	// WithTrace records the query's evaluation spans on the given trace.
+	WithTrace = core.WithTrace
+	// BuildOpts folds a list of options into an Opts value.
+	BuildOpts = core.BuildOpts
 )
 
 // Equivalent decides whether two minimized specifications represent the

@@ -58,6 +58,13 @@ func NewScratch() *Scratch {
 	}
 }
 
+// Reset drops the overlay's memoized classes and signatures, keeping the
+// map storage so pooled scratches can be reused without allocating.
+func (sc *Scratch) Reset() {
+	clear(sc.class)
+	clear(sc.sig)
+}
+
 // classOf resolves the congruence class of t, consulting the frozen maps
 // first and the query-local overlay for novel terms.
 func (f *Frozen) classOf(v term.View, t term.Term, sc *Scratch) term.Term {

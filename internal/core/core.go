@@ -7,8 +7,13 @@
 //	db, err := core.Open(source, core.Options{})
 //	spec, err := db.Graph()          // Algorithm Q's (B, T)
 //	eq, err := db.Equational()       // the (B, R) specification
-//	ans, err := db.Answers("?- Meets(T, X).")
-//	yes, err := db.Ask("?- Meets(4, tony).")
+//	ans, err := db.Answers(ctx, "?- Meets(T, X).")
+//	yes, err := db.Ask(ctx, "?- Meets(4, tony).")
+//
+// Hot paths prepare once and execute many times:
+//
+//	plan, err := db.Prepare(ctx, "?- Meets(4, tony).")
+//	yes, err := plan.Ask(ctx)
 //
 // All representations are finite, effectively computed, and explicit: once
 // built, membership and enumeration never consult the original rules.
@@ -26,10 +31,8 @@ import (
 	"funcdb/internal/facts"
 	"funcdb/internal/params"
 	"funcdb/internal/parser"
-	"funcdb/internal/query"
 	"funcdb/internal/rewrite"
 	"funcdb/internal/specgraph"
-	"funcdb/internal/subst"
 	"funcdb/internal/symbols"
 	"funcdb/internal/temporal"
 	"funcdb/internal/term"
@@ -72,8 +75,8 @@ type Options struct {
 // exactly once under an internal mutex, and every query path that interns
 // new terms, tuples or symbols — Ask, Answers, Explain, Export, Stats,
 // Lint — serializes through the same mutex, so any number of goroutines
-// may query one Database at once. Answers values returned by Answers and
-// AnswersQuery share the guard and are likewise safe. The mutators Extend
+// may query one Database at once. Answers values returned by Answers
+// share the guard and are likewise safe. The mutators Extend
 // and ExtendRules also take the mutex, but code that reads the exported
 // Source/Prep/Engine fields directly must not run concurrently with them;
 // Prover evaluators are single-goroutine (see Prover). A plain mutex is
@@ -249,126 +252,6 @@ func (db *Database) ParseQuery(src string) (*ast.Query, error) {
 	return parser.ParseQuery(db.Source, src)
 }
 
-// Ask answers a yes-no query: for a ground query, membership of each atom
-// decided by Options.Method; for an open query, non-emptiness of the answer
-// set.
-func (db *Database) Ask(src string) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	q, err := parser.ParseQuery(db.Source, src)
-	if err != nil {
-		return false, err
-	}
-	return db.askQueryMethodLocked(q, db.opts.Method)
-}
-
-// AskQuery is Ask for a pre-parsed query.
-func (db *Database) AskQuery(q *ast.Query) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.askQueryLocked(q)
-}
-
-func (db *Database) askQueryLocked(q *ast.Query) (bool, error) {
-	return db.askQueryMethodLocked(q, db.opts.Method)
-}
-
-func (db *Database) askQueryMethodLocked(q *ast.Query, m Method) (bool, error) {
-	sp, err := db.graphLocked()
-	if err != nil {
-		return false, err
-	}
-	ground := true
-	for i := range q.Atoms {
-		if !q.Atoms[i].IsGround() {
-			ground = false
-			break
-		}
-	}
-	if ground {
-		var form *canonical.Form
-		if m == MethodEquational {
-			form, err = db.canonicalLocked()
-			if err != nil {
-				return false, err
-			}
-		}
-		for i := range q.Atoms {
-			var ok bool
-			var err error
-			if form != nil {
-				ok, err = db.hasGroundAtomCC(form, &q.Atoms[i])
-			} else {
-				ok, err = db.hasGroundAtom(sp, &q.Atoms[i])
-			}
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	ans, err := db.answersQueryLocked(q)
-	if err != nil {
-		return false, err
-	}
-	return !ans.IsEmpty(), nil
-}
-
-func (db *Database) hasGroundAtom(sp *specgraph.Spec, a *ast.Atom) (bool, error) {
-	t, args, err := db.groundAtomParts(a)
-	if err != nil {
-		return false, err
-	}
-	if t == term.None {
-		return sp.HasData(a.Pred, args), nil
-	}
-	return sp.Has(a.Pred, t, args)
-}
-
-// groundAtomParts interns a ground atom's functional term (term.None for a
-// non-functional atom) and data arguments, eliminating mixed symbols on
-// the fly. Callers must hold db.mu.
-func (db *Database) groundAtomParts(a *ast.Atom) (term.Term, []symbols.ConstID, error) {
-	args := make([]symbols.ConstID, len(a.Args))
-	for i, d := range a.Args {
-		args[i] = d.Const
-	}
-	if a.FT == nil {
-		return term.None, args, nil
-	}
-	// Mixed ground terms may appear in queries against programs that had
-	// mixed symbols; eliminate on the fly by renaming applications.
-	ft := a.FT
-	if !ftIsPure(ft) {
-		p := &ast.Program{Tab: db.Source.Tab, Facts: []ast.Atom{{Pred: a.Pred, FT: ft, Args: a.Args}}}
-		pure, err := rewrite.EliminateMixed(p)
-		if err != nil {
-			return term.None, nil, err
-		}
-		ft = pure.Facts[0].FT
-	}
-	t, ok := subst.GroundFTerm(db.universe, ft)
-	if !ok {
-		return term.None, nil, fmt.Errorf("core: atom is not ground")
-	}
-	return t, args, nil
-}
-
-// hasGroundAtomCC decides one ground atom by congruence closure.
-func (db *Database) hasGroundAtomCC(form *canonical.Form, a *ast.Atom) (bool, error) {
-	t, args, err := db.groundAtomParts(a)
-	if err != nil {
-		return false, err
-	}
-	if t == term.None {
-		return form.HasData(a.Pred, args), nil
-	}
-	return form.Has(a.Pred, t, args), nil
-}
-
 func ftIsPure(ft *ast.FTerm) bool {
 	for _, app := range ft.Apps {
 		if len(app.Args) != 0 {
@@ -376,48 +259,6 @@ func ftIsPure(ft *ast.FTerm) bool {
 		}
 	}
 	return true
-}
-
-// Answers computes the relational specification of a query's answer set,
-// using the incremental construction for uniform queries (Theorem 5.1) and
-// recomputation otherwise.
-func (db *Database) Answers(src string) (*query.Answers, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	q, err := parser.ParseQuery(db.Source, src)
-	if err != nil {
-		return nil, err
-	}
-	return db.answersQueryLocked(q)
-}
-
-// AnswersQuery is Answers for a pre-parsed query.
-func (db *Database) AnswersQuery(q *ast.Query) (*query.Answers, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.answersQueryLocked(q)
-}
-
-func (db *Database) answersQueryLocked(q *ast.Query) (*query.Answers, error) {
-	var ans *query.Answers
-	var err error
-	if query.IsUniform(q) {
-		var sp *specgraph.Spec
-		sp, err = db.graphLocked()
-		if err != nil {
-			return nil, err
-		}
-		ans, err = query.Incremental(sp, q)
-	} else {
-		ans, err = query.Recompute(db.Source, q, db.opts.Engine, db.opts.Spec)
-	}
-	if err != nil {
-		return nil, err
-	}
-	// Contains/Enumerate/Dump intern terms and tuples; share this
-	// database's guard so the Answers value is concurrency-safe too.
-	ans.Guard(&db.mu)
-	return ans, nil
 }
 
 // Prover builds a goal-directed (tabled top-down) evaluator over this

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"funcdb/internal/symbols"
@@ -39,7 +40,7 @@ func TestOpenAndAsk(t *testing.T) {
 		{`?- Meets(T, tony).`, true},
 	}
 	for _, tc := range cases {
-		got, err := db.Ask(tc.q)
+		got, err := db.Ask(context.Background(), tc.q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", tc.q, err)
 		}
@@ -61,7 +62,7 @@ P(Y), Member(S, X) -> Member(ext(S, Y), X).
 		t.Fatalf("Open: %v", err)
 	}
 	// Uniform query: incremental path.
-	ans, err := db.Answers(`?- Member(S, a).`)
+	ans, err := db.Answers(context.Background(), `?- Member(S, a).`)
 	if err != nil {
 		t.Fatalf("Answers: %v", err)
 	}
@@ -69,7 +70,7 @@ P(Y), Member(S, X) -> Member(ext(S, Y), X).
 		t.Fatalf("answer set should be infinite, not empty")
 	}
 	// Non-uniform query: recompute path.
-	ans2, err := db.Answers(`?- Member(ext(S, a), b).`)
+	ans2, err := db.Answers(context.Background(), `?- Member(ext(S, a), b).`)
 	if err != nil {
 		t.Fatalf("Answers (non-uniform): %v", err)
 	}
@@ -177,14 +178,14 @@ At(S, P1), Connected(P1, P2) -> At(move(S, P1, P2), P2).
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	got, err := db.Ask(`?- At(move(0, p0, p1), p1).`)
+	got, err := db.Ask(context.Background(), `?- At(move(0, p0, p1), p1).`)
 	if err != nil {
 		t.Fatalf("Ask: %v", err)
 	}
 	if !got {
 		t.Errorf("one-step plan should reach p1")
 	}
-	got, err = db.Ask(`?- At(move(0, p1, p0), p0).`)
+	got, err = db.Ask(context.Background(), `?- At(move(0, p1, p0), p0).`)
 	if err != nil {
 		t.Fatalf("Ask: %v", err)
 	}

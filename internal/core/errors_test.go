@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestAskErrors(t *testing.T) {
 		`Meets(0, tony).`, // not a query
 		`?- Meets(`,       // syntax error
 	} {
-		if _, err := db.Ask(q); err == nil {
+		if _, err := db.Ask(context.Background(), q); err == nil {
 			t.Errorf("Ask(%q): expected error", q)
 		}
 	}
@@ -47,7 +48,7 @@ func TestAnswersParseError(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if _, err := db.Answers(`?- ,`); err == nil {
+	if _, err := db.Answers(context.Background(), `?- ,`); err == nil {
 		t.Errorf("bad query accepted")
 	}
 }
@@ -67,7 +68,12 @@ P(X) -> Member(ext(0, X), X).
 		t.Fatalf("ParseQuery: %v", err)
 	}
 	q.Free = append(q.Free, db.Tab().Var("Phantom"))
-	if _, err := db.AnswersQuery(q); err == nil {
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	ec := snap.getEval(snap.tab)
+	if _, err := snap.answersQuery(context.Background(), ec, q); err == nil {
 		t.Errorf("query with unbound free variable accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"funcdb/internal/engine"
@@ -21,11 +22,11 @@ func fullRecompile(t *testing.T, base, extra string) *Database {
 func askAll(t *testing.T, got, want *Database, queries []string) {
 	t.Helper()
 	for _, q := range queries {
-		g, err := got.Ask(q)
+		g, err := got.Ask(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", q, err)
 		}
-		w, err := want.Ask(q)
+		w, err := want.Ask(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", q, err)
 		}
@@ -229,14 +230,14 @@ Even(T) -> Even(T+2).
 @functional Shadow/1.`); err != nil {
 		t.Fatalf("ExtendRules: %v", err)
 	}
-	got, err := db.Ask(`?- Shadow(5).`)
+	got, err := db.Ask(context.Background(), `?- Shadow(5).`)
 	if err != nil {
 		t.Fatalf("Ask: %v", err)
 	}
 	if !got {
 		t.Errorf("Shadow(5) should hold (Even(4) shifted)")
 	}
-	got, err = db.Ask(`?- Shadow(4).`)
+	got, err = db.Ask(context.Background(), `?- Shadow(4).`)
 	if err != nil {
 		t.Fatalf("Ask: %v", err)
 	}
@@ -244,7 +245,7 @@ Even(T) -> Even(T+2).
 		t.Errorf("Shadow(4) should not hold")
 	}
 	// Old answers survive the recompile.
-	if got, _ := db.Ask(`?- Even(6).`); !got {
+	if got, _ := db.Ask(context.Background(), `?- Even(6).`); !got {
 		t.Errorf("Even(6) lost after ExtendRules")
 	}
 	// Queries and garbage are rejected.
@@ -309,7 +310,7 @@ func TestExtendSolveFailureRecompiles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	if yes, err := probe.Ask(`?- R(a).`); err != nil || !yes {
+	if yes, err := probe.Ask(context.Background(), `?- R(a).`); err != nil || !yes {
 		t.Fatalf("probe Ask = %v, %v", yes, err)
 	}
 	budget := probe.Engine.Stats().Rounds + 2
@@ -325,7 +326,7 @@ func TestExtendSolveFailureRecompiles(t *testing.T) {
 			t.Fatalf("Extend %d: %v", i, err)
 		}
 		extra += fact + "\n"
-		if yes, err := db.Ask("?- R(b" + itoa(i) + ")."); err != nil || !yes {
+		if yes, err := db.Ask(context.Background(), "?- R(b"+itoa(i)+")."); err != nil || !yes {
 			t.Fatalf("Ask after Extend %d = %v, %v", i, yes, err)
 		}
 	}

@@ -1,0 +1,426 @@
+// Compiled query plans: the paper's "compile once, answer cheaply" premise
+// applied to the serving hot path. Prepare parses and lowers a query against
+// one immutable Snapshot; executing the resulting Plan re-does none of that
+// work. Ground queries whose atoms are observable through the flat DFA
+// tables (specgraph.FlatDFA) execute as pure array walks — zero map lookups,
+// zero allocations. Plans are cached per snapshot, keyed on the canonical
+// query shape (canonical.QueryShape) so spelling variants share one
+// compilation, with singleflight collapse of concurrent misses. Mutating the
+// database publishes a fresh Snapshot, which starts with an empty plan cache
+// — version-bump invalidation needs no scans.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"funcdb/internal/ast"
+	"funcdb/internal/canonical"
+	"funcdb/internal/facts"
+	"funcdb/internal/obs"
+	"funcdb/internal/parser"
+	"funcdb/internal/query"
+	"funcdb/internal/symbols"
+	"funcdb/internal/term"
+)
+
+// stepKind discriminates the compiled forms of one ground atom.
+type stepKind uint8
+
+const (
+	// stepTrue: the atom is a data fact present in the frozen global set —
+	// a constant, resolved at compile time.
+	stepTrue stepKind = iota
+	// stepFalse: the atom can never hold in this snapshot (novel constant,
+	// tuple absent from the frozen world) — also a compile-time constant.
+	stepFalse
+	// stepFlat: run the flat DFA on the pre-translated symbol string and
+	// binary-search the resulting state's observable slice.
+	stepFlat
+	// stepSlow: fall back to the map-based frozen walk (helper-predicate
+	// atoms, or snapshots without flat tables).
+	stepSlow
+)
+
+// groundStep is one compiled ground atom.
+type groundStep struct {
+	kind stepKind
+	syms []int32      // stepFlat: innermost-first flat symbol indices
+	atom facts.AtomID // stepFlat: frozen observable atom to look for
+	idx  int          // stepSlow: index into q.Atoms
+}
+
+// eqStep is one ground atom lowered for the equational method: membership
+// is congruence of the query term with any candidate representative whose
+// slice carries the atom (the paper's membership test over (B, R)).
+type eqStep struct {
+	t      term.Term // term.None for a data atom
+	cands  []term.Term
+	dataOK bool // verdict of a data atom, resolved at compile time
+}
+
+// Plan is a query compiled against one Snapshot. It is immutable after
+// Prepare returns and safe for unlimited concurrent execution; all
+// per-execution state lives in pooled scratch arenas. A Plan answers
+// exactly as of its snapshot — after a mutation, Prepare against the new
+// snapshot compiles a fresh one.
+type Plan struct {
+	snap  *Snapshot
+	src   string
+	shape string
+	q     *ast.Query
+	// tab is the symbol base for per-execution overlays: the snapshot's
+	// frozen table, or a private thawed clone when the query text interned
+	// symbols the snapshot does not know.
+	tab    *symbols.Table
+	ground bool
+	flat   bool // every ground step is stepTrue/stepFalse/stepFlat
+	steps  []groundStep
+
+	// Equational lowering, compiled on first equational execution.
+	eqOnce  sync.Once
+	eqErr   error
+	eqSteps []eqStep
+	eqView  *term.Scratch // read-only after eqOnce; holds the query terms
+}
+
+// Shape returns the canonical query shape the plan cache keyed on; response
+// caches key on it too, so spelling variants of one query share entries.
+func (p *Plan) Shape() string { return p.shape }
+
+// Ground reports whether the query is ground (a yes/no membership test).
+func (p *Plan) Ground() bool { return p.ground }
+
+// Query returns the parsed query (read-only).
+func (p *Plan) Query() *ast.Query { return p.q }
+
+// planEntry is one slot of the plan cache. once elects a single compiling
+// goroutine; concurrent misses on the same shape block on it and share the
+// result (singleflight collapse).
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+func nop() {}
+
+// planCacheCap bounds both cache maps. The cache lives and dies with its
+// Snapshot, so eviction is a rare safety valve, not a steady-state path: on
+// overflow the maps are simply flushed.
+const planCacheCap = 4096
+
+// planCache is the per-snapshot two-level plan cache: an exact-text map for
+// the zero-work hit path, and a canonical-shape map so different spellings
+// compile once.
+type planCache struct {
+	mu     sync.RWMutex
+	texts  map[string]*planEntry
+	shapes map[string]*planEntry
+}
+
+// Prepare compiles src into a Plan bound to this snapshot, consulting the
+// plan cache first: an exact-text hit costs one map lookup, a novel
+// spelling of a cached shape costs one parse, and concurrent misses on one
+// shape collapse into a single compilation.
+func (s *Snapshot) Prepare(ctx context.Context, src string) (*Plan, error) {
+	pc := &s.plans
+	pc.mu.RLock()
+	e := pc.texts[src]
+	pc.mu.RUnlock()
+	if e != nil {
+		e.once.Do(nop) // wait out an in-flight compile
+		obs.EngineSink().AddPlanHits(1)
+		return e.plan, e.err
+	}
+	obs.EngineSink().AddPlanMisses(1)
+	return s.prepareMiss(ctx, src)
+}
+
+func (s *Snapshot) prepareMiss(ctx context.Context, src string) (*Plan, error) {
+	pc := &s.plans
+	_, psp := obs.StartSpan(ctx, "parse")
+	ec := s.getEval(s.tab)
+	q, err := parser.ParseQueryTab(ec.tab, src)
+	psp.End()
+	if err != nil {
+		s.putEval(ec)
+		e := &planEntry{err: err}
+		e.once.Do(nop)
+		pc.mu.Lock()
+		if len(pc.texts) >= planCacheCap {
+			pc.texts = make(map[string]*planEntry, planCacheCap)
+		}
+		pc.texts[src] = e
+		pc.mu.Unlock()
+		return nil, err
+	}
+	shape := canonical.QueryShape(q, ec.tab)
+	pc.mu.Lock()
+	if len(pc.texts) >= planCacheCap {
+		pc.texts = make(map[string]*planEntry, planCacheCap)
+	}
+	if len(pc.shapes) >= planCacheCap {
+		pc.shapes = make(map[string]*planEntry, planCacheCap)
+	}
+	e := pc.shapes[shape]
+	if e == nil {
+		e = &planEntry{}
+		pc.shapes[shape] = e
+	}
+	pc.texts[src] = e
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		_, csp := obs.StartSpan(ctx, "plan_compile")
+		e.plan, e.err = s.compile(ec, src, shape, q)
+		csp.End()
+	})
+	s.putEval(ec)
+	return e.plan, e.err
+}
+
+// compile lowers a parsed query onto a Plan. ec is the prepare-time scratch
+// the query was parsed into; nothing of it is retained (symbol strings are
+// copied, atom ids kept only when they refer to the frozen world).
+func (s *Snapshot) compile(ec *evalCtx, src, shape string, q *ast.Query) (*Plan, error) {
+	p := &Plan{snap: s, src: src, shape: shape, q: q, ground: true}
+	for i := range q.Atoms {
+		if !q.Atoms[i].IsGround() {
+			p.ground = false
+			break
+		}
+	}
+	if ec.tab.HasLocal() {
+		// The query interned novel symbols: give the plan a private table
+		// so the AST's identifiers stay resolvable at execution time.
+		p.tab = ec.tab.Thaw()
+	} else {
+		p.tab = s.tab
+	}
+	if !p.ground {
+		return p, nil
+	}
+	fd := s.spec.Flat()
+	p.flat = true
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		t, args, err := s.groundAtomParts(ec, a)
+		if err != nil {
+			return nil, err
+		}
+		if t == term.None {
+			// Data atom: the frozen global set is immutable, so the verdict
+			// is a compile-time constant.
+			if s.spec.HasData(ec.w, a.Pred, args) {
+				p.steps = append(p.steps, groundStep{kind: stepTrue})
+			} else {
+				p.steps = append(p.steps, groundStep{kind: stepFalse})
+			}
+			continue
+		}
+		if fd == nil || !s.spec.OriginalPred(a.Pred) {
+			// The flat tables observe original predicates only (the
+			// minimized quotient does not preserve helper facts).
+			p.steps = append(p.steps, groundStep{kind: stepSlow, idx: i})
+			p.flat = false
+			continue
+		}
+		symsIn := ec.u.Symbols(t)
+		syms := make([]int32, len(symsIn))
+		for j, fn := range symsIn {
+			si, ok := fd.SymIndex(fn)
+			if !ok {
+				return nil, fmt.Errorf("specgraph: symbol %v is not in the specification's alphabet", fn)
+			}
+			syms[j] = si
+		}
+		atom := ec.w.Atom(a.Pred, ec.w.Tuple(args))
+		if int(atom) >= s.w.NumAtoms() {
+			// Novel tuple: absent from every frozen state, forever false
+			// in this snapshot.
+			p.steps = append(p.steps, groundStep{kind: stepFalse})
+			continue
+		}
+		p.steps = append(p.steps, groundStep{kind: stepFlat, syms: syms, atom: atom})
+	}
+	return p, nil
+}
+
+// Ask executes the plan as a yes-no query: ground plans decide membership
+// of every atom, open plans test answer-set non-emptiness. The flat-table
+// path runs with zero allocations.
+func (p *Plan) Ask(ctx context.Context, opts ...Option) (bool, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	return p.ask(ctx, &op)
+}
+
+func (p *Plan) ask(ctx context.Context, op *Opts) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, wrapCanceled(err)
+	}
+	if !p.ground {
+		ans, err := p.answers(ctx)
+		if err != nil {
+			return false, wrapCanceled(err)
+		}
+		return !ans.IsEmpty(), nil
+	}
+	m := op.Method
+	if m == MethodAuto {
+		m = p.snap.method
+	}
+	if m == MethodEquational {
+		ok, err := p.askEquational(ctx)
+		return ok, wrapCanceled(err)
+	}
+	if p.flat {
+		_, sp := obs.StartSpan(ctx, "dfa_walk_flat")
+		fd := p.snap.spec.Flat()
+		ok := true
+		for i := range p.steps {
+			st := &p.steps[i]
+			switch st.kind {
+			case stepTrue:
+			case stepFalse:
+				ok = false
+			case stepFlat:
+				if !fd.StateHas(fd.Walk(st.syms), st.atom) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		sp.End()
+		return ok, nil
+	}
+	ok, err := p.askGroundSlow(ctx)
+	return ok, wrapCanceled(err)
+}
+
+// askGroundSlow decides a ground query through the map-based frozen walk,
+// with a pooled scratch arena for the per-execution interning.
+func (p *Plan) askGroundSlow(ctx context.Context) (bool, error) {
+	ec := p.snap.getEval(p.tab)
+	defer p.snap.putEval(ec)
+	gctx, gsp := obs.StartSpan(ctx, "ground_eval")
+	defer gsp.End()
+	for i := range p.steps {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		st := &p.steps[i]
+		switch st.kind {
+		case stepTrue:
+		case stepFalse:
+			return false, nil
+		case stepFlat:
+			fd := p.snap.spec.Flat()
+			if !fd.StateHas(fd.Walk(st.syms), st.atom) {
+				return false, nil
+			}
+		case stepSlow:
+			ok, err := p.snap.hasGroundAtom(gctx, ec, &p.q.Atoms[st.idx])
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// compileEq lowers the ground atoms for the equational method. The private
+// term scratch (eqView) is retained by the plan and only ever read after
+// this returns, so concurrent equational executions share it safely.
+func (p *Plan) compileEq() {
+	s := p.snap
+	ec := &evalCtx{
+		snap: s,
+		tab:  symbols.NewScratch(p.tab),
+		u:    term.NewScratch(s.u),
+		w:    facts.NewScratch(s.w),
+	}
+	_, cand := s.canonical()
+	for i := range p.q.Atoms {
+		a := &p.q.Atoms[i]
+		t, args, err := s.groundAtomParts(ec, a)
+		if err != nil {
+			p.eqErr = err
+			return
+		}
+		if t == term.None {
+			p.eqSteps = append(p.eqSteps, eqStep{
+				t:      term.None,
+				dataOK: s.spec.HasData(ec.w, a.Pred, args),
+			})
+			continue
+		}
+		atom := ec.w.Atom(a.Pred, ec.w.Tuple(args))
+		p.eqSteps = append(p.eqSteps, eqStep{t: t, cands: cand[atom]})
+	}
+	p.eqView = ec.u
+}
+
+// askEquational decides a ground query by congruence closure against the
+// relation R (the equational specification of §3.5), with a pooled
+// congruence scratch per execution.
+func (p *Plan) askEquational(ctx context.Context) (bool, error) {
+	p.eqOnce.Do(p.compileEq)
+	if p.eqErr != nil {
+		return false, p.eqErr
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	eq, _ := p.snap.canonical()
+	csc := p.snap.getCongruence()
+	defer p.snap.putCongruence(csc)
+	_, sp := obs.StartSpan(ctx, "congruence")
+	defer sp.End()
+	for i := range p.eqSteps {
+		st := &p.eqSteps[i]
+		if st.t == term.None {
+			if !st.dataOK {
+				return false, nil
+			}
+			continue
+		}
+		if !eq.CongruentToAny(p.eqView, st.t, st.cands, csc) {
+			return false, nil
+		}
+	}
+	// |R|: the equation set whose closure Cl(R) decided membership.
+	obs.SetMax(ctx, "equations", int64(len(p.snap.spec.Merges)))
+	return true, nil
+}
+
+// Answers computes the relational specification of the plan's answer set.
+// The returned Answers value owns its scratch arenas (they are not pooled —
+// the value escapes with them) and carries its own guard, so it is safe for
+// concurrent use.
+func (p *Plan) Answers(ctx context.Context, opts ...Option) (*query.Answers, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	ans, err := p.answers(ctx)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return ans, nil
+}
+
+func (p *Plan) answers(ctx context.Context) (*query.Answers, error) {
+	// Fresh, un-pooled arenas: the Answers value retains them.
+	ec := &evalCtx{
+		snap: p.snap,
+		tab:  symbols.NewScratch(p.tab),
+		u:    term.NewScratch(p.snap.u),
+		w:    facts.NewScratch(p.snap.w),
+	}
+	return p.snap.answersQuery(ctx, ec, p.q)
+}

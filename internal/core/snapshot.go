@@ -9,6 +9,7 @@ import (
 	"funcdb/internal/congruence"
 	"funcdb/internal/engine"
 	"funcdb/internal/facts"
+	"funcdb/internal/minimize"
 	"funcdb/internal/obs"
 	"funcdb/internal/parser"
 	"funcdb/internal/query"
@@ -24,9 +25,10 @@ import (
 // concurrently with no locking at all: the symbol table, term universe,
 // fact world and graph specification are frozen copies, and every query
 // gets private scratch overlays for whatever it needs to intern (novel
-// terms, tuples, symbols). Mutating the owning Database (Extend,
-// ExtendRules) never changes a published Snapshot — it simply becomes
-// stale, and the next Database.Snapshot call builds a fresh one.
+// terms, tuples, symbols) — drawn from a sync.Pool, so steady-state asks
+// allocate nothing. Mutating the owning Database (Extend, ExtendRules)
+// never changes a published Snapshot — it simply becomes stale (its plan
+// cache with it), and the next Database.Snapshot call builds a fresh one.
 type Snapshot struct {
 	source *ast.Program // clone whose Tab is the frozen table
 	tab    *symbols.Table
@@ -37,6 +39,14 @@ type Snapshot struct {
 	method   Method
 	engOpts  engine.Options
 	specOpts specgraph.Options
+
+	// plans is the per-snapshot compiled-plan cache; starting empty on
+	// every publish is exactly the strict version-bump invalidation.
+	plans planCache
+
+	// Pooled per-query scratch arenas.
+	evalPool sync.Pool // *evalCtx
+	cscPool  sync.Pool // *congruence.Scratch
 
 	// canonical form, built lazily (first equational-method query).
 	canonOnce sync.Once
@@ -69,16 +79,27 @@ func (db *Database) snapshotLocked() (*Snapshot, error) {
 	tab := db.Source.Tab.Clone()
 	src := db.Source.Clone()
 	src.Tab = tab
+	// Minimize at publish time so the flat tables are built over the
+	// coarsest observable-equivalence quotient; if minimization fails the
+	// identity quotient still yields correct (just larger) tables.
+	var frozen *specgraph.Frozen
+	if m, merr := minimize.Minimize(sp); merr == nil {
+		frozen = sp.FreezeQuotient(m)
+	} else {
+		frozen = sp.Freeze()
+	}
 	s := &Snapshot{
 		source:   src,
 		tab:      tab,
 		u:        db.universe.Freeze(),
 		w:        db.world.Freeze(),
-		spec:     sp.Freeze(),
+		spec:     frozen,
 		method:   db.opts.Method,
 		engOpts:  db.opts.Engine,
 		specOpts: db.opts.Spec,
 	}
+	s.plans.texts = make(map[string]*planEntry)
+	s.plans.shapes = make(map[string]*planEntry)
 	db.snap.Store(s)
 	return s, nil
 }
@@ -104,7 +125,8 @@ func (s *Snapshot) canonical() (*congruence.Frozen, map[facts.AtomID][]term.Term
 }
 
 // evalCtx bundles one query's scratch overlays over the snapshot. It is
-// single-goroutine; every query evaluation creates its own.
+// single-goroutine; executions acquire one from the snapshot's pool and
+// return it when no produced value retains the overlays.
 type evalCtx struct {
 	snap *Snapshot
 	tab  *symbols.Scratch
@@ -112,14 +134,42 @@ type evalCtx struct {
 	w    *facts.Scratch
 }
 
-func (s *Snapshot) newEval() *evalCtx {
+// getEval acquires a pooled scratch arena reset over the given symbol base
+// (the snapshot's frozen table, or a plan's private thawed clone).
+func (s *Snapshot) getEval(base *symbols.Table) *evalCtx {
+	if v := s.evalPool.Get(); v != nil {
+		ec := v.(*evalCtx)
+		ec.tab.Reset(base)
+		ec.u.Reset(s.u)
+		ec.w.Reset(s.w)
+		obs.EngineSink().AddArenaReuses(1)
+		return ec
+	}
 	return &evalCtx{
 		snap: s,
-		tab:  symbols.NewScratch(s.tab),
+		tab:  symbols.NewScratch(base),
 		u:    term.NewScratch(s.u),
 		w:    facts.NewScratch(s.w),
 	}
 }
+
+// putEval returns an arena to the pool. Never call it when the execution's
+// result (an Answers value, a plan's equational view) retains the overlays.
+func (s *Snapshot) putEval(ec *evalCtx) { s.evalPool.Put(ec) }
+
+// getCongruence acquires a pooled congruence scratch.
+func (s *Snapshot) getCongruence() *congruence.Scratch {
+	if v := s.cscPool.Get(); v != nil {
+		csc := v.(*congruence.Scratch)
+		csc.Reset()
+		obs.EngineSink().AddArenaReuses(1)
+		return csc
+	}
+	return congruence.NewScratch()
+}
+
+// putCongruence returns a congruence scratch to the pool.
+func (s *Snapshot) putCongruence(csc *congruence.Scratch) { s.cscPool.Put(csc) }
 
 // frozenBackend adapts an evalCtx to query.Backend: spec structure from the
 // frozen snapshot, interning through the query-local overlays.
@@ -141,106 +191,62 @@ func (b frozenBackend) GlobalByPred(p symbols.PredID) []facts.AtomID {
 }
 
 // ParseQuery parses a query against the snapshot's symbols without touching
-// them: novel symbols land in a discarded scratch overlay.
+// them: novel symbols land in a pooled scratch overlay that is reset before
+// reuse, so the returned AST must be treated as read-only text analysis
+// (Prepare is the way to get an executable form).
 func (s *Snapshot) ParseQuery(src string) (*ast.Query, error) {
-	_, q, err := s.parseQuery(src)
-	return q, err
-}
-
-func (s *Snapshot) parseQuery(src string) (*evalCtx, *ast.Query, error) {
-	ec := s.newEval()
+	ec := s.getEval(s.tab)
 	q, err := parser.ParseQueryTab(ec.tab, src)
 	if err != nil {
-		return nil, nil, err
+		s.putEval(ec)
+		return nil, err
 	}
-	return ec, q, nil
+	// The AST references overlay symbol ids; keep the overlay out of the
+	// pool so a later reset cannot invalidate them.
+	return q, nil
 }
 
-// Ask answers a yes-no query against the snapshot, lock-free. ctx cancels
-// long evaluations; an expired context yields an error matching ErrCanceled
-// and leaves the snapshot untouched (there is nothing to poison — all
-// intermediate state is query-local).
-func (s *Snapshot) Ask(ctx context.Context, src string) (bool, error) {
-	return s.AskMethod(ctx, src, MethodAuto)
-}
-
-// AskMethod is Ask with an explicit ground-membership method, overriding
-// the snapshot's default (MethodAuto keeps the default). It lets a caller
-// force the congruence-closure path for one query without giving up the
-// lock-free snapshot read.
-func (s *Snapshot) AskMethod(ctx context.Context, src string, m Method) (bool, error) {
-	if m == MethodAuto {
-		m = s.method
-	}
-	_, psp := obs.StartSpan(ctx, "parse")
-	ec, q, err := s.parseQuery(src)
-	psp.End()
+// Ask answers a yes-no query against the snapshot, lock-free: Prepare (or a
+// plan-cache hit) followed by plan execution. ctx cancels long evaluations;
+// an expired context yields an error matching ErrCanceled and leaves the
+// snapshot untouched (all intermediate state is query-local).
+func (s *Snapshot) Ask(ctx context.Context, src string, opts ...Option) (bool, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	p, err := s.Prepare(ctx, src)
 	if err != nil {
 		return false, err
 	}
-	ok, err := s.askQuery(ctx, ec, q, m)
-	return ok, wrapCanceled(err)
+	return p.ask(ctx, &op)
 }
 
-func (s *Snapshot) askQuery(ctx context.Context, ec *evalCtx, q *ast.Query, m Method) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	ground := true
-	for i := range q.Atoms {
-		if !q.Atoms[i].IsGround() {
-			ground = false
-			break
-		}
-	}
-	if ground {
-		gctx, gsp := obs.StartSpan(ctx, "ground_eval")
-		defer gsp.End()
-		var csc *congruence.Scratch
-		if m == MethodEquational {
-			csc = congruence.NewScratch()
-		}
-		for i := range q.Atoms {
-			if err := ctx.Err(); err != nil {
-				return false, err
-			}
-			ok, err := s.hasGroundAtom(gctx, ec, &q.Atoms[i], csc)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-	ans, err := s.answersQuery(ctx, ec, q)
+// Answers computes the relational specification of a query's answer set
+// against the snapshot, lock-free. The returned Answers value carries its
+// own guard (protecting its scratch overlays), so it too is safe for
+// concurrent use; enumeration renders through Answers.TermString and
+// friends, never through the live database.
+func (s *Snapshot) Answers(ctx context.Context, src string, opts ...Option) (*query.Answers, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	p, err := s.Prepare(ctx, src)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
-	return !ans.IsEmpty(), nil
+	ans, err := p.answers(ctx)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return ans, nil
 }
 
-// hasGroundAtom decides one ground atom. csc is non-nil exactly when the
-// equational method is in force: membership then goes through congruence
-// closure against R instead of the successor DFA.
-func (s *Snapshot) hasGroundAtom(ctx context.Context, ec *evalCtx, a *ast.Atom, csc *congruence.Scratch) (bool, error) {
+// hasGroundAtom decides one ground atom through the map-based frozen walk.
+func (s *Snapshot) hasGroundAtom(ctx context.Context, ec *evalCtx, a *ast.Atom) (bool, error) {
 	t, args, err := s.groundAtomParts(ec, a)
 	if err != nil {
 		return false, err
 	}
 	if t == term.None {
 		return s.spec.HasData(ec.w, a.Pred, args), nil
-	}
-	if csc != nil {
-		_, sp := obs.StartSpan(ctx, "congruence")
-		eq, cand := s.canonical()
-		atom := ec.w.Atom(a.Pred, ec.w.Tuple(args))
-		ok := eq.CongruentToAny(ec.u, t, cand[atom], csc)
-		sp.End()
-		// |R|: the equation set whose closure Cl(R) decided membership.
-		obs.SetMax(ctx, "equations", int64(len(s.spec.Merges)))
-		return ok, nil
 	}
 	_, sp := obs.StartSpan(ctx, "dfa_walk")
 	ok, err := s.spec.Has(ec.u, ec.w, a.Pred, t, args)
@@ -278,25 +284,6 @@ func (s *Snapshot) groundAtomParts(ec *evalCtx, a *ast.Atom) (term.Term, []symbo
 		return term.None, nil, fmt.Errorf("core: atom is not ground")
 	}
 	return t, args, nil
-}
-
-// Answers computes the relational specification of a query's answer set
-// against the snapshot, lock-free. The returned Answers value carries its
-// own guard (protecting its scratch overlays), so it too is safe for
-// concurrent use; enumeration renders through Answers.TermString and
-// friends, never through the live database.
-func (s *Snapshot) Answers(ctx context.Context, src string) (*query.Answers, error) {
-	_, psp := obs.StartSpan(ctx, "parse")
-	ec, q, err := s.parseQuery(src)
-	psp.End()
-	if err != nil {
-		return nil, err
-	}
-	ans, err := s.answersQuery(ctx, ec, q)
-	if err != nil {
-		return nil, wrapCanceled(err)
-	}
-	return ans, nil
 }
 
 func (s *Snapshot) answersQuery(ctx context.Context, ec *evalCtx, q *ast.Query) (*query.Answers, error) {
@@ -338,8 +325,9 @@ type BatchResult struct {
 
 // AskBatch evaluates many yes-no queries concurrently against this one
 // snapshot with a bounded worker pool (workers <= 0 picks a sensible
-// default). Results are in input order. An expired ctx marks the remaining
-// queries with an error matching ErrCanceled.
+// default). Identical-shape queries compile once — the workers share the
+// snapshot's plan cache. Results are in input order. An expired ctx marks
+// the remaining queries with an error matching ErrCanceled.
 func (s *Snapshot) AskBatch(ctx context.Context, queries []string, workers int) []BatchResult {
 	if workers <= 0 {
 		workers = 4
@@ -380,36 +368,52 @@ func (db *Database) snapshotTraced(ctx context.Context) (*Snapshot, error) {
 	return db.Snapshot()
 }
 
-// AskContext answers a yes-no query on the current snapshot: the read runs
-// lock-free and concurrently with other readers, honoring ctx. See Ask for
-// the method semantics.
-func (db *Database) AskContext(ctx context.Context, src string) (bool, error) {
-	s, err := db.snapshotTraced(ctx)
-	if err != nil {
-		return false, err
-	}
-	return s.Ask(ctx, src)
-}
-
-// AskCCContext answers a ground yes-no query by congruence closure against
-// the equation set R (the paper's equational specification), on the current
-// snapshot and honoring ctx. Unlike the deprecated AskCC it takes no lock.
-func (db *Database) AskCCContext(ctx context.Context, src string) (bool, error) {
-	s, err := db.snapshotTraced(ctx)
-	if err != nil {
-		return false, err
-	}
-	return s.AskMethod(ctx, src, MethodEquational)
-}
-
-// AnswersContext computes a query's answer specification on the current
-// snapshot, lock-free, honoring ctx.
-func (db *Database) AnswersContext(ctx context.Context, src string) (*query.Answers, error) {
+// Prepare compiles a query against the database's current snapshot,
+// consulting the snapshot's plan cache. The returned plan answers as of
+// that snapshot; after a mutation, Prepare compiles against the fresh one.
+func (db *Database) Prepare(ctx context.Context, src string) (*Plan, error) {
 	s, err := db.snapshotTraced(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return s.Answers(ctx, src)
+	return s.Prepare(ctx, src)
+}
+
+// Ask answers a yes-no query on the current snapshot: the read runs
+// lock-free and concurrently with other readers, honoring ctx and the
+// given options (method, depth, trace).
+func (db *Database) Ask(ctx context.Context, src string, opts ...Option) (bool, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	s, err := db.snapshotTraced(ctx)
+	if err != nil {
+		return false, err
+	}
+	p, err := s.Prepare(ctx, src)
+	if err != nil {
+		return false, err
+	}
+	return p.ask(ctx, &op)
+}
+
+// Answers computes a query's answer specification on the current snapshot,
+// lock-free, honoring ctx and the given options.
+func (db *Database) Answers(ctx context.Context, src string, opts ...Option) (*query.Answers, error) {
+	op := BuildOpts(opts...)
+	ctx = op.apply(ctx)
+	s, err := db.snapshotTraced(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.Prepare(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := p.answers(ctx)
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	return ans, nil
 }
 
 // AskBatch evaluates many yes-no queries concurrently on one snapshot of

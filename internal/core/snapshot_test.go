@@ -37,10 +37,10 @@ func collectAnswers(t *testing.T, ans *query.Answers, depth int) []string {
 	return out
 }
 
-// TestSnapshotMatchesLockedPath answers the same queries through the mutex
-// path (db.Ask/db.Answers) and the lock-free snapshot path, across ground,
-// open, uniform and non-uniform shapes.
-func TestSnapshotMatchesLockedPath(t *testing.T) {
+// TestPlanMatchesDirectPath answers the same queries through the one-shot
+// entry point (db.Ask/db.Answers) and an explicitly prepared plan, across
+// ground, open, uniform and non-uniform shapes.
+func TestPlanMatchesDirectPath(t *testing.T) {
 	db, err := Open(meetingsSrc, Options{})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
@@ -57,16 +57,20 @@ func TestSnapshotMatchesLockedPath(t *testing.T) {
 		`?- Meets(T, tony).`,
 	}
 	for _, q := range asks {
-		locked, err := db.Ask(q)
+		direct, err := db.Ask(ctx, q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", q, err)
 		}
-		snap, err := db.AskContext(ctx, q)
+		plan, err := db.Prepare(ctx, q)
 		if err != nil {
-			t.Fatalf("AskContext(%s): %v", q, err)
+			t.Fatalf("Prepare(%s): %v", q, err)
 		}
-		if locked != snap {
-			t.Errorf("Ask(%s): locked=%v snapshot=%v", q, locked, snap)
+		planned, err := plan.Ask(ctx)
+		if err != nil {
+			t.Fatalf("plan.Ask(%s): %v", q, err)
+		}
+		if direct != planned {
+			t.Errorf("Ask(%s): direct=%v plan=%v", q, direct, planned)
 		}
 	}
 
@@ -76,17 +80,21 @@ func TestSnapshotMatchesLockedPath(t *testing.T) {
 		`?- Next(tony, X).`,  // data-only
 	}
 	for _, q := range answers {
-		la, err := db.Answers(q)
+		la, err := db.Answers(ctx, q)
 		if err != nil {
 			t.Fatalf("Answers(%s): %v", q, err)
 		}
-		sa, err := db.AnswersContext(ctx, q)
+		plan, err := db.Prepare(ctx, q)
 		if err != nil {
-			t.Fatalf("AnswersContext(%s): %v", q, err)
+			t.Fatalf("Prepare(%s): %v", q, err)
+		}
+		sa, err := plan.Answers(ctx)
+		if err != nil {
+			t.Fatalf("plan.Answers(%s): %v", q, err)
 		}
 		lrows, srows := collectAnswers(t, la, 6), collectAnswers(t, sa, 6)
 		if fmt.Sprint(lrows) != fmt.Sprint(srows) {
-			t.Errorf("Answers(%s):\n locked   %v\n snapshot %v", q, lrows, srows)
+			t.Errorf("Answers(%s):\n direct %v\n plan   %v", q, lrows, srows)
 		}
 	}
 }
@@ -108,16 +116,12 @@ Reach(T, X) -> Reach(left(T), X).
 		`?- Reach(up(left(0)), home).`,
 		`?- Reach(left(up(up(0))), home).`,
 	} {
-		locked, err := db.Ask(q)
+		got, err := db.Ask(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", q, err)
 		}
-		snap, err := db.AskContext(context.Background(), q)
-		if err != nil {
-			t.Fatalf("AskContext(%s): %v", q, err)
-		}
-		if locked != snap || !snap {
-			t.Errorf("mixed Ask(%s): locked=%v snapshot=%v, want true", q, locked, snap)
+		if !got {
+			t.Errorf("mixed Ask(%s) = false, want true", q)
 		}
 	}
 }
@@ -161,7 +165,7 @@ func TestSnapshotDeadlineExceeded(t *testing.T) {
 	}
 	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
 	defer cancel()
-	_, err = db.AskContext(ctx, `?- Meets(8, tony).`)
+	_, err = db.Ask(ctx, `?- Meets(8, tony).`)
 	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired deadline = %v, want ErrCanceled ∧ DeadlineExceeded", err)
 	}
@@ -191,10 +195,10 @@ func TestSnapshotStaleAfterExtend(t *testing.T) {
 		t.Error("stale snapshot changed its answer after Extend")
 	}
 	// A fresh snapshot (rebuilt after invalidation) sees the new fact.
-	if got, err := db.AskContext(ctx, `?- Even(3).`); err != nil || !got {
+	if got, err := db.Ask(ctx, `?- Even(3).`); err != nil || !got {
 		t.Errorf("fresh snapshot Even(3) = %v, %v; want true", got, err)
 	}
-	if got, err := db.AskContext(ctx, `?- Even(7).`); err != nil || !got {
+	if got, err := db.Ask(ctx, `?- Even(7).`); err != nil || !got {
 		t.Errorf("fresh snapshot Even(7) = %v, %v; want true", got, err)
 	}
 }
@@ -236,9 +240,9 @@ func TestAskBatch(t *testing.T) {
 	}
 }
 
-// TestMethodEquational folds AskCC into Ask: with Options.Method set, plain
-// Ask decides ground queries through congruence closure and must agree with
-// the graph method.
+// TestMethodEquational checks that with Options.Method set (or the
+// per-query WithMethod option), Ask decides ground queries through
+// congruence closure and must agree with the graph method.
 func TestMethodEquational(t *testing.T) {
 	graphDB, err := Open(meetingsSrc, Options{})
 	if err != nil {
@@ -255,33 +259,33 @@ func TestMethodEquational(t *testing.T) {
 		`?- Meets(7, tony).`,
 		`?- Meets(100, tony).`,
 	} {
-		g, err := graphDB.AskContext(ctx, q)
+		g, err := graphDB.Ask(ctx, q)
 		if err != nil {
-			t.Fatalf("graph AskContext(%s): %v", q, err)
+			t.Fatalf("graph Ask(%s): %v", q, err)
 		}
-		e, err := eqDB.AskContext(ctx, q)
+		e, err := eqDB.Ask(ctx, q)
 		if err != nil {
-			t.Fatalf("equational AskContext(%s): %v", q, err)
+			t.Fatalf("equational Ask(%s): %v", q, err)
 		}
 		if g != e {
 			t.Errorf("method disagreement on %s: graph=%v equational=%v", q, g, e)
 		}
-		// The locked path folds the same way.
-		el, err := eqDB.Ask(q)
+		// The per-query option forces the same fold on the graph database.
+		eo, err := graphDB.Ask(ctx, q, WithMethod(MethodEquational))
 		if err != nil {
-			t.Fatalf("equational Ask(%s): %v", q, err)
+			t.Fatalf("WithMethod(equational) Ask(%s): %v", q, err)
 		}
-		if el != e {
-			t.Errorf("locked equational Ask(%s) = %v, snapshot = %v", q, el, e)
+		if eo != e {
+			t.Errorf("option equational Ask(%s) = %v, database default = %v", q, eo, e)
 		}
 	}
-	// The lock-free equational entry point answers ground queries by
-	// congruence closure and folds open ones into the graph evaluation.
-	if got, err := graphDB.AskCCContext(ctx, `?- Meets(8, tony).`); err != nil || !got {
-		t.Errorf("AskCCContext = %v, %v; want true", got, err)
+	// The equational option answers ground queries by congruence closure
+	// and folds open ones into the graph evaluation.
+	if got, err := graphDB.Ask(ctx, `?- Meets(8, tony).`, WithMethod(MethodEquational)); err != nil || !got {
+		t.Errorf("equational ground ask = %v, %v; want true", got, err)
 	}
-	if got, err := graphDB.AskCCContext(ctx, `?- Meets(T, tony).`); err != nil || !got {
-		t.Errorf("AskCCContext(open) = %v, %v; want true", got, err)
+	if got, err := graphDB.Ask(ctx, `?- Meets(T, tony).`, WithMethod(MethodEquational)); err != nil || !got {
+		t.Errorf("equational open ask = %v, %v; want true", got, err)
 	}
 }
 

@@ -72,6 +72,17 @@ func NewScratch(base *World) *Scratch { return &Scratch{base: base} }
 // Base returns the frozen world under the overlay.
 func (s *Scratch) Base() *World { return s.base }
 
+// Reset re-points the overlay at base and drops every scratch-local tuple
+// and atom, keeping allocated capacity so pooled overlays can be reused
+// without allocating.
+func (s *Scratch) Reset(base *World) {
+	s.base = base
+	s.tupleData = s.tupleData[:0]
+	s.atoms = s.atoms[:0]
+	clear(s.tupleBy)
+	clear(s.atomBy)
+}
+
 // Tuple interns an argument tuple, preferring the frozen base.
 func (s *Scratch) Tuple(args []symbols.ConstID) TupleID {
 	key := tupleKey(args)

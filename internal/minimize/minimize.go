@@ -187,6 +187,20 @@ func mustRoot(sp *specgraph.Spec) term.Term {
 // NumStates returns the number of classes.
 func (m *Minimized) NumStates() int { return len(m.Members) }
 
+// ClassOfRep returns the class of an original representative term without
+// running the DFA; ok is false when t is not a representative.
+func (m *Minimized) ClassOfRep(t term.Term) (int, bool) {
+	c, ok := m.classOf[t]
+	return c, ok
+}
+
+// CanonicalRep returns the precedence-least member of a class — the term a
+// flat transition table uses to stand for the whole class.
+func (m *Minimized) CanonicalRep(class int) term.Term { return m.Members[class][0] }
+
+// The minimized quotient is a valid state space for flat transition tables.
+var _ specgraph.Quotient = (*Minimized)(nil)
+
 // ClassOf runs the minimized DFA on t.
 func (m *Minimized) ClassOf(t term.Term) (int, error) {
 	cur := m.root

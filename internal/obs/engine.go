@@ -14,6 +14,9 @@ type EngineStats struct {
 	equations      atomic.Int64
 	qRounds        atomic.Int64
 	maxDepth       atomic.Int64
+	planHits       atomic.Int64
+	planMisses     atomic.Int64
+	arenaReuses    atomic.Int64
 }
 
 // AddTerms records newly interned terms.
@@ -65,6 +68,31 @@ func (s *EngineStats) AddQRounds(n int64) {
 	s.qRounds.Add(n)
 }
 
+// AddPlanHits records queries served by an already-compiled plan.
+func (s *EngineStats) AddPlanHits(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.planHits.Add(n)
+}
+
+// AddPlanMisses records plan-cache misses (queries that had to compile).
+func (s *EngineStats) AddPlanMisses(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.planMisses.Add(n)
+}
+
+// AddArenaReuses records query evaluations that reused a pooled scratch
+// arena instead of allocating fresh overlays.
+func (s *EngineStats) AddArenaReuses(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.arenaReuses.Add(n)
+}
+
 // ObserveDepth raises the high-water derivation depth.
 func (s *EngineStats) ObserveDepth(d int64) {
 	if s == nil {
@@ -85,12 +113,15 @@ func (s *EngineStats) Counters() map[string]int64 {
 		return nil
 	}
 	return map[string]int64{
-		"terms_interned_total":  s.termsInterned.Load(),
-		"facts_derived_total":   s.factsDerived.Load(),
-		"fixpoint_rounds_total": s.fixpointRounds.Load(),
-		"rule_firings_total":    s.ruleFirings.Load(),
-		"equations_total":       s.equations.Load(),
-		"algoq_steps_total":     s.qRounds.Load(),
+		"terms_interned_total":    s.termsInterned.Load(),
+		"facts_derived_total":     s.factsDerived.Load(),
+		"fixpoint_rounds_total":   s.fixpointRounds.Load(),
+		"rule_firings_total":      s.ruleFirings.Load(),
+		"equations_total":         s.equations.Load(),
+		"algoq_steps_total":       s.qRounds.Load(),
+		"plan_cache_hits_total":   s.planHits.Load(),
+		"plan_cache_misses_total": s.planMisses.Load(),
+		"arena_reuses_total":      s.arenaReuses.Load(),
 	}
 }
 

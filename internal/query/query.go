@@ -451,6 +451,14 @@ func (a *Answers) CompactTermString(t term.Term) string {
 // as TermString.
 func (a *Answers) ConstName(c symbols.ConstID) string { return a.be.Names().ConstName(c) }
 
+// TermSymbols returns the function symbols of a functional answer
+// component, innermost-first. Locking contract as TermString.
+func (a *Answers) TermSymbols(t term.Term) []symbols.FuncID { return a.be.Terms().Symbols(t) }
+
+// FuncName renders a function symbol of an answer term. Locking contract
+// as TermString.
+func (a *Answers) FuncName(f symbols.FuncID) string { return a.be.Names().FuncName(f) }
+
 // Enumerate yields ground answers with functional components of depth at
 // most maxDepth, in precedence order of the functional component. For
 // purely non-functional answers it yields each tuple once with term.None.

@@ -86,31 +86,24 @@ func (e *Entry) Database() *core.Database { return e.db }
 // entries).
 func (e *Entry) Document() *specio.Document { return e.doc }
 
-// Ask answers a yes-no query. Program entries take surface syntax
-// ("?- Even(4)."); spec entries take the ground-query syntax of
+// Ask answers a yes-no query, honoring ctx and the core query options.
+// Program entries take surface syntax ("?- Even(4).") and evaluate on the
+// database's immutable snapshot — lock-free, through the snapshot's
+// compiled-plan cache. Spec entries take the ground-query syntax of
 // specio.ParseGroundQuery ("Even(4)"), answered by the DFA walk, or by
-// congruence closure when viaCC is set.
-func (e *Entry) Ask(q string, viaCC bool) (bool, error) {
-	return e.AskContext(context.Background(), q, viaCC)
-}
-
-// AskContext is Ask honoring a cancellation context. Program entries
-// evaluate on the database's immutable snapshot — lock-free, concurrently
-// with other readers — unless viaCC forces the (locked) congruence-closure
-// path. An expired ctx yields an error matching core.ErrCanceled.
-func (e *Entry) AskContext(ctx context.Context, q string, viaCC bool) (bool, error) {
+// congruence closure under core.WithMethod(core.MethodEquational). An
+// expired ctx yields an error matching core.ErrCanceled.
+func (e *Entry) Ask(ctx context.Context, q string, opts ...core.Option) (bool, error) {
 	switch e.Kind {
 	case KindProgram:
-		if viaCC {
-			return e.db.AskCCContext(ctx, q)
-		}
-		return e.db.AskContext(ctx, q)
+		return e.db.Ask(ctx, q, opts...)
 	case KindSpec:
+		op := core.BuildOpts(opts...)
 		pred, tm, args, err := e.st.ParseGroundQuery(q)
 		if err != nil {
 			return false, err
 		}
-		if viaCC {
+		if op.Method == core.MethodEquational {
 			return e.st.HasViaCongruence(pred, tm, args...), nil
 		}
 		return e.st.Has(pred, tm, args...)
@@ -118,30 +111,38 @@ func (e *Entry) AskContext(ctx context.Context, q string, viaCC bool) (bool, err
 	return false, fmt.Errorf("registry: unknown entry kind %q", e.Kind)
 }
 
-// Answers evaluates an open query and enumerates ground answers to the
-// given term depth, stopping after limit tuples (limit <= 0 means no cap).
-// It reports whether enumeration was truncated by the limit. Spec entries
-// carry no rules and cannot evaluate open queries.
-func (e *Entry) Answers(q string, depth, limit int) (tuples []AnswerTuple, truncated bool, err error) {
-	return e.AnswersContext(context.Background(), q, depth, limit)
+// Prepare compiles a query against a program entry's current snapshot (a
+// plan-cache hit when the shape was seen before). The returned plan can be
+// executed many times without re-parsing; its Shape is the canonical cache
+// key response caches should use. Spec entries have no compiled plans.
+func (e *Entry) Prepare(ctx context.Context, q string) (*core.Plan, error) {
+	if e.Kind != KindProgram {
+		return nil, fmt.Errorf("registry: %q is a standalone specification; prepared plans need a program entry", e.Name)
+	}
+	return e.db.Prepare(ctx, q)
 }
 
-// AnswersContext is Answers honoring a cancellation context; program
-// entries evaluate on the database's immutable snapshot, and rendering goes
-// through the Answers value itself (the terms may live in query-local
-// scratch arenas the database never sees).
-func (e *Entry) AnswersContext(ctx context.Context, q string, depth, limit int) (tuples []AnswerTuple, truncated bool, err error) {
+// Answers evaluates an open query and enumerates ground answers, honoring
+// ctx and the core query options: core.WithDepth bounds the enumeration
+// term depth, core.WithLimit stops after that many tuples (0 = no cap). It
+// reports whether enumeration was truncated by the limit. Program entries
+// evaluate on the database's immutable snapshot, and rendering goes through
+// the Answers value itself (the terms may live in query-local scratch
+// arenas the database never sees). Spec entries carry no rules and cannot
+// evaluate open queries.
+func (e *Entry) Answers(ctx context.Context, q string, opts ...core.Option) (tuples []AnswerTuple, truncated bool, err error) {
 	if e.Kind != KindProgram {
 		return nil, false, fmt.Errorf("registry: %q is a standalone specification; open queries need a program entry", e.Name)
 	}
-	ans, err := e.db.AnswersContext(ctx, q)
+	op := core.BuildOpts(opts...)
+	ans, err := e.db.Answers(ctx, q, opts...)
 	if err != nil {
 		return nil, false, err
 	}
 	ectx, esp := obs.StartSpan(ctx, "enumerate")
 	defer esp.End()
-	err = ans.EnumerateContext(ectx, depth, func(ft term.Term, args []symbols.ConstID) bool {
-		if limit > 0 && len(tuples) >= limit {
+	err = ans.EnumerateContext(ectx, op.Depth, func(ft term.Term, args []symbols.ConstID) bool {
+		if op.Limit > 0 && len(tuples) >= op.Limit {
 			truncated = true
 			return false
 		}
@@ -167,7 +168,7 @@ func (e *Entry) AskBatch(ctx context.Context, queries []string, workers int) ([]
 	if e.Kind != KindProgram {
 		out := make([]core.BatchResult, len(queries))
 		for i, q := range queries {
-			ok, err := e.AskContext(ctx, q, false)
+			ok, err := e.Ask(ctx, q)
 			out[i] = core.BatchResult{Query: q, OK: ok, Err: err}
 		}
 		return out, nil

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,7 +50,7 @@ func TestPutProgramAndAsk(t *testing.T) {
 		"?- Even(4).": true,
 		"?- Even(5).": false,
 	} {
-		got, err := e.Ask(q, false)
+		got, err := e.Ask(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Ask(%s): %v", q, err)
 		}
@@ -57,7 +58,7 @@ func TestPutProgramAndAsk(t *testing.T) {
 			t.Errorf("Ask(%s) = %v, want %v", q, got, want)
 		}
 		// The congruence-closure path must agree.
-		gotCC, err := e.Ask(q, true)
+		gotCC, err := e.Ask(context.Background(), q, core.WithMethod(core.MethodEquational))
 		if err != nil {
 			t.Fatalf("Ask cc(%s): %v", q, err)
 		}
@@ -76,16 +77,16 @@ func TestPutSpecAndAsk(t *testing.T) {
 	if e.Kind != KindSpec {
 		t.Fatalf("kind = %v", e.Kind)
 	}
-	got, err := e.Ask("Even(4)", false)
+	got, err := e.Ask(context.Background(), "Even(4)")
 	if err != nil || !got {
 		t.Fatalf("Ask(Even(4)) = %v, %v", got, err)
 	}
-	got, err = e.Ask("Even(5)", true)
+	got, err = e.Ask(context.Background(), "Even(5)", core.WithMethod(core.MethodEquational))
 	if err != nil || got {
 		t.Fatalf("Ask cc(Even(5)) = %v, %v", got, err)
 	}
 	// Spec entries cannot evaluate open queries or explain.
-	if _, _, err := e.Answers("?- Even(T).", 4, 0); err == nil {
+	if _, _, err := e.Answers(context.Background(), "?- Even(T).", core.WithDepth(4), core.WithLimit(0)); err == nil {
 		t.Error("Answers on a spec entry succeeded")
 	}
 	if _, err := e.Explain("?- Even(4)."); err == nil {
@@ -117,7 +118,7 @@ func TestVersioningAcrossReloadAndRemove(t *testing.T) {
 		t.Fatalf("versions = %d, %d", e1.Version, e2.Version)
 	}
 	// The old entry still answers after the swap (copy-on-write).
-	if got, err := e1.Ask("?- Even(4).", false); err != nil || !got {
+	if got, err := e1.Ask(context.Background(), "?- Even(4)."); err != nil || !got {
 		t.Fatalf("old entry broken after reload: %v, %v", got, err)
 	}
 	if removed, err := r.Remove("db"); err != nil || !removed {
@@ -182,7 +183,7 @@ func TestAnswersEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tuples, truncated, err := e.Answers("?- Meets(T, X).", 4, 0)
+	tuples, truncated, err := e.Answers(context.Background(), "?- Meets(T, X).", core.WithDepth(4), core.WithLimit(0))
 	if err != nil {
 		t.Fatalf("Answers: %v", err)
 	}
@@ -192,7 +193,7 @@ func TestAnswersEnumeration(t *testing.T) {
 	if tuples[0].Term != "0" || tuples[0].Args[0] != "tony" {
 		t.Fatalf("first tuple = %+v", tuples[0])
 	}
-	short, truncated, err := e.Answers("?- Meets(T, X).", 4, 2)
+	short, truncated, err := e.Answers(context.Background(), "?- Meets(T, X).", core.WithDepth(4), core.WithLimit(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestConcurrentGetPut(t *testing.T) {
 					t.Error("entry vanished")
 					return
 				}
-				if _, err := e.Ask("?- Even(4).", false); err != nil {
+				if _, err := e.Ask(context.Background(), "?- Even(4)."); err != nil {
 					t.Errorf("Ask: %v", err)
 					return
 				}
@@ -293,7 +294,7 @@ func TestExtendFactsNewVersionAndVisibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := e1.Ask("?- Odd(1).", false); err == nil && got {
+	if got, err := e1.Ask(context.Background(), "?- Odd(1)."); err == nil && got {
 		t.Fatal("Odd(1) true before extend")
 	}
 	e2, err := r.ExtendFacts("db", []byte("Odd(1). Odd(T) -> Odd(T+2)."))
@@ -308,7 +309,7 @@ func TestExtendFactsNewVersionAndVisibility(t *testing.T) {
 		t.Fatalf("version = %d, want %d", e2.Version, e1.Version+1)
 	}
 	for _, e := range []*Entry{e1, e2} {
-		if got, err := e.Ask("?- Even(3).", false); err != nil || !got {
+		if got, err := e.Ask(context.Background(), "?- Even(3)."); err != nil || !got {
 			t.Fatalf("Even(3) after extend via v%d = %v, %v", e.Version, got, err)
 		}
 	}
@@ -418,11 +419,11 @@ func TestReplayReproducesCatalog(t *testing.T) {
 		}
 	}
 	for _, q := range []string{"?- Even(2).", "?- Even(3).", "?- Even(5)."} {
-		want, err := mustGet(t, r, "even").Ask(q, false)
+		want, err := mustGet(t, r, "even").Ask(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := mustGet(t, r2, "even").Ask(q, false)
+		got, err := mustGet(t, r2, "even").Ask(context.Background(), q)
 		if err != nil || got != want {
 			t.Fatalf("%s: replayed %v, want %v (err %v)", q, got, want, err)
 		}

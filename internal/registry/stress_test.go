@@ -63,7 +63,7 @@ func TestStressConcurrentReadersAndWriter(t *testing.T) {
 				}
 				// Meets(8, tony) holds in the seed program; extensions are
 				// monotone, so it can never become false.
-				got, err := e.AskContext(ctx, `?- Meets(8, tony).`, false)
+				got, err := e.Ask(ctx, `?- Meets(8, tony).`)
 				if err != nil {
 					t.Errorf("reader %d: Ask: %v", g, err)
 					return
@@ -74,7 +74,7 @@ func TestStressConcurrentReadersAndWriter(t *testing.T) {
 				}
 				switch i % 3 {
 				case 1:
-					tuples, _, err := e.AnswersContext(ctx, `?- Meets(T, X).`, 4, 50)
+					tuples, _, err := e.Answers(ctx, `?- Meets(T, X).`, core.WithDepth(4), core.WithLimit(50))
 					if err != nil {
 						t.Errorf("reader %d: Answers: %v", g, err)
 						return

@@ -1,6 +1,7 @@
 package repl_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestFailoverOnDeadEndpoint(t *testing.T) {
 
 	c := &repl.RemoteClient{Base: deadURL + "," + live.URL, DB: "even"}
 	for i := 0; i < 3; i++ {
-		yes, _, err := c.Ask("?- Even(4).")
+		yes, _, err := c.Ask(context.Background(), "?- Even(4).")
 		if err != nil || !yes {
 			t.Fatalf("ask %d = %v, %v; want true", i, yes, err)
 		}
@@ -49,7 +50,7 @@ func TestWriteFailsOverFromReplica(t *testing.T) {
 	primary, preg := startNode(t, false)
 
 	c := &repl.RemoteClient{Base: replica.URL + "," + primary.URL, DB: "even"}
-	if yes, _, err := c.Ask("?- Even(4)."); err != nil || !yes {
+	if yes, _, err := c.Ask(context.Background(), "?- Even(4)."); err != nil || !yes {
 		t.Fatalf("read = %v, %v; want true", yes, err)
 	}
 	v, err := c.AddFacts("Even(3).")
@@ -73,7 +74,7 @@ func TestNoFailoverOnQueryError(t *testing.T) {
 	a, _ := startNode(t, false)
 	b, _ := startNode(t, false)
 	c := &repl.RemoteClient{Base: a.URL + "," + b.URL, DB: "missing"}
-	if _, _, err := c.Ask("?- Even(4)."); err == nil {
+	if _, _, err := c.Ask(context.Background(), "?- Even(4)."); err == nil {
 		t.Fatal("ask against unknown database succeeded")
 	}
 }

@@ -310,20 +310,14 @@ func remoteErrorParts(body []byte, status int) (code, msg string) {
 }
 
 // Ask answers a yes-no query, reporting the catalog version that answered.
-func (c *RemoteClient) Ask(q string) (bool, uint64, error) {
-	return c.AskContext(context.Background(), q)
-}
-
-// AskContext is Ask honoring a cancellation context.
-func (c *RemoteClient) AskContext(ctx context.Context, q string) (bool, uint64, error) {
-	yes, version, _, err := c.AskTraceContext(ctx, q)
+func (c *RemoteClient) Ask(ctx context.Context, q string) (bool, uint64, error) {
+	yes, version, _, err := c.AskTrace(ctx, q)
 	return yes, version, err
 }
 
-// AskTraceContext is AskContext that additionally returns the daemon's
-// per-stage trace when the client asks for one (Trace field); the report
-// is nil otherwise.
-func (c *RemoteClient) AskTraceContext(ctx context.Context, q string) (bool, uint64, *obs.Report, error) {
+// AskTrace is Ask additionally returning the daemon's per-stage trace when
+// the client asks for one (Trace field); the report is nil otherwise.
+func (c *RemoteClient) AskTrace(ctx context.Context, q string) (bool, uint64, *obs.Report, error) {
 	req := map[string]any{"query": q}
 	if c.CC {
 		req["via"] = "cc"
@@ -522,7 +516,7 @@ func ExecuteRemoteContext(ctx context.Context, c *RemoteClient, line string, w i
 }
 
 func remoteAsk(ctx context.Context, c *RemoteClient, q string, w io.Writer) error {
-	yes, version, tr, err := c.AskTraceContext(ctx, q)
+	yes, version, tr, err := c.AskTrace(ctx, q)
 	if err != nil {
 		return err
 	}

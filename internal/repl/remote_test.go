@@ -1,6 +1,7 @@
 package repl_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func TestRunRemoteSession(t *testing.T) {
 func TestRemoteTrace(t *testing.T) {
 	url := startDaemon(t)
 	c := &repl.RemoteClient{Base: url, DB: "even", Trace: true}
-	yes, _, tr, err := c.AskTraceContext(t.Context(), "?- Even(4).")
+	yes, _, tr, err := c.AskTrace(t.Context(), "?- Even(4).")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRemoteTrace(t *testing.T) {
 
 	// A non-tracing client keeps the old behavior: no report.
 	c2 := &repl.RemoteClient{Base: url, DB: "even"}
-	if _, _, tr, err := c2.AskTraceContext(t.Context(), "?- Even(4)."); err != nil || tr != nil {
+	if _, _, tr, err := c2.AskTrace(t.Context(), "?- Even(4)."); err != nil || tr != nil {
 		t.Fatalf("non-tracing ask = trace %v err %v, want nil trace", tr, err)
 	}
 }
@@ -105,7 +106,7 @@ func TestRemoteTrace(t *testing.T) {
 func TestRemoteClientErrors(t *testing.T) {
 	url := startDaemon(t)
 	c := &repl.RemoteClient{Base: url, DB: "nosuch"}
-	if _, _, err := c.Ask("?- Even(4)."); err == nil || !strings.Contains(err.Error(), "no database named") {
+	if _, _, err := c.Ask(context.Background(), "?- Even(4)."); err == nil || !strings.Contains(err.Error(), "no database named") {
 		t.Fatalf("Ask on missing db = %v, want daemon's message", err)
 	}
 	if _, err := c.AddFacts("Even(3)."); err == nil || !strings.Contains(err.Error(), "no database named") {

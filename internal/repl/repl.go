@@ -5,6 +5,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -112,7 +113,7 @@ func Execute(db *core.Database, line string, w io.Writer) (quit bool, err error)
 		return false, nil
 	case strings.HasPrefix(line, "ask"):
 		q := strings.TrimSpace(strings.TrimPrefix(line, "ask"))
-		yes, err := db.Ask(q)
+		yes, err := db.Ask(context.Background(), q)
 		if err != nil {
 			return false, err
 		}
@@ -130,7 +131,7 @@ func Execute(db *core.Database, line string, w io.Writer) (quit bool, err error)
 		}
 		return false, enumerate(db, fields[1], depth, w)
 	case strings.HasPrefix(line, "?-"):
-		ans, err := db.Answers(line)
+		ans, err := db.Answers(context.Background(), line)
 		if err != nil {
 			return false, err
 		}
@@ -141,7 +142,7 @@ func Execute(db *core.Database, line string, w io.Writer) (quit bool, err error)
 }
 
 func enumerate(db *core.Database, qsrc string, depth int, w io.Writer) error {
-	ans, err := db.Answers(qsrc)
+	ans, err := db.Answers(context.Background(), qsrc)
 	if err != nil {
 		return err
 	}
@@ -151,7 +152,7 @@ func enumerate(db *core.Database, qsrc string, depth int, w io.Writer) error {
 		fmt.Fprint(w, "  ")
 		first := true
 		if ft != term.None {
-			fmt.Fprint(w, db.Universe().String(ft, db.Tab()))
+			fmt.Fprint(w, ans.CompactTermString(ft))
 			first = false
 		}
 		for _, c := range args {
@@ -159,7 +160,7 @@ func enumerate(db *core.Database, qsrc string, depth int, w io.Writer) error {
 				fmt.Fprint(w, ", ")
 			}
 			first = false
-			fmt.Fprint(w, db.Tab().ConstName(c))
+			fmt.Fprint(w, ans.ConstName(c))
 		}
 		fmt.Fprintln(w)
 		return true

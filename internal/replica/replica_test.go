@@ -114,12 +114,12 @@ func catalogFingerprint(t *testing.T, reg *registry.Registry, probes map[string]
 		v := dbView{Name: e.Name, Kind: string(e.Kind), Version: e.Version,
 			Asks: map[string]bool{}, Answers: map[string][]any{}}
 		for _, q := range probes[e.Name] {
-			yes, err := e.AskContext(context.Background(), q, false)
+			yes, err := e.Ask(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s: ask %q: %v", e.Name, q, err)
 			}
 			v.Asks[q] = yes
-			tuples, _, err := e.AnswersContext(context.Background(), q, 8, 1000)
+			tuples, _, err := e.Answers(context.Background(), q, core.WithDepth(8), core.WithLimit(1000))
 			if err != nil {
 				t.Fatalf("%s: answers %q: %v", e.Name, q, err)
 			}

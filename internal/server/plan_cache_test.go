@@ -1,0 +1,84 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestShapeKeyedCacheSharesSpellings: the /ask answer cache keys program
+// entries on the compiled plan's canonical shape, so whitespace and
+// variable-name respellings of one query hit the same slot.
+func TestShapeKeyedCacheSharesSpellings(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(4)."})
+	if code != http.StatusOK {
+		t.Fatalf("ask = %d %v", code, body)
+	}
+	if body["cached"] != false {
+		t.Fatalf("first ask reported cached: %v", body)
+	}
+	// A respelled variant of the same query must be a cache hit.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?-   Even( 4 )  ."})
+	if code != http.StatusOK {
+		t.Fatalf("respelled ask = %d %v", code, body)
+	}
+	if body["cached"] != true {
+		t.Errorf("respelled ask missed the shape-keyed cache: %v", body)
+	}
+	if body["answer"] != true {
+		t.Errorf("respelled ask answer = %v, want true", body["answer"])
+	}
+
+	// Open queries share through α-renaming of variables.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/answers", map[string]any{"query": "?- Even(T).", "depth": 3})
+	if code != http.StatusOK {
+		t.Fatalf("answers = %d %v", code, body)
+	}
+	if body["cached"] != false {
+		t.Fatalf("first answers reported cached: %v", body)
+	}
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/answers", map[string]any{"query": "?- Even(U).", "depth": 3})
+	if code != http.StatusOK {
+		t.Fatalf("renamed answers = %d %v", code, body)
+	}
+	if body["cached"] != true {
+		t.Errorf("variable-renamed answers missed the shape-keyed cache: %v", body)
+	}
+}
+
+// TestNoStaleAnswerAfterFactsBump is the staleness regression for the
+// shape-keyed caches: a verdict cached before a /facts version bump must
+// never be served afterwards — neither by the server's answer cache nor by
+// a stale compiled plan underneath it.
+func TestNoStaleAnswerAfterFactsBump(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+
+	// Even(3) is false and gets cached under (version 1, shape).
+	code, body := doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(3)."})
+	if code != http.StatusOK || body["answer"] != false {
+		t.Fatalf("pre-bump ask = %d %v, want false", code, body)
+	}
+	// Warm the slot: a repeat is a hit on the old version.
+	_, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": "?- Even(3)."})
+	if body["cached"] != true {
+		t.Fatalf("warming ask not cached: %v", body)
+	}
+
+	// Extend bumps the version; Even(3) becomes derivable (and so does
+	// Even(5) through the rule).
+	code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/facts", map[string]any{"facts": "Even(3)."})
+	if code != http.StatusOK {
+		t.Fatalf("facts = %d %v", code, body)
+	}
+
+	for _, q := range []string{"?- Even(3).", "?-  Even( 3 ).", "?- Even(5)."} {
+		code, body = doJSON(t, "POST", ts.URL+"/v1/db/even/ask", map[string]any{"query": q})
+		if code != http.StatusOK {
+			t.Fatalf("post-bump ask(%s) = %d %v", q, code, body)
+		}
+		if body["answer"] != true {
+			t.Errorf("post-bump ask(%s) = %v, want true (stale answer served)", q, body)
+		}
+	}
+}

@@ -432,6 +432,21 @@ func (s *Server) entry(r *http.Request) (*registry.Entry, error) {
 // one query share a cache slot.
 func normalizeQuery(q string) string { return strings.Join(strings.Fields(q), " ") }
 
+// cacheQuery derives the answer-cache key component for one query. Program
+// entries compile (or plan-cache-hit) the query and key on its canonical
+// shape, so α-variants and respellings of one query share a slot; spec
+// entries and unparsable queries fall back to whitespace normalization.
+// Keying on shape is safe because answers are positional (AnswerTuple
+// carries no variable names) and the key already includes the version.
+func (s *Server) cacheQuery(ctx context.Context, e *registry.Entry, q string) string {
+	if e.Kind == registry.KindProgram {
+		if plan, err := e.Prepare(ctx, q); err == nil {
+			return plan.Shape()
+		}
+	}
+	return normalizeQuery(q)
+}
+
 // cachePut stores v under key only while e is still the current version of
 // its database. ExtendFacts mutates the underlying database in place before
 // bumping the version, so an evaluation that raced the bump may already
@@ -647,7 +662,10 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "unknown via %q (want \"\" or \"cc\")", req.Via)
 	}
 	em := s.met.endpoint("ask")
-	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(req.Query), via: req.Via}
+	// The traced ctx is built before the key so that a cold traced request
+	// records its parse/compile spans (cacheQuery compiles the plan).
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: s.cacheQuery(ctx, e, req.Query), via: req.Via}
 	if !req.Trace {
 		if v, ok := s.cache.get(key); ok {
 			em.cacheHits.Add(1)
@@ -656,9 +674,12 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	em.cacheMisses.Add(1)
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	var opts []core.Option
+	if req.Via == "cc" {
+		opts = append(opts, core.WithMethod(core.MethodEquational))
+	}
 	start := time.Now()
-	ans, err := e.AskContext(ctx, req.Query, req.Via == "cc")
+	ans, err := e.Ask(ctx, req.Query, opts...)
 	s.logSlow("ask", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
@@ -727,8 +748,9 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 		limit = s.cfg.MaxTuples
 	}
 	em := s.met.endpoint("answers")
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "answers",
-		query: normalizeQuery(req.Query), depth: req.Depth, limit: limit}
+		query: s.cacheQuery(ctx, e, req.Query), depth: req.Depth, limit: limit}
 	if !req.Trace {
 		if v, ok := s.cache.get(key); ok {
 			em.cacheHits.Add(1)
@@ -739,9 +761,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	em.cacheMisses.Add(1)
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
 	start := time.Now()
-	tuples, truncated, err := e.AnswersContext(ctx, req.Query, req.Depth, limit)
+	tuples, truncated, err := e.Answers(ctx, req.Query, core.WithDepth(req.Depth), core.WithLimit(limit))
 	s.logSlow("answers", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
@@ -800,6 +821,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 
 	// Serve cached verdicts (shared with /ask by key) and collect misses.
 	em := s.met.endpoint("batch")
+	ctx, tr := s.traceContext(r.Context(), req.Trace)
 	items := make([]batchItem, len(req.Queries))
 	keys := make([]cacheKey, len(req.Queries))
 	var misses []string
@@ -810,7 +832,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 			items[i].Error = &errorBody{Code: "bad_request", Message: "missing query"}
 			continue
 		}
-		keys[i] = cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: normalizeQuery(q)}
+		keys[i] = cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: s.cacheQuery(ctx, e, q)}
 		if !req.Trace {
 			if v, ok := s.cache.get(keys[i]); ok {
 				em.cacheHits.Add(1)
@@ -823,7 +845,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		missIdx = append(missIdx, i)
 	}
 
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
 	if len(misses) > 0 {
 		start := time.Now()
 		results, err := e.AskBatch(ctx, misses, s.cfg.BatchWorkers)

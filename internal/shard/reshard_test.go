@@ -153,7 +153,7 @@ func TestReshardLive(t *testing.T) {
 	marks := append([]int(nil), committed...)
 	mu.Unlock()
 	for _, i := range marks {
-		yes, _, err := c.Ask(fmt.Sprintf("?- Mark(%d).", i))
+		yes, _, err := c.Ask(ctx, fmt.Sprintf("?- Mark(%d).", i))
 		if err != nil {
 			t.Fatalf("post-move ask Mark(%d): %v", i, err)
 		}
@@ -163,6 +163,74 @@ func TestReshardLive(t *testing.T) {
 	}
 	t.Logf("reshard under load: %d writes, %d WAL mutations replayed, watermark %d",
 		n, res.Replayed, res.Watermark)
+}
+
+// TestReshardNoStaleAnswer is the staleness regression for the
+// version-keyed answer caches across a reshard flip: a verdict cached on
+// the old owner before the move must not be served for the same query once
+// a post-move write on the new owner makes the answer flip.
+func TestReshardNoStaleAnswer(t *testing.T) {
+	tsA, _ := newStorePrimary(t)
+	tsB, _ := newStorePrimary(t)
+	m := &shard.Map{
+		Version: 1,
+		VNodes:  8,
+		Groups: []shard.Group{
+			{Name: "ga", Primary: tsA.URL},
+			{Name: "gb", Primary: tsB.URL},
+		},
+		Overrides: map[string]string{"flipdb": "ga"},
+	}
+	src := shard.NewSource(m)
+	t.Cleanup(func() { src.Close() })
+	router := httptest.NewServer(shard.NewRouter(src, shard.Options{ShardTimeout: 5 * time.Second}))
+	t.Cleanup(router.Close)
+
+	c := &repl.RemoteClient{Base: router.URL, DB: "flipdb"}
+	if err := c.Put([]byte("Flip(0).\n")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Cache a negative verdict on the old owner — twice, so the second ask
+	// is served from ga's shape-keyed response cache.
+	const q = "?- Flip(1)."
+	for i := 0; i < 2; i++ {
+		yes, _, err := c.Ask(ctx, q)
+		if err != nil {
+			t.Fatalf("pre-move ask: %v", err)
+		}
+		if yes {
+			t.Fatalf("Flip(1) true before it was written")
+		}
+	}
+
+	if _, err := shard.Reshard(ctx, shard.ReshardOptions{
+		DB:          "flipdb",
+		TargetGroup: "gb",
+		Routers:     []string{router.URL},
+		TailTimeout: 10 * time.Second,
+		Logf:        t.Logf,
+	}); err != nil {
+		t.Fatalf("reshard: %v", err)
+	}
+
+	// The write that flips the answer lands on the new owner.
+	if _, err := c.AddFacts("Flip(1)."); err != nil {
+		t.Fatalf("post-move write: %v", err)
+	}
+	// The cached false from before the flip must not survive — neither for
+	// the exact spelling nor for a respelling sharing its canonical shape.
+	for _, spelling := range []string{q, "?-  Flip( 1 )."} {
+		yes, _, err := c.Ask(ctx, spelling)
+		if err != nil {
+			t.Fatalf("post-move ask %q: %v", spelling, err)
+		}
+		if !yes {
+			t.Fatalf("stale answer served for %q after reshard flip", spelling)
+		}
+	}
 }
 
 // TestReshardRejectsBadTargets covers the argument-validation surface

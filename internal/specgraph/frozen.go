@@ -28,12 +28,20 @@ type Frozen struct {
 	state         map[term.Term]facts.StateID
 	global        *facts.FrozenSet
 	originalPreds map[symbols.PredID]bool
+	flat          *FlatDFA
 }
 
-// Freeze captures the specification's query surface. Call it under the
-// writer lock; the spec and its engine may keep being used (and extended)
-// afterwards, the frozen value never changes.
-func (sp *Spec) Freeze() *Frozen {
+// Freeze captures the specification's query surface with flat tables built
+// over the identity quotient (one flat state per representative). Call it
+// under the writer lock; the spec and its engine may keep being used (and
+// extended) afterwards, the frozen value never changes.
+func (sp *Spec) Freeze() *Frozen { return sp.FreezeQuotient(nil) }
+
+// FreezeQuotient is Freeze with the flat tables built over an explicit
+// state quotient — normally the minimized observable-equivalence partition,
+// which makes the tables as small as the coarsest equivalent automaton. A
+// nil quotient falls back to the identity partition.
+func (sp *Spec) FreezeQuotient(q Quotient) *Frozen {
 	f := &Frozen{
 		SeedDepth:     sp.SeedDepth,
 		Alphabet:      append([]symbols.FuncID(nil), sp.Alphabet...),
@@ -53,8 +61,18 @@ func (sp *Spec) Freeze() *Frozen {
 	for k, v := range sp.Eng.Prep.OriginalPreds {
 		f.originalPreds[k] = v
 	}
+	f.flat = buildFlat(sp, q)
 	return f
 }
+
+// Flat returns the flat transition tables, or nil when they could not be
+// built (callers then use the map-based walk).
+func (f *Frozen) Flat() *FlatDFA { return f.flat }
+
+// OriginalPred reports whether p is a predicate of the original program
+// (as opposed to a normalization helper). Only original predicates are
+// observable through the flat tables.
+func (f *Frozen) OriginalPred(p symbols.PredID) bool { return f.originalPreds[p] }
 
 // Representative runs the successor DFA on t's symbol string, reading t
 // through v (which may be a scratch overlay holding t).

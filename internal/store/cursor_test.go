@@ -248,7 +248,7 @@ func TestSnapshotShipping(t *testing.T) {
 	if !ok {
 		t.Fatal("odd missing after install+recover")
 	}
-	if yes, err := e.Ask("?- Odd(41).", false); err != nil || !yes {
+	if yes, err := e.Ask(context.Background(), "?- Odd(41)."); err != nil || !yes {
 		t.Fatalf("Odd(41) = %v, %v; want true", yes, err)
 	}
 	if _, err := InstallSnapshot(t.TempDir(), raw[:len(raw)/2]); err == nil {
@@ -289,7 +289,7 @@ func TestReplicatedLogRecovers(t *testing.T) {
 	if !ok || e.Version != 2 {
 		t.Fatalf("entry = %v (ok=%v), want version 2", e, ok)
 	}
-	if yes, err := e.Ask("?- Even(33).", false); err != nil || !yes {
+	if yes, err := e.Ask(context.Background(), "?- Even(33)."); err != nil || !yes {
 		t.Fatalf("Even(33) = %v, %v; want true", yes, err)
 	}
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -98,7 +99,7 @@ func fingerprint(t *testing.T, reg *registry.Registry) catalogState {
 		desc := fmt.Sprintf("kind=%s version=%d", e.Kind, e.Version)
 		if e.Kind == registry.KindProgram {
 			for _, q := range []string{"?- Even(2).", "?- Even(3).", "?- Even(7)."} {
-				yes, err := e.Ask(q, false)
+				yes, err := e.Ask(context.Background(), q)
 				if err != nil {
 					desc += fmt.Sprintf(" %s=err", q)
 					continue
@@ -106,7 +107,7 @@ func fingerprint(t *testing.T, reg *registry.Registry) catalogState {
 				desc += fmt.Sprintf(" %s=%v", q, yes)
 			}
 		} else {
-			yes, err := e.Ask("Even(4)", false)
+			yes, err := e.Ask(context.Background(), "Even(4)")
 			desc += fmt.Sprintf(" Even(4)=%v/%v", yes, err == nil)
 		}
 		out[e.Name] = desc
@@ -241,7 +242,7 @@ func TestTornFinalRecord(t *testing.T) {
 	if !ok {
 		t.Fatal("entry lost")
 	}
-	if yes, err := e.Ask("?- Even(3).", false); err != nil || yes {
+	if yes, err := e.Ask(context.Background(), "?- Even(3)."); err != nil || yes {
 		t.Fatalf("torn extend leaked: Even(3)=%v err=%v", yes, err)
 	}
 	// The log keeps working at the healed offset.
@@ -253,7 +254,7 @@ func TestTornFinalRecord(t *testing.T) {
 	if !ok {
 		t.Fatal("entry lost after heal")
 	}
-	if yes, err := e3.Ask("?- Even(5).", false); err != nil || !yes {
+	if yes, err := e3.Ask(context.Background(), "?- Even(5)."); err != nil || !yes {
 		t.Fatalf("post-heal extend lost: Even(5)=%v err=%v", yes, err)
 	}
 	if e3.Version != 2 {
@@ -306,7 +307,7 @@ func TestCorruptChecksumMidLog(t *testing.T) {
 	if !ok {
 		t.Fatal("record before the corruption was lost")
 	}
-	if yes, _ := e.Ask("?- Even(3).", false); yes {
+	if yes, _ := e.Ask(context.Background(), "?- Even(3)."); yes {
 		t.Fatal("corrupted extend leaked")
 	}
 }

@@ -88,6 +88,27 @@ func NewScratch(base *Table) *Scratch { return &Scratch{base: base} }
 // Base returns the frozen table under the overlay.
 func (s *Scratch) Base() *Table { return s.base }
 
+// Reset re-points the overlay at base and drops every scratch-local symbol,
+// keeping allocated capacity so pooled overlays can be reused without
+// allocating.
+func (s *Scratch) Reset(base *Table) {
+	s.base = base
+	s.preds = s.preds[:0]
+	s.funcs = s.funcs[:0]
+	s.consts = s.consts[:0]
+	s.vars = s.vars[:0]
+	clear(s.predByKey)
+	clear(s.funcByKey)
+	clear(s.constByName)
+	clear(s.varByName)
+}
+
+// HasLocal reports whether any symbol was interned into the overlay (the
+// query mentioned identifiers the frozen base does not know).
+func (s *Scratch) HasLocal() bool {
+	return len(s.preds)+len(s.funcs)+len(s.consts)+len(s.vars) > 0
+}
+
 // Pred interns a predicate symbol, preferring the frozen base.
 func (s *Scratch) Pred(name string, arity int, functional bool) PredID {
 	key := predKey(name, arity, functional)

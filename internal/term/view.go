@@ -63,6 +63,15 @@ func NewScratch(base *Universe) *Scratch { return &Scratch{base: base} }
 // Base returns the frozen universe under the overlay.
 func (s *Scratch) Base() *Universe { return s.base }
 
+// Reset re-points the arena at base and drops every scratch-local term,
+// keeping allocated capacity so pooled arenas can be reused without
+// allocating.
+func (s *Scratch) Reset(base *Universe) {
+	s.base = base
+	s.nodes = s.nodes[:0]
+	clear(s.byApp)
+}
+
 func (s *Scratch) node(t Term) node {
 	if int(t) < len(s.base.nodes) {
 		return s.base.nodes[t]
