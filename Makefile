@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl race-watch race-shard bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router bench-hotpath fuzz fuzz-smoke govulncheck staticcheck tables examples clean
+.PHONY: all check build test vet race race-repl race-watch race-shard race-storm bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router bench-hotpath bench-storm fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -39,6 +39,11 @@ race-shard:
 	$(GO) test -race -count=1 ./internal/shard/ ./cmd/fdbrouter/
 	$(GO) test -race -count=1 -run 'TestShardedClusterEndToEnd' ./cmd/fdbd/
 
+# The admission-control storm scaled down to run under the race detector:
+# same mixed multi-tenant traffic, same abusive tenant, same p99 gate.
+race-storm:
+	$(GO) run -race ./cmd/fdbench storm -short BENCH_storm_race.json
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -73,6 +78,13 @@ bench-router:
 # allocates (EXPERIMENTS.md A12).
 bench-hotpath:
 	$(GO) run ./cmd/fdbench hotpath BENCH_hotpath.json
+
+# Multi-tenant admission-control soak (EXPERIMENTS.md A13): a 2-group
+# cluster under mixed tenant traffic plus one abusive tenant; fails if the
+# abuser is not shed or well-behaved p99 regresses past 2x the calm
+# baseline.
+bench-storm:
+	$(GO) run ./cmd/fdbench storm BENCH_storm.json
 
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

@@ -38,6 +38,21 @@
 //	                 query evaluated slower than this; 0 disables
 //	-debug-addr      optional second listener exposing /debug/pprof/*;
 //	                 keep it on localhost or a private interface
+//	-admission-config
+//	                 per-tenant admission policy file (JSON: token-bucket
+//	                 rate/burst, watch caps, per-query work budgets keyed
+//	                 by X-Api-Key), hot-reloaded on change
+//	-admission-rate / -admission-burst
+//	                 default token-bucket refill rate (cost units/s) and
+//	                 burst for tenants absent from the policy file
+//	-admission-concurrency / -admission-queue / -admission-queue-timeout
+//	                 evaluation slots, bounded waiting room and longest
+//	                 queue wait; arrivals beyond them are shed with
+//	                 429 rate_limited / 503 overloaded + Retry-After
+//	-max-qsteps / -max-arena-bytes
+//	                 default per-query work budgets (Algorithm Q steps,
+//	                 metered answer-arena bytes); an over-budget query
+//	                 dies with a typed 422 budget_exceeded envelope
 //
 // A durable primary serves its snapshot and WAL stream on /v1/repl/* for
 // replicas to consume. The daemon shuts down gracefully on
@@ -64,6 +79,7 @@ import (
 	"syscall"
 	"time"
 
+	"funcdb/internal/admission"
 	"funcdb/internal/core"
 	"funcdb/internal/registry"
 	"funcdb/internal/replica"
@@ -98,6 +114,14 @@ func run(args []string, out io.Writer) error {
 	slowQuery := fs.Duration("slow-query", 0, "log queries evaluated slower than this (0 disables)")
 	maxDerivation := fs.Int("max-derivation-depth", 0, "largest derivation depth one query may explore (0: unlimited)")
 	debugAddr := fs.String("debug-addr", "", "optional listener for /debug/pprof/* (empty disables)")
+	admConfig := fs.String("admission-config", "", "per-tenant admission policy file (JSON), hot-reloaded; empty disables per-tenant limits")
+	admRate := fs.Float64("admission-rate", 0, "default token refill rate (cost units/s) for tenants absent from the policy file (0: unlimited)")
+	admBurst := fs.Float64("admission-burst", 0, "default token-bucket burst for tenants absent from the policy file")
+	admConc := fs.Int("admission-concurrency", 0, "admitted requests evaluating simultaneously (0: 4×GOMAXPROCS)")
+	admQueue := fs.Int("admission-queue", 0, "bounded admission waiting room; arrivals beyond it are shed with 503 (0: 4×concurrency)")
+	admWait := fs.Duration("admission-queue-timeout", 0, "longest a queued request waits for a slot before a 503 shed (0: 1s)")
+	maxQSteps := fs.Int64("max-qsteps", 0, "largest Algorithm Q step count one query may spend (0: unlimited)")
+	maxArena := fs.Int64("max-arena-bytes", 0, "largest metered answer-arena footprint one query may build (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +158,22 @@ func run(args []string, out io.Writer) error {
 		replicaOf:   strings.TrimSuffix(*replicaOf, "/"),
 		readyMaxLag: *readyMaxLag,
 		debugAddr:   *debugAddr,
+	}
+	// Any admission or work-budget flag turns the admission front door on;
+	// the policy file (hot-reloaded) refines per-tenant limits on top of the
+	// flag-set defaults.
+	if *admConfig != "" || *admRate > 0 || *admBurst > 0 || *admConc > 0 || *admQueue > 0 ||
+		*maxQSteps > 0 || *maxArena > 0 {
+		dc.admission = &admission.Options{
+			Concurrency:  *admConc,
+			QueueDepth:   *admQueue,
+			QueueTimeout: *admWait,
+			Config: admission.Config{Default: admission.Limits{
+				Rate: *admRate, Burst: *admBurst,
+				MaxQSteps: *maxQSteps, MaxArenaBytes: *maxArena,
+			}},
+		}
+		dc.admissionPath = *admConfig
 	}
 	return serve(ctx, ln, dc, out)
 }
@@ -187,6 +227,11 @@ type daemonConfig struct {
 	replicaOf   string
 	readyMaxLag uint64
 	debugAddr   string
+	// admission, when set, enables the multi-tenant admission front door;
+	// admissionPath optionally names the hot-reloaded per-tenant policy
+	// file layered on top of the option defaults.
+	admission     *admission.Options
+	admissionPath string
 }
 
 // serve runs the daemon on ln until ctx is cancelled, then drains in-flight
@@ -256,7 +301,27 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 	case st != nil:
 		lsnFn = st.LastLSN
 	}
-	hub := watch.NewHub(watch.Options{Reg: reg, LSN: lsnFn})
+	var ctl *admission.Controller
+	if dc.admission != nil {
+		ctl = admission.New(*dc.admission)
+		defer ctl.Close()
+		if dc.admissionPath != "" {
+			if err := ctl.WatchFile(dc.admissionPath, time.Second); err != nil {
+				ln.Close()
+				if rep != nil {
+					rep.Close()
+				}
+				return fmt.Errorf("admission config: %w", err)
+			}
+			fmt.Fprintf(out, "fdbd: admission policy from %s (hot-reloaded)\n", dc.admissionPath)
+		}
+		cfg.Admission = ctl
+	}
+	hopts := watch.Options{Reg: reg, LSN: lsnFn}
+	if ctl != nil {
+		hopts.TenantCap = ctl.WatchCap
+	}
+	hub := watch.NewHub(hopts)
 	reg.SetNotifier(hub.Notify)
 	cfg.Watch = hub
 	srv := &http.Server{

@@ -12,6 +12,7 @@
 //	fdbench watch [OUT.json]
 //	fdbench router [OUT.json]
 //	fdbench hotpath [OUT.json]
+//	fdbench storm [-short] [OUT.json]
 //
 // The concurrent, repl, obs, watch, router and hotpath subcommands are not
 // part of "all":
@@ -27,7 +28,10 @@
 // (default BENCH_router.json); hotpath gates the compiled-plan ground-ask
 // path against the pre-plan seed baseline — it exits nonzero if the
 // speedup falls under 5x or the steady-state ask allocates
-// (default BENCH_hotpath.json).
+// (default BENCH_hotpath.json); storm soaks a 2-group cluster with mixed
+// multi-tenant traffic plus one abusive tenant and gates on the abuser
+// being shed while well-behaved p99 holds — -short is the same storm
+// scaled down for the race detector (default BENCH_storm.json).
 package main
 
 import (
@@ -50,6 +54,20 @@ func main() {
 	which := "all"
 	if len(os.Args) > 1 {
 		which = os.Args[1]
+	}
+	if which == "storm" {
+		rest := os.Args[2:]
+		short := false
+		if len(rest) > 0 && rest[0] == "-short" {
+			short = true
+			rest = rest[1:]
+		}
+		out := ""
+		if len(rest) > 0 {
+			out = rest[0]
+		}
+		stormBench(out, short)
+		return
 	}
 	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" || which == "hotpath" {
 		out := ""

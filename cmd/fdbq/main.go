@@ -33,6 +33,8 @@
 //	               interrupted; survives daemon failover by resuming at the
 //	               last delivered LSN
 //	-i             with -remote: interactive shell against the daemon
+//	-api-key KEY   with -remote: tenant API key sent as X-Api-Key, so daemons
+//	               running admission control attribute the work to you
 //	-trace         with -remote: request a per-stage span trace with every
 //	               query and print it as an indented tree
 //	-cc            answer through congruence closure instead of the DFA walk
@@ -74,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	watchQuery := fs.String("watch", "", "with -remote: subscribe to a live query and stream answer deltas")
 	interactive := fs.Bool("i", false, "with -remote: interactive shell against the daemon")
 	trace := fs.Bool("trace", false, "with -remote: print a per-stage span trace for each query")
+	apiKey := fs.String("api-key", "", "with -remote: tenant API key sent as X-Api-Key on every request")
 	useCC := fs.Bool("cc", false, "answer via congruence closure instead of the DFA walk")
 	info := fs.Bool("info", false, "describe the document or daemon database")
 	dot := fs.Bool("dot", false, "print the automaton as Graphviz DOT")
@@ -84,7 +87,7 @@ func run(args []string, out io.Writer) error {
 		if *specPath != "" {
 			return fmt.Errorf("-spec and -remote are mutually exclusive")
 		}
-		return runRemote(*remote, *dbName, *useCC, *info, *interactive, *trace, *addFacts, *watchQuery, fs.Args(), os.Stdin, out)
+		return runRemote(*remote, *dbName, *apiKey, *useCC, *info, *interactive, *trace, *addFacts, *watchQuery, fs.Args(), os.Stdin, out)
 	}
 	if *addFacts != "" || *interactive || *trace || *watchQuery != "" {
 		return fmt.Errorf("-add, -i, -trace and -watch need -remote (a local spec document is immutable)")
@@ -148,9 +151,9 @@ func run(args []string, out io.Writer) error {
 
 // runRemote answers the queries through a running fdbd daemon via the
 // shared remote client, so HTTP error bodies surface as messages.
-func runRemote(base string, db string, useCC, info, interactive, trace bool, addFacts, watchQuery string, queries []string, in io.Reader, out io.Writer) error {
+func runRemote(base, db, apiKey string, useCC, info, interactive, trace bool, addFacts, watchQuery string, queries []string, in io.Reader, out io.Writer) error {
 	client := &http.Client{Timeout: 30 * time.Second}
-	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, Trace: trace, HTTP: client}
+	rc := &repl.RemoteClient{Base: base, DB: db, CC: useCC, Trace: trace, APIKey: apiKey, HTTP: client}
 	endpoints := rc.Endpoints()
 	if len(endpoints) == 0 {
 		return fmt.Errorf("-remote lists no usable endpoint: %q", base)

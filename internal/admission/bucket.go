@@ -1,0 +1,65 @@
+package admission
+
+import "time"
+
+// bucket is a token bucket: it refills continuously at rate tokens/second up
+// to burst, and a request of cost c is admitted only when c tokens are
+// available. The caller holds the owning tenant's lock; the bucket itself
+// does no locking.
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 means the bucket never refills
+	burst  float64 // capacity; also the initial fill
+	tokens float64
+	last   time.Time // zero until the first take
+}
+
+// take refills the bucket to now, then tries to spend cost tokens. On
+// refusal it returns how long the caller must wait for cost tokens to
+// accumulate — the Retry-After the shed envelope carries.
+func (b *bucket) take(now time.Time, cost float64) (ok bool, retryAfter time.Duration) {
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if b.rate > 0 {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// Never refills: the deficit is permanent, so any Retry-After is a
+		// polite fiction. An hour keeps well-behaved clients from spinning.
+		return false, time.Hour
+	}
+	wait := time.Duration((cost - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		// Retry-After is whole seconds on the wire; rounding up keeps the
+		// client from coming back still short of tokens.
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// level refills to now and reports the current token count, for the
+// per-tenant tokens gauge.
+func (b *bucket) level(now time.Time) float64 {
+	if b.last.IsZero() {
+		return b.burst
+	}
+	t := b.tokens
+	if b.rate > 0 {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			t += dt * b.rate
+			if t > b.burst {
+				t = b.burst
+			}
+		}
+	}
+	return t
+}

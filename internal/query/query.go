@@ -195,6 +195,19 @@ func (a *Answers) add(rep term.Term, tu facts.TupleID) {
 	a.perRep[rep] = append(a.perRep[rep], tu)
 }
 
+// answerTupleBytes is the metered answer-arena cost of one accumulated
+// answer tuple: a seen-set entry plus a perRep slice slot.
+const answerTupleBytes = 48
+
+// chargeAnswers bills n newly accumulated answer tuples against the work
+// budget carried by ctx, if any.
+func chargeAnswers(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	return obs.BudgetFrom(ctx).AddBytes(int64(n) * answerTupleBytes)
+}
+
 // Incremental evaluates a uniform query against each slice of the primary
 // database (Theorem 5.1). The successor mappings of the underlying
 // specification are reused unchanged.
@@ -228,6 +241,7 @@ func IncrementalContext(ctx context.Context, be Backend, q *ast.Query) (*Answers
 	if hasFn {
 		// An existential functional variable still ranges over every
 		// cluster: one evaluation per representative covers all terms.
+		prev := 0
 		for _, rep := range be.RepTerms() {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -235,12 +249,19 @@ func IncrementalContext(ctx context.Context, be Backend, q *ast.Query) (*Answers
 			if err := eval(rep); err != nil {
 				return nil, err
 			}
+			if err := chargeAnswers(ctx, len(a.seen)-prev); err != nil {
+				return nil, err
+			}
+			prev = len(a.seen)
 		}
 	} else {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := eval(term.None); err != nil {
+			return nil, err
+		}
+		if err := chargeAnswers(ctx, len(a.seen)); err != nil {
 			return nil, err
 		}
 	}
@@ -401,6 +422,9 @@ func RecomputeContext(ctx context.Context, prog *ast.Program, q *ast.Query, engO
 		for _, f := range eng.Global().ByPred(head.Pred) {
 			a.add(term.None, w.AtomTuple(f))
 		}
+	}
+	if err := chargeAnswers(ctx, len(a.seen)); err != nil {
+		return nil, err
 	}
 	return a, nil
 }

@@ -2,7 +2,10 @@ package repl_test
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"funcdb/internal/core"
@@ -84,5 +87,69 @@ func TestEndpointsParsing(t *testing.T) {
 	got := c.Endpoints()
 	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
 		t.Fatalf("Endpoints() = %v", got)
+	}
+}
+
+// TestShedRetriesInPlaceNotAcross: an endpoint that sheds with 429
+// rate_limited must be retried in place after the Retry-After pause, not
+// failed over — the second (healthy) endpoint must never see the request.
+func TestShedRetriesInPlaceNotAcross(t *testing.T) {
+	var mu sync.Mutex
+	shedsLeft := 2
+	spare := 0
+	live, _ := startNode(t, false)
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		mu.Lock()
+		over := shedsLeft > 0
+		if over {
+			shedsLeft--
+		}
+		mu.Unlock()
+		if over {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"rate_limited","message":"tenant over budget"}}`))
+			return
+		}
+		// Recovered: proxy to the real daemon.
+		resp, err := http.Post(live.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(shedder.Close)
+	wrongNode := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		mu.Lock()
+		spare++
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"answer":true,"version":1}`))
+	}))
+	t.Cleanup(wrongNode.Close)
+
+	c := &repl.RemoteClient{Base: shedder.URL + "," + wrongNode.URL, DB: "even", APIKey: "tenant-a"}
+	yes, _, err := c.Ask(context.Background(), "?- Even(4).")
+	if err != nil || !yes {
+		t.Fatalf("ask after sheds = %v, %v; want true", yes, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if shedsLeft != 0 {
+		t.Fatalf("shedder only consumed %d sheds", 2-shedsLeft)
+	}
+	if spare != 0 {
+		t.Fatalf("shed failed over: second endpoint saw %d requests, want 0", spare)
 	}
 }

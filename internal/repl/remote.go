@@ -52,6 +52,9 @@ type RemoteClient struct {
 	// Trace asks the daemon for a per-stage span trace with every query;
 	// the shell renders it as an indented tree after the answer.
 	Trace bool
+	// APIKey identifies the tenant to daemons running admission control;
+	// sent as the X-Api-Key header on every request. Empty means anonymous.
+	APIKey string
 	// HTTP is the client used for requests; nil means a 30s-timeout client.
 	HTTP *http.Client
 
@@ -95,17 +98,34 @@ func (e *RemoteError) Error() string { return e.Message }
 // failover reports whether an endpoint's failure should be retried on the
 // next endpoint. Transport errors and 5xx mean the node is unhealthy; a
 // read-only refusal means the node is a healthy replica and the write
-// belongs on the primary. Everything else (bad query, unknown database,
-// oversized body...) would fail identically everywhere.
+// belongs on the primary. Admission sheds (429 rate_limited, 503
+// overloaded) are NOT node failures: the tenant's budget or the cluster's
+// capacity is exhausted everywhere at once, so hammering a replica with
+// the same request would only spread the overload — back off instead.
+// Everything else (bad query, unknown database, oversized body...) would
+// fail identically everywhere.
 func failover(err error) bool {
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		return true // transport-level failure
 	}
+	if shed(re) {
+		return false
+	}
 	if re.Status >= 500 {
 		return true
 	}
 	return re.Status == http.StatusForbidden && re.Code == "read_only_replica"
+}
+
+// shed reports whether re is an admission-control shed: a refusal that
+// asks the client to slow down, not to try a different node.
+func shed(re *RemoteError) bool {
+	if re.Status == http.StatusTooManyRequests {
+		return true
+	}
+	return re.Status == http.StatusServiceUnavailable &&
+		(re.Code == "overloaded" || re.Code == "rate_limited")
 }
 
 // healthy probes base's readiness endpoint. A 404 counts as healthy so
@@ -164,7 +184,7 @@ func retryDelay(err error, backoff time.Duration) (time.Duration, bool) {
 		return 0, false // transport errors already swept every endpoint
 	}
 	transient := (re.Status == http.StatusConflict && re.Code == "resharding") ||
-		re.Status == http.StatusTooManyRequests ||
+		shed(re) ||
 		((re.Status == http.StatusBadGateway || re.Status == http.StatusServiceUnavailable) && re.RetryAfter > 0)
 	if !transient {
 		return 0, false
@@ -241,6 +261,9 @@ func (c *RemoteClient) doOne(ctx context.Context, base, method, path string, bod
 	}
 	if rd != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-Api-Key", c.APIKey)
 	}
 	resp, err := c.client().Do(req)
 	if err != nil {

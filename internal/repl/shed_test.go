@@ -1,0 +1,52 @@
+package repl
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestFailoverClassifiesSheds: admission sheds (429, 503 with shed codes)
+// must not rotate to another endpoint — the tenant's budget is exhausted
+// everywhere — while genuine 5xx node failures still do.
+func TestFailoverClassifiesSheds(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"transport", errors.New("connection refused"), true},
+		{"rate_limited_429", &RemoteError{Status: http.StatusTooManyRequests, Code: "rate_limited"}, false},
+		{"overloaded_503", &RemoteError{Status: http.StatusServiceUnavailable, Code: "overloaded"}, false},
+		{"rate_limited_503", &RemoteError{Status: http.StatusServiceUnavailable, Code: "rate_limited"}, false},
+		{"plain_503", &RemoteError{Status: http.StatusServiceUnavailable, Code: "shutting_down"}, true},
+		{"internal_500", &RemoteError{Status: http.StatusInternalServerError}, true},
+		{"read_only_403", &RemoteError{Status: http.StatusForbidden, Code: "read_only_replica"}, true},
+		{"bad_query_400", &RemoteError{Status: http.StatusBadRequest, Code: "bad_query"}, false},
+	}
+	for _, tc := range cases {
+		if got := failover(tc.err); got != tc.want {
+			t.Errorf("failover(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter: a shed with a Retry-After wins over the
+// caller's backoff; one without falls back to the backoff; a permanent
+// error is not retried at all.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	backoff := 200 * time.Millisecond
+	shedWithHint := &RemoteError{Status: http.StatusTooManyRequests, Code: "rate_limited", RetryAfter: 3}
+	if d, ok := retryDelay(shedWithHint, backoff); !ok || d != 3*time.Second {
+		t.Fatalf("429 with Retry-After 3: (%v, %v), want (3s, true)", d, ok)
+	}
+	shedNoHint := &RemoteError{Status: http.StatusServiceUnavailable, Code: "overloaded"}
+	if d, ok := retryDelay(shedNoHint, backoff); !ok || d != backoff {
+		t.Fatalf("503 overloaded without hint: (%v, %v), want (%v, true)", d, ok, backoff)
+	}
+	permanent := &RemoteError{Status: http.StatusUnprocessableEntity, Code: "budget_exceeded"}
+	if _, ok := retryDelay(permanent, backoff); ok {
+		t.Fatal("budget_exceeded must not be retried: the same query costs the same everywhere")
+	}
+}

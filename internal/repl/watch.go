@@ -146,6 +146,9 @@ func (s *watchSession) attempt(ctx context.Context, idx int, base string) (progr
 		return false, err, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if s.c.APIKey != "" {
+		req.Header.Set("X-Api-Key", s.c.APIKey)
+	}
 	resp, err := s.httpc.Do(req)
 	if err != nil {
 		return false, err, ctx.Err() == nil

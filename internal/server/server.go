@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"funcdb/internal/admission"
 	"funcdb/internal/core"
 	"funcdb/internal/obs"
 	"funcdb/internal/parser"
@@ -101,6 +102,50 @@ type Config struct {
 	// deeper wave fails fast with 422 depth_budget_exceeded instead of
 	// burning its full wall-clock deadline. Zero means unlimited.
 	MaxDerivationDepth int
+	// Admission, when set, gates the query endpoints through the
+	// multi-tenant admission controller: the tenant (X-Api-Key header) is
+	// charged the endpoint's cost class against its token bucket, the
+	// request waits in the bounded admission queue for an evaluation slot,
+	// and evaluation runs under the tenant's per-query work budget. Sheds
+	// render as 429 rate_limited / 503 overloaded with Retry-After; budget
+	// kills as 422 budget_exceeded.
+	Admission *admission.Controller
+}
+
+// HeaderAPIKey is the request header carrying the tenant's API key. The
+// router forwards it unchanged, so per-tenant policy holds across shards.
+const HeaderAPIKey = "X-Api-Key"
+
+// AnonymousTenant is the tenant name requests without an API key fall
+// under; its limits come from the admission config's default block.
+const AnonymousTenant = "anonymous"
+
+// tenantFrom extracts the tenant identity from a request.
+func tenantFrom(r *http.Request) string {
+	if k := r.Header.Get(HeaderAPIKey); k != "" {
+		return k
+	}
+	return AnonymousTenant
+}
+
+// endpointCost is the admission cost class charged per request. Weights
+// reflect worst-case evaluation work: an /ask is one cached verdict, an
+// /answers enumerates, a /batch carries many queries, a watch holds a
+// stream open. Health, readiness, metrics, and replication endpoints are
+// exempt — shedding those would blind operators exactly when admission is
+// doing its job.
+var endpointCost = map[string]int{
+	"ask":     1,
+	"explain": 1,
+	"dbs":     1,
+	"db":      1,
+	"delete":  1,
+	"facts":   2,
+	"export":  2,
+	"put":     4,
+	"answers": 4,
+	"watch":   4,
+	"batch":   8,
 }
 
 // Defaults for Config's zero values.
@@ -227,10 +272,19 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		root.HandleFunc("GET /v1/repl/lsn", s.instrument("repl_lsn", s.handleReplLSN))
 	}
 	if s.cfg.Watch == nil {
-		s.cfg.Watch = watch.NewHub(watch.Options{Reg: reg})
+		wopts := watch.Options{Reg: reg}
+		if s.cfg.Admission != nil {
+			// The per-tenant watch cap follows the admission policy file.
+			// Daemons passing a pre-wired hub wire this themselves.
+			wopts.TenantCap = s.cfg.Admission.WatchCap
+		}
+		s.cfg.Watch = watch.NewHub(wopts)
 		reg.SetNotifier(s.cfg.Watch.Notify)
 	}
 	s.cfg.Watch.Instrument(s.met.reg)
+	if s.cfg.Admission != nil {
+		s.cfg.Admission.Instrument(s.met.reg)
+	}
 	root.HandleFunc("POST /v1/db/{name}/watch", s.instrument("watch", s.handleWatch))
 	root.Handle("/", h)
 	s.handler = root
@@ -281,6 +335,7 @@ func classify(err error) (int, errorBody) {
 	var ae *apiError
 	var mbe *http.MaxBytesError
 	var pe *parser.ParseError
+	var shed *admission.ShedError
 	switch {
 	case errors.As(err, &ae):
 		code := ae.code
@@ -288,6 +343,12 @@ func classify(err error) (int, errorBody) {
 			code = codeForStatus(ae.status)
 		}
 		return ae.status, errorBody{Code: code, Message: ae.msg}
+	case errors.As(err, &shed):
+		status := http.StatusTooManyRequests
+		if shed.Code == admission.CodeOverloaded {
+			status = http.StatusServiceUnavailable
+		}
+		return status, errorBody{Code: shed.Code, Message: shed.Error()}
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge,
 			errorBody{Code: "body_too_large", Message: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)}
@@ -304,6 +365,10 @@ func classify(err error) (int, errorBody) {
 		return http.StatusBadRequest, errorBody{Code: "unsafe_query", Message: err.Error()}
 	case errors.As(err, new(*obs.DepthBudgetError)):
 		return http.StatusUnprocessableEntity, errorBody{Code: "depth_budget_exceeded", Message: err.Error()}
+	case errors.Is(err, obs.ErrBudgetExceeded):
+		// Any other exhausted per-query work budget (Algorithm Q steps,
+		// tenant depth, arena bytes): the query died by policy, not the node.
+		return http.StatusUnprocessableEntity, errorBody{Code: "budget_exceeded", Message: err.Error()}
 	}
 	return http.StatusInternalServerError, errorBody{Code: "internal", Message: err.Error()}
 }
@@ -330,7 +395,7 @@ func queryError(err error) error {
 	var pe *parser.ParseError
 	if errors.Is(err, core.ErrCanceled) || errors.Is(err, registry.ErrUnknownDatabase) ||
 		errors.Is(err, query.ErrUnsafeQuery) || errors.As(err, &pe) ||
-		errors.As(err, new(*obs.DepthBudgetError)) {
+		errors.Is(err, obs.ErrBudgetExceeded) {
 		return err
 	}
 	return errf(http.StatusBadRequest, "%v", err)
@@ -351,11 +416,29 @@ func newRequestID() string {
 // failure) tagged with the request ID.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	em := s.met.endpoint(endpoint)
+	cost, gated := endpointCost[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqID := newRequestID()
 		w.Header().Set("X-Request-Id", reqID)
-		err := h(w, r)
+		var err error
+		if adm := s.cfg.Admission; adm != nil && gated {
+			if endpoint == "watch" {
+				// A watch is long-lived: charge the bucket only. Its
+				// concurrency is bounded by the hub's caps, so it must not
+				// pin an evaluation slot for the stream's lifetime.
+				err = adm.AdmitRate(tenantFrom(r), cost)
+			} else {
+				var release func()
+				release, err = adm.Admit(r.Context(), tenantFrom(r), cost)
+				if release != nil {
+					defer release()
+				}
+			}
+		}
+		if err == nil {
+			err = h(w, r)
+		}
 		d := time.Since(start)
 		em.observe(d, err != nil)
 		logArgs := []any{
@@ -373,8 +456,19 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		}
 		status, body := classify(err)
 		var ae *apiError
-		if errors.As(err, &ae) && ae.retryAfter > 0 {
+		var shed *admission.ShedError
+		switch {
+		case errors.As(err, &ae) && ae.retryAfter > 0:
 			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		case errors.As(err, &shed):
+			secs := int(shed.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		if body.Code == "budget_exceeded" || body.Code == "depth_budget_exceeded" {
+			s.cfg.Admission.RecordBudgetKill()
 		}
 		writeJSON(w, status, map[string]errorBody{"error": body})
 		logArgs = append(logArgs, "status", status, "code", body.Code, "error", body.Message)
@@ -664,7 +758,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	em := s.met.endpoint("ask")
 	// The traced ctx is built before the key so that a cold traced request
 	// records its parse/compile spans (cacheQuery compiles the plan).
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	ctx, tr := s.traceContext(r, req.Trace)
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: s.cacheQuery(ctx, e, req.Query), via: req.Via}
 	if !req.Trace {
 		if v, ok := s.cache.get(key); ok {
@@ -690,11 +784,15 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 }
 
 // traceContext prepares the evaluation context for one query request: the
-// configured derivation-depth budget always rides along, and a fresh trace
-// is attached when the request opted in; otherwise the trace is nil (whose
-// Report is nil, so the response's trace block is simply omitted).
-func (s *Server) traceContext(ctx context.Context, want bool) (context.Context, *obs.Trace) {
-	ctx = obs.WithDepthBudget(ctx, s.cfg.MaxDerivationDepth)
+// configured derivation-depth budget always rides along, the tenant's
+// per-query work budget is attached when admission is enabled, and a fresh
+// trace is attached when the request opted in; otherwise the trace is nil
+// (whose Report is nil, so the response's trace block is simply omitted).
+func (s *Server) traceContext(r *http.Request, want bool) (context.Context, *obs.Trace) {
+	ctx := obs.WithDepthBudget(r.Context(), s.cfg.MaxDerivationDepth)
+	if adm := s.cfg.Admission; adm != nil {
+		ctx = obs.WithBudget(ctx, adm.Budget(tenantFrom(r)))
+	}
 	if !want {
 		return ctx, nil
 	}
@@ -748,7 +846,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 		limit = s.cfg.MaxTuples
 	}
 	em := s.met.endpoint("answers")
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	ctx, tr := s.traceContext(r, req.Trace)
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "answers",
 		query: s.cacheQuery(ctx, e, req.Query), depth: req.Depth, limit: limit}
 	if !req.Trace {
@@ -821,7 +919,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 
 	// Serve cached verdicts (shared with /ask by key) and collect misses.
 	em := s.met.endpoint("batch")
-	ctx, tr := s.traceContext(r.Context(), req.Trace)
+	ctx, tr := s.traceContext(r, req.Trace)
 	items := make([]batchItem, len(req.Queries))
 	keys := make([]cacheKey, len(req.Queries))
 	var misses []string

@@ -50,8 +50,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) error {
 			"this node has applied lsn %d, behind requested %d; retry or use another endpoint",
 			hub.LSN(), req.FromLSN).withRetryAfter(1)
 	}
-	sub, err := hub.Subscribe(name, req.Query, req.Depth, limit)
+	sub, err := hub.SubscribeTenant(name, req.Query, req.Depth, limit, tenantFrom(r))
 	if err != nil {
+		if errors.Is(err, watch.ErrTenantStreams) {
+			// The tenant's own cap, not node capacity: render it like any
+			// other rate-limiting shed so clients back off, not fail over.
+			s.cfg.Admission.RecordWatchShed()
+			return errc(http.StatusTooManyRequests, "rate_limited", "%v", err).withRetryAfter(2)
+		}
 		if errors.Is(err, watch.ErrTooManyStreams) {
 			return errc(http.StatusTooManyRequests, "too_many_streams", "%v", err).withRetryAfter(2)
 		}

@@ -524,6 +524,11 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *Map, group,
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	// The tenant identity rides through so the shard's admission control
+	// charges the right bucket; the router itself stays tenant-agnostic.
+	if key := r.Header.Get("X-Api-Key"); key != "" {
+		req.Header.Set("X-Api-Key", key)
+	}
 	req.Header.Set("X-Funcdb-Router", fmt.Sprintf("v%d", m.Version))
 	resp, err := rt.client.Do(req)
 	if err != nil {

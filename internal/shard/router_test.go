@@ -370,3 +370,76 @@ func TestRouterUnreadyWithoutMap(t *testing.T) {
 		t.Fatalf("proxy without map: %d Retry-After=%q", ask.StatusCode, ask.Header.Get("Retry-After"))
 	}
 }
+
+// TestRouterShedPassthrough: an admission shed from a shard (429
+// rate_limited, 503 overloaded) must reach the client unmodified — same
+// status, same error code, same Retry-After — and must NOT be retried
+// against another endpoint of the group: the tenant's budget is exhausted
+// cluster-wide, so a replica would only shed again. The tenant's API key
+// rides through to the backend so the shard charges the right bucket.
+func TestRouterShedPassthrough(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{http.StatusTooManyRequests, "rate_limited"},
+		{http.StatusServiceUnavailable, "overloaded"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			var mu sync.Mutex
+			hits := 0
+			var seenKey string
+			shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/readyz" {
+					w.WriteHeader(http.StatusOK)
+					return
+				}
+				mu.Lock()
+				hits++
+				seenKey = r.Header.Get("X-Api-Key")
+				mu.Unlock()
+				w.Header().Set("Retry-After", "7")
+				writeJSON(w, tc.status, map[string]any{
+					"error": map[string]any{"code": tc.code, "message": "tenant over budget"},
+				})
+			})
+			// Both endpoints shed, so a wrongful retry shows up as hits > 1
+			// no matter which endpoint round-robin picks first.
+			primary := httptest.NewServer(shed)
+			replica := httptest.NewServer(shed)
+			t.Cleanup(primary.Close)
+			t.Cleanup(replica.Close)
+			m := &Map{Version: 1, Groups: []Group{
+				{Name: "ga", Primary: primary.URL, Replicas: []string{replica.URL}},
+			}, Overrides: map[string]string{"alpha": "ga"}}
+			_, srv, _ := routerOver(t, m)
+
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/db/alpha", nil)
+			req.Header.Set("X-Api-Key", "abuser")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, raw)
+			}
+			if got := resp.Header.Get("Retry-After"); got != "7" {
+				t.Fatalf("Retry-After %q did not pass through", got)
+			}
+			if !bytes.Contains(raw, []byte(`"`+tc.code+`"`)) {
+				t.Fatalf("shed body %s lost code %q", raw, tc.code)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if hits != 1 {
+				t.Fatalf("shed retried: %d backend requests, want 1", hits)
+			}
+			if seenKey != "abuser" {
+				t.Fatalf("backend saw X-Api-Key %q, want abuser", seenKey)
+			}
+		})
+	}
+}

@@ -83,6 +83,7 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 	}
 	ctx, qspan := obs.StartSpan(eng.Context(), "algoq")
 	defer qspan.End()
+	wb := obs.BudgetFrom(ctx)
 	sp := &Spec{
 		Eng:       eng,
 		U:         eng.U,
@@ -95,6 +96,10 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 	sp.Alphabet = append(sp.Alphabet, eng.Prep.Funcs...)
 	sort.Slice(sp.Alphabet, func(i, j int) bool { return sp.Alphabet[i] < sp.Alphabet[j] })
 
+	// Each representative costs one map slot in four tables plus one successor
+	// edge per alphabet symbol — the metered arena-bytes estimate a work
+	// budget charges per admitted cluster.
+	repBytes := int64(64 + 16*len(sp.Alphabet))
 	addRep := func(t term.Term) error {
 		sp.Reps = append(sp.Reps, t)
 		sp.repSet[t] = true
@@ -106,7 +111,7 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 		if opts.MaxReps > 0 && len(sp.Reps) > opts.MaxReps {
 			return fmt.Errorf("specgraph: more than %d representative terms", opts.MaxReps)
 		}
-		return nil
+		return wb.AddBytes(repBytes)
 	}
 
 	// Singleton clusters: every term of depth < SeedDepth.
@@ -158,11 +163,18 @@ func Build(eng *engine.Engine, opts Options) (*Spec, error) {
 				// query is bounded by the budget, not by the rejection.
 				return nil, &obs.DepthBudgetError{Max: budget}
 			}
+			if err := wb.CheckDepth(int64(d)); err != nil {
+				return nil, err
+			}
 			_, rspan = obs.StartSpan(ctx, "algoq_round")
 			curDepth = d
 			if d > maxDepth {
 				maxDepth = d
 			}
+		}
+		if err := wb.AddQSteps(1); err != nil {
+			rspan.End()
+			return nil, err
 		}
 		sp.Potentials = append(sp.Potentials, t)
 		s, err := eng.StateOf(t)

@@ -21,6 +21,12 @@ import (
 // per-database stream cap.
 var ErrTooManyStreams = errors.New("watch: too many active streams")
 
+// ErrTenantStreams reports a subscription rejected by the per-tenant cap —
+// a rate-limiting condition on one tenant, deliberately distinct from
+// ErrTooManyStreams (a capacity condition on the node), so servers can
+// render it as 429 rate_limited rather than too_many_streams.
+var ErrTenantStreams = errors.New("watch: tenant watch cap reached")
+
 // ErrClosed reports a subscription against a hub that has shut down.
 var ErrClosed = errors.New("watch: hub closed")
 
@@ -51,6 +57,10 @@ type Options struct {
 	// DeltaTimeout bounds one stream's evaluation per version bump; an
 	// evaluation that exceeds it degrades to a resync frame.
 	DeltaTimeout time.Duration
+	// TenantCap, when set, returns the cap on concurrent streams held by
+	// one tenant (0 = uncapped). Daemons wire the admission controller's
+	// WatchCap here so the per-tenant policy file governs watches too.
+	TenantCap func(tenant string) int
 }
 
 // Hub fans registry version bumps out to subscribed query streams. One
@@ -72,6 +82,12 @@ type Hub struct {
 	resyncs   atomic.Int64
 	slowDrops atomic.Int64
 	delta     *obs.Histogram // nil until Instrument
+
+	// tmu guards perTenant. It is a leaf lock: taken alone, never while
+	// holding mu or a dbWatch's mu, so stream close (which may run under
+	// either) can decrement safely.
+	tmu       sync.Mutex
+	perTenant map[string]int
 }
 
 // NewHub returns a running hub; it spawns workers lazily per watched
@@ -89,7 +105,7 @@ func NewHub(opts Options) *Hub {
 	if opts.DeltaTimeout <= 0 {
 		opts.DeltaTimeout = DefaultDeltaTimeout
 	}
-	h := &Hub{opts: opts, dbs: make(map[string]*dbWatch)}
+	h := &Hub{opts: opts, dbs: make(map[string]*dbWatch), perTenant: make(map[string]int)}
 	h.ctx, h.cancel = context.WithCancel(context.Background())
 	return h
 }
@@ -159,6 +175,53 @@ func (h *Hub) Notify(name string, version uint64) {
 // surface on the stream's first frame instead. The returned stream's first
 // frame is an init carrying the full bounded answer set.
 func (h *Hub) Subscribe(db, src string, depth, limit int) (*Stream, error) {
+	return h.SubscribeTenant(db, src, depth, limit, "")
+}
+
+// acquireTenant counts one stream against tenant's cap; it returns
+// ErrTenantStreams when the cap is already reached. Anonymous streams
+// (empty tenant) are never capped per-tenant — the global and per-database
+// caps still apply.
+func (h *Hub) acquireTenant(tenant string) error {
+	if tenant == "" {
+		return nil
+	}
+	h.tmu.Lock()
+	defer h.tmu.Unlock()
+	if h.opts.TenantCap != nil {
+		if cap := h.opts.TenantCap(tenant); cap > 0 && h.perTenant[tenant] >= cap {
+			return fmt.Errorf("%w: tenant %q holds %d streams (max %d)",
+				ErrTenantStreams, tenant, h.perTenant[tenant], cap)
+		}
+	}
+	h.perTenant[tenant]++
+	return nil
+}
+
+func (h *Hub) releaseTenant(tenant string) {
+	if tenant == "" {
+		return
+	}
+	h.tmu.Lock()
+	if h.perTenant[tenant] > 1 {
+		h.perTenant[tenant]--
+	} else {
+		delete(h.perTenant, tenant)
+	}
+	h.tmu.Unlock()
+}
+
+// TenantStreams reports the active stream count for one tenant (tests).
+func (h *Hub) TenantStreams(tenant string) int {
+	h.tmu.Lock()
+	defer h.tmu.Unlock()
+	return h.perTenant[tenant]
+}
+
+// SubscribeTenant is Subscribe with the stream attributed to a tenant, so
+// the per-tenant cap (Options.TenantCap) applies on top of the global and
+// per-database caps.
+func (h *Hub) SubscribeTenant(db, src string, depth, limit int, tenant string) (*Stream, error) {
 	e, ok := h.opts.Reg.Get(db)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", registry.ErrNotFound, db)
@@ -196,6 +259,10 @@ func (h *Hub) Subscribe(db, src string, depth, limit int) (*Stream, error) {
 		dw.mu.Unlock()
 		return nil, fmt.Errorf("%w (max %d per database)", ErrTooManyStreams, h.opts.MaxStreamsPerDB)
 	}
+	if err := h.acquireTenant(tenant); err != nil {
+		dw.mu.Unlock()
+		return nil, err
+	}
 	h.nextID++
 	st := &Stream{
 		ID:      h.nextID,
@@ -204,6 +271,7 @@ func (h *Hub) Subscribe(db, src string, depth, limit int) (*Stream, error) {
 		Depth:   depth,
 		Limit:   limit,
 		Uniform: uniform,
+		tenant:  tenant,
 		hub:     h,
 		frames:  make(chan Frame, h.opts.QueueLen),
 		closed:  make(chan struct{}),
@@ -236,6 +304,8 @@ type Stream struct {
 	Depth   int
 	Limit   int
 	Uniform bool
+
+	tenant string // attribution for the per-tenant cap; "" = anonymous
 
 	hub    *Hub
 	frames chan Frame
@@ -270,6 +340,7 @@ func (st *Stream) close(reason string, err error) {
 		st.reason = reason
 		st.err = err
 		st.hub.nstreams.Add(-1)
+		st.hub.releaseTenant(st.tenant)
 		close(st.closed)
 	})
 }
