@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race race-repl race-watch race-shard race-storm bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router bench-hotpath bench-storm fuzz fuzz-smoke govulncheck staticcheck tables examples clean
+.PHONY: all check build test vet race race-repl race-watch race-shard race-storm race-trace bench bench-store bench-concurrent bench-repl bench-obs bench-watch bench-router bench-hotpath bench-storm bench-trace fuzz fuzz-smoke govulncheck staticcheck tables examples clean
 
 all: check
 
@@ -44,6 +44,14 @@ race-shard:
 race-storm:
 	$(GO) run -race ./cmd/fdbench storm -short BENCH_storm_race.json
 
+# The tracing stack alone under the race detector: the recorder ring and
+# traceparent codec, the server's always-on instrumentation and stats table,
+# the router's span merging and /debug/traces scatter, and the process-level
+# router + primary + replica distributed-trace end-to-end test.
+race-trace:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/server/ ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestDistributedTraceEndToEnd' ./cmd/fdbd/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -85,6 +93,12 @@ bench-hotpath:
 # baseline.
 bench-storm:
 	$(GO) run ./cmd/fdbench storm BENCH_storm.json
+
+# Flight-recorder overhead gate (EXPERIMENTS.md A14): ask throughput with
+# the always-on recorder vs recorder disabled; fails (exits nonzero) if the
+# recorder costs more than 5%.
+bench-trace:
+	$(GO) run ./cmd/fdbench trace BENCH_trace.json
 
 govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

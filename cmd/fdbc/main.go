@@ -20,24 +20,33 @@
 //
 //	fdbc -dump graph -ask '?- Meets(10, tony).' meetings.fdb
 //
-// One operational subcommand rides along:
+// Two operational subcommands ride along:
 //
 //	fdbc reshard -routers URL[,URL...] -db NAME -to GROUP
 //
 // moves a database to another shard group, live, through the fdbrouter
-// fleet (see internal/shard).
+// fleet (see internal/shard), and
+//
+//	fdbc traces -remote URL [-id ID] [-n N] [-api-key KEY]
+//
+// lists (or fetches by ID, span tree included) the entries of a daemon's
+// or router's flight recorder — the ring of recent requests every funcdb
+// process keeps, errors and budget kills always retained — so a p99 spike
+// or a killed query can be examined after the fact.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/repl"
 	"funcdb/internal/shard"
 	"funcdb/internal/symbols"
@@ -94,9 +103,81 @@ func runReshard(args []string) error {
 	return nil
 }
 
+// runTraces is the `fdbc traces` subcommand: list or fetch the entries of
+// a daemon's (or, through a router, the whole fleet's) flight recorder.
+func runTraces(args []string) error {
+	fs := flag.NewFlagSet("fdbc traces", flag.ContinueOnError)
+	remote := fs.String("remote", "", "daemon or router base URL(s), comma-separated (required)")
+	id := fs.String("id", "", "fetch one recorded trace by ID, span tree included (default: list)")
+	n := fs.Int("n", 20, "how many entries to list")
+	apiKey := fs.String("api-key", "", "tenant key sent as X-Api-Key")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("usage: fdbc traces -remote URL [-id ID] [-n N] [-api-key KEY]")
+	}
+	c := &repl.RemoteClient{Base: *remote, APIKey: *apiKey}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *id != "" {
+		e, err := c.TraceByID(ctx, *id)
+		if err != nil {
+			return err
+		}
+		printTraceEntry(os.Stdout, e, true)
+		return nil
+	}
+	entries, err := c.Traces(ctx, *n)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("no recorded traces")
+		return nil
+	}
+	for _, e := range entries {
+		printTraceEntry(os.Stdout, e, false)
+	}
+	return nil
+}
+
+// printTraceEntry renders one flight-recorder entry: a single summary line
+// in list mode, plus the query and the full span tree in full mode.
+func printTraceEntry(w io.Writer, e *obs.TraceEntry, full bool) {
+	ts := time.UnixMilli(e.TimeUnixMS).Format("15:04:05.000")
+	fmt.Fprintf(w, "%s  %-11s %-9s %3d  %8dµs  %s", ts, e.Outcome, e.Endpoint, e.Status, e.DurUS, e.ID)
+	if e.DB != "" {
+		fmt.Fprintf(w, "  db=%s", e.DB)
+	}
+	if e.Node != "" {
+		fmt.Fprintf(w, "  [%s]", e.Node)
+	}
+	fmt.Fprintln(w)
+	if !full {
+		return
+	}
+	if e.Query != "" {
+		fmt.Fprintf(w, "query: %s\n", e.Query)
+	}
+	if e.Fingerprint != "" {
+		fmt.Fprintf(w, "fingerprint: %s\n", e.Fingerprint)
+	}
+	if e.Tenant != "" {
+		fmt.Fprintf(w, "tenant: %s\n", e.Tenant)
+	}
+	if e.Code != "" {
+		fmt.Fprintf(w, "code: %s\n", e.Code)
+	}
+	repl.RenderTrace(w, e.Report)
+}
+
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "reshard" {
 		return runReshard(args[1:])
+	}
+	if len(args) > 0 && args[0] == "traces" {
+		return runTraces(args[1:])
 	}
 	fs := flag.NewFlagSet("fdbc", flag.ContinueOnError)
 	dump := fs.String("dump", "", "print a specification: graph, eq, temporal, canonical, congr or min")

@@ -53,6 +53,12 @@
 //	                 default per-query work budgets (Algorithm Q steps,
 //	                 metered answer-arena bytes); an over-budget query
 //	                 dies with a typed 422 budget_exceeded envelope
+//	-trace-buffer    flight-recorder capacity in entries (0: default 1024;
+//	                 negative disables the recorder and always-on tracing)
+//	-trace-sample    keep 1 in N unremarkable requests in the recorder
+//	-stats-topk      distinct query fingerprints tracked per process in
+//	                 /stats and funcdbd_query_* metrics (overflow folds
+//	                 into "other")
 //
 // A durable primary serves its snapshot and WAL stream on /v1/repl/* for
 // replicas to consume. The daemon shuts down gracefully on
@@ -81,6 +87,7 @@ import (
 
 	"funcdb/internal/admission"
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/registry"
 	"funcdb/internal/replica"
 	"funcdb/internal/server"
@@ -122,6 +129,9 @@ func run(args []string, out io.Writer) error {
 	admWait := fs.Duration("admission-queue-timeout", 0, "longest a queued request waits for a slot before a 503 shed (0: 1s)")
 	maxQSteps := fs.Int64("max-qsteps", 0, "largest Algorithm Q step count one query may spend (0: unlimited)")
 	maxArena := fs.Int64("max-arena-bytes", 0, "largest metered answer-arena footprint one query may build (0: unlimited)")
+	traceBuffer := fs.Int("trace-buffer", 0, "flight-recorder capacity in entries (0: default; negative disables)")
+	traceSample := fs.Int("trace-sample", 0, "keep 1 in N unremarkable requests in the flight recorder (0: default)")
+	statsTopK := fs.Int("stats-topk", 0, "distinct query fingerprints tracked in /stats and metrics (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,7 +162,8 @@ func run(args []string, out io.Writer) error {
 	dc := daemonConfig{
 		server: server.Config{CacheSize: *cacheSize, Timeout: *timeout, MaxBodyBytes: *maxBody,
 			MaxBatchQueries: *batchMax, BatchWorkers: *batchWorkers,
-			Logger: logger, SlowQuery: *slowQuery, MaxDerivationDepth: *maxDerivation},
+			Logger: logger, SlowQuery: *slowQuery, MaxDerivationDepth: *maxDerivation,
+			TraceBuffer: *traceBuffer, TraceSample: *traceSample, StatsTopK: *statsTopK},
 		store:       store.Options{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery},
 		preload:     *preload,
 		replicaOf:   strings.TrimSuffix(*replicaOf, "/"),
@@ -242,6 +253,16 @@ type daemonConfig struct {
 func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer) error {
 	reg := registry.New(core.Options{})
 	cfg := dc.server
+	// One flight recorder per process, shared between the HTTP server and
+	// (on a replica) the replication loop, so request traces and stream
+	// episodes land in the same rings.
+	if cfg.Recorder == nil && cfg.TraceBuffer >= 0 {
+		slow := cfg.SlowQuery
+		if slow <= 0 {
+			slow = obs.DefaultSlowTrace
+		}
+		cfg.Recorder = obs.NewRecorder(cfg.TraceBuffer, slow, cfg.TraceSample)
+	}
 	var st *store.Store
 	var rep *replica.Replica
 	if dc.replicaOf != "" {
@@ -250,6 +271,7 @@ func serve(ctx context.Context, ln net.Listener, dc daemonConfig, out io.Writer)
 			Primary:     dc.replicaOf,
 			Store:       dc.store,
 			ReadyMaxLag: dc.readyMaxLag,
+			Recorder:    cfg.Recorder,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(out, format+"\n", args...)
 			},

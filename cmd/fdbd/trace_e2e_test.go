@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"funcdb/internal/obs"
+	"funcdb/internal/repl"
+	"funcdb/internal/shard"
+)
+
+// TestDistributedTraceEndToEnd runs real child daemons (a durable primary
+// and a WAL-tailing replica) behind an in-process router and checks the
+// tentpole observability claims end to end:
+//
+//   - a traced ask through the router returns ONE merged span tree under
+//     the client-originated trace ID: the router's route/forward spans with
+//     the shard's parse/eval spans grafted beneath;
+//   - after the primary is SIGKILLed, the traced read fails over and the
+//     merged tree shows the replica serving under the same trace ID;
+//   - a depth-budget kill is retained by the flight recorder with outcome
+//     budget_kill and is retrievable BY ID after the fact through the
+//     router's /debug/traces scatter — the `fdbc traces` path, driven here
+//     through the same repl.RemoteClient the CLI uses.
+func TestDistributedTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	const cycleSrc = "Meets(0, p0)." +
+		"Next(p0, p1). Next(p1, p2). Next(p2, p3). Next(p3, p4)." +
+		"Next(p4, p5). Next(p5, p6). Next(p6, p7). Next(p7, p0)." +
+		"Meets(T, X), Next(X, Y) -> Meets(T+1, Y)."
+
+	p := spawnDaemon(t, "-data", t.TempDir(), "-fsync", "never", "-max-derivation-depth", "3")
+	r := spawnDaemon(t, "-replica-of", p.base, "-data", t.TempDir(), "-fsync", "never",
+		"-max-derivation-depth", "3", "-ready-max-lag", "1000000")
+
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/alpha", "Even(0).\nEven(T) -> Even(T+2)."); code != http.StatusCreated {
+		t.Fatalf("put alpha: %d %v", code, body)
+	}
+	if code, body := httpJSON(t, "PUT", p.base+"/v1/db/cycle", cycleSrc); code != http.StatusCreated {
+		t.Fatalf("put cycle: %d %v", code, body)
+	}
+	// The replica must hold alpha before it can serve the failover read.
+	bootDeadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := httpJSON(t, "POST", r.base+"/v1/db/alpha/ask", `{"query":"?- Even(4)."}`)
+		if code == http.StatusOK && body["answer"] == true {
+			break
+		}
+		if time.Now().After(bootDeadline) {
+			t.Fatalf("replica never bootstrapped alpha: %d %v", code, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	src := shard.NewSource(&shard.Map{
+		Version: 1,
+		Groups: []shard.Group{
+			{Name: "g0", Primary: p.base, Replicas: []string{r.base}},
+		},
+		Overrides: map[string]string{"alpha": "g0", "cycle": "g0"},
+	})
+	defer src.Close()
+	rt := shard.NewRouter(src, shard.Options{ShardTimeout: 5 * time.Second})
+	router := httptest.NewServer(rt)
+	defer router.Close()
+
+	// Phase 1: a traced ask through the router — one merged tree.
+	c := &repl.RemoteClient{Base: router.URL, DB: "alpha", Trace: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ans, _, rep, err := c.AskTrace(ctx, "?- Even(4).")
+	if err != nil || !ans {
+		t.Fatalf("traced ask: %v %v", ans, err)
+	}
+	if rep == nil || !obs.ValidTraceID(rep.ID) {
+		t.Fatalf("no merged report: %+v", rep)
+	}
+	names := map[string]bool{}
+	forwards := 0
+	for _, s := range rep.Spans {
+		names[s.Name] = true
+		if strings.HasPrefix(s.Name, "forward ") {
+			forwards++
+		}
+	}
+	if !names["route"] || forwards == 0 || !names["parse"] {
+		t.Fatalf("merged tree incomplete (route/forward/shard spans): %v", names)
+	}
+	// The same trace ID is fetchable from the fleet through the router —
+	// the router's own entry and the serving shard's both answer to it.
+	e, err := (&repl.RemoteClient{Base: router.URL}).TraceByID(ctx, rep.ID)
+	if err != nil || e.ID != rep.ID {
+		t.Fatalf("TraceByID(%s): %+v %v", rep.ID, e, err)
+	}
+
+	// Phase 2: SIGKILL the primary; the traced read fails over to the
+	// replica under one trace ID.
+	p.kill(t)
+	deadline := time.Now().Add(30 * time.Second)
+	var failRep *obs.Report
+	for {
+		ans, _, failRep, err = c.AskTrace(ctx, "?- Even(4).")
+		if err == nil && ans {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("traced ask never failed over: %v %v", ans, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	replicaForward := false
+	for _, s := range failRep.Spans {
+		if s.Name == "forward "+r.base {
+			replicaForward = true
+		}
+	}
+	if !replicaForward {
+		t.Fatalf("failover trace has no replica forward span: %+v", failRep.Spans)
+	}
+	// The replica recorded its half under the same ID; the primary is dead,
+	// so finding the entry proves the scatter tolerates down endpoints.
+	e, err = (&repl.RemoteClient{Base: router.URL}).TraceByID(ctx, failRep.ID)
+	if err != nil || e.ID != failRep.ID {
+		t.Fatalf("failover TraceByID(%s): %+v %v", failRep.ID, e, err)
+	}
+
+	// Phase 3: a budget kill is retained without anyone asking for a trace,
+	// and is retrievable after the fact — the fdbc traces workflow.
+	code, body := httpJSON(t, "POST", router.URL+"/v1/db/cycle/answers",
+		`{"query":"?- Meets(T+1, p0).","depth":20}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("budget query: %d %v", code, body)
+	}
+	entries, err := (&repl.RemoteClient{Base: router.URL}).Traces(ctx, 200)
+	if err != nil {
+		t.Fatalf("Traces: %v", err)
+	}
+	var kill *obs.TraceEntry
+	for _, e := range entries {
+		if e.Outcome == obs.OutcomeBudgetKill {
+			kill = e
+		}
+	}
+	if kill == nil {
+		t.Fatalf("budget kill not in flight recorder (%d entries)", len(entries))
+	}
+	full, err := (&repl.RemoteClient{Base: router.URL}).TraceByID(ctx, kill.ID)
+	if err != nil {
+		t.Fatalf("TraceByID(kill): %v", err)
+	}
+	if full.Code != "depth_budget_exceeded" && full.Outcome != obs.OutcomeBudgetKill {
+		t.Fatalf("kill entry = %+v", full)
+	}
+
+	// The list view renders through the same printer fdbc uses; sanity-check
+	// a couple of invariants the CLI relies on.
+	for _, e := range entries {
+		if e.ID == "" || e.Outcome == "" {
+			t.Fatalf("malformed list entry: %+v", e)
+		}
+		if e.Report != nil {
+			t.Fatalf("list entry %s carries a full report", e.ID)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	fdbench watch [OUT.json]
 //	fdbench router [OUT.json]
 //	fdbench hotpath [OUT.json]
+//	fdbench trace [OUT.json]
 //	fdbench storm [-short] [OUT.json]
 //
 // The concurrent, repl, obs, watch, router and hotpath subcommands are not
@@ -28,7 +29,10 @@
 // (default BENCH_router.json); hotpath gates the compiled-plan ground-ask
 // path against the pre-plan seed baseline — it exits nonzero if the
 // speedup falls under 5x or the steady-state ask allocates
-// (default BENCH_hotpath.json); storm soaks a 2-group cluster with mixed
+// (default BENCH_hotpath.json); trace gates the always-on flight recorder,
+// exiting nonzero if recorder-on throughput falls more than 5% under the
+// recorder-off no-op-sink baseline (default BENCH_trace.json); storm soaks
+// a 2-group cluster with mixed
 // multi-tenant traffic plus one abusive tenant and gates on the abuser
 // being shed while well-behaved p99 holds — -short is the same storm
 // scaled down for the race detector (default BENCH_storm.json).
@@ -69,7 +73,7 @@ func main() {
 		stormBench(out, short)
 		return
 	}
-	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" || which == "hotpath" {
+	if which == "concurrent" || which == "repl" || which == "obs" || which == "watch" || which == "router" || which == "hotpath" || which == "trace" {
 		out := ""
 		if len(os.Args) > 2 {
 			out = os.Args[2]
@@ -87,6 +91,8 @@ func main() {
 			routerBench(out)
 		case "hotpath":
 			hotpath(out)
+		case "trace":
+			traceBench(out)
 		}
 		return
 	}

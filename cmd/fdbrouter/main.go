@@ -27,8 +27,17 @@
 //	                 starts unready and waits for PUT /v1/shardmap)
 //	-poll            shard-map file poll interval
 //	-shard-timeout   per-shard deadline for proxied and fan-out legs
+//	-trace-buffer    flight-recorder capacity in entries (0: default 1024;
+//	                 negative disables the recorder and router tracing)
+//	-trace-sample    keep 1 in N unremarkable proxied requests recorded
 //	-log-level       debug, info, warn or error
 //	-log-format      text or json
+//
+// Every proxied request runs under a W3C traceparent trace: the router
+// adopts the client's trace ID (or mints one), injects the header toward
+// the shard, and for traced queries merges the shard's span tree into its
+// own before responding. GET /debug/traces scatter-gathers the flight
+// recorders of every shard endpoint plus the router's own.
 package main
 
 import (
@@ -60,6 +69,8 @@ type routerConfig struct {
 	mapPath      string
 	poll         time.Duration
 	shardTimeout time.Duration
+	traceBuffer  int
+	traceSample  int
 	logger       *slog.Logger
 }
 
@@ -69,6 +80,8 @@ func run(args []string, out io.Writer) error {
 	mapPath := fs.String("map", "", "shard-map JSON file; empty starts unready until PUT /v1/shardmap")
 	poll := fs.Duration("poll", 2*time.Second, "shard-map file poll interval")
 	shardTimeout := fs.Duration("shard-timeout", 5*time.Second, "per-shard deadline for proxied and fan-out requests")
+	traceBuffer := fs.Int("trace-buffer", 0, "flight-recorder capacity in entries (0: default; negative disables)")
+	traceSample := fs.Int("trace-sample", 0, "keep 1 in N unremarkable proxied requests in the flight recorder (0: default)")
 	logLevel := fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "structured-log encoding: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +104,8 @@ func run(args []string, out io.Writer) error {
 		mapPath:      *mapPath,
 		poll:         *poll,
 		shardTimeout: *shardTimeout,
+		traceBuffer:  *traceBuffer,
+		traceSample:  *traceSample,
 		logger:       logger,
 	}, out)
 }
@@ -114,6 +129,8 @@ func serve(ctx context.Context, ln net.Listener, rc routerConfig, out io.Writer)
 	}
 	rt := shard.NewRouter(src, shard.Options{
 		ShardTimeout: rc.shardTimeout,
+		TraceBuffer:  rc.traceBuffer,
+		TraceSample:  rc.traceSample,
 		Logger:       rc.logger,
 	})
 	srv := &http.Server{

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,13 @@ type Controller struct {
 	cfg     Config
 	tenants map[string]*tenantState
 
+	// waits holds per-tenant admission-wait histograms (time from arrival
+	// to evaluation slot). Keys are bounded: configured tenants plus
+	// "anonymous", everything else folded into "other", so dynamic API keys
+	// cannot inflate label cardinality.
+	waitMu sync.Mutex
+	waits  map[string]*obs.Histogram
+
 	reg      *obs.Registry
 	admitted *obs.Counter
 	shedRate *obs.Counter
@@ -148,6 +156,7 @@ func New(opts Options) *Controller {
 		queueTimeout: qt,
 		cfg:          opts.Config,
 		tenants:      make(map[string]*tenantState),
+		waits:        make(map[string]*obs.Histogram),
 		stop:         make(chan struct{}),
 	}
 	if opts.Reg != nil {
@@ -257,9 +266,11 @@ func (c *Controller) Admit(ctx context.Context, tenant string, cost int) (releas
 	select {
 	case c.sem <- struct{}{}:
 		inc(c.admitted)
+		c.observeWait(tenant, 0)
 		return c.release, nil
 	default:
 	}
+	arrived := c.now()
 	// Bounded waiting room. Beyond it, shed immediately — queueing more
 	// than we can drain within the timeout only adds latency for everyone.
 	if c.waiting.Add(1) > c.queueDepth {
@@ -274,6 +285,7 @@ func (c *Controller) Admit(ctx context.Context, tenant string, cost int) (releas
 	case c.sem <- struct{}{}:
 		c.waiting.Add(-1)
 		inc(c.admitted)
+		c.observeWait(tenant, c.now().Sub(arrived))
 		return c.release, nil
 	case <-ctx.Done():
 		c.waiting.Add(-1)
@@ -360,6 +372,79 @@ func (c *Controller) RecordWatchShed() {
 		return
 	}
 	inc(c.shedWait)
+}
+
+// waitKey folds unconfigured tenants into "other" so admission-wait series
+// (metric labels and the stats endpoint alike) stay bounded.
+func (c *Controller) waitKey(tenant string) string {
+	if tenant == "anonymous" {
+		return tenant
+	}
+	c.mu.Lock()
+	_, known := c.cfg.Tenants[tenant]
+	c.mu.Unlock()
+	if known {
+		return tenant
+	}
+	return "other"
+}
+
+// observeWait records one admission wait (zero on the fast path, queue time
+// otherwise) into the tenant's histogram, creating it on first use.
+func (c *Controller) observeWait(tenant string, d time.Duration) {
+	key := c.waitKey(tenant)
+	c.waitMu.Lock()
+	h := c.waits[key]
+	if h == nil {
+		if c.reg != nil {
+			h = c.reg.Histogram("funcdbd_admission_wait_seconds",
+				"Time requests spent waiting for an evaluation slot, per tenant (unconfigured tenants fold into \"other\").",
+				obs.DurationBuckets, "tenant", key)
+		} else {
+			h = obs.NewHistogram(obs.DurationBuckets)
+		}
+		c.waits[key] = h
+	}
+	c.waitMu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// WaitStats summarizes admission waits per tenant for the stats endpoint.
+type WaitStats struct {
+	Tenant  string  `json:"tenant"`
+	Count   int64   `json:"count"`
+	MeanUS  int64   `json:"mean_us"`
+	P99US   int64   `json:"p99_us"`
+	TotalMS int64   `json:"total_ms"`
+	Mean    float64 `json:"-"`
+}
+
+// Waits snapshots the per-tenant admission-wait histograms. Nil-safe.
+func (c *Controller) Waits() []WaitStats {
+	if c == nil {
+		return nil
+	}
+	c.waitMu.Lock()
+	keys := make([]string, 0, len(c.waits))
+	hists := make([]*obs.Histogram, 0, len(c.waits))
+	for k, h := range c.waits {
+		keys = append(keys, k)
+		hists = append(hists, h)
+	}
+	c.waitMu.Unlock()
+	out := make([]WaitStats, 0, len(keys))
+	for i, k := range keys {
+		h := hists[i]
+		_, _, sum, count := h.Snapshot()
+		ws := WaitStats{Tenant: k, Count: count, TotalMS: int64(sum * 1e3)}
+		if count > 0 {
+			ws.MeanUS = int64(sum / float64(count) * 1e6)
+			ws.P99US = int64(h.Quantile(0.99) * 1e6)
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // inc is Inc on a possibly-nil counter (metrics disabled).

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the conventional build-info gauge: a constant
+// 1 whose labels identify the running binary. Both fdbd and fdbrouter expose
+// it under the shared funcdbd_build_info family, distinguished by the
+// program label, so one scrape config can inventory a mixed fleet.
+func RegisterBuildInfo(reg *Registry, program, version string) {
+	if reg == nil {
+		return
+	}
+	if version == "" {
+		version = "devel"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+	}
+	reg.Gauge("funcdbd_build_info",
+		"Build metadata of the running binary; value is always 1.",
+		"program", program,
+		"version", version,
+		"goversion", runtime.Version(),
+		"goos", runtime.GOOS,
+		"goarch", runtime.GOARCH,
+	).Set(1)
+}

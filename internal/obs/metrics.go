@@ -107,6 +107,62 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// NewHistogram builds a standalone histogram that is not registered with any
+// registry — used by the per-fingerprint stats table, whose series are
+// rendered as JSON rather than scraped.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Snapshot returns the histogram's bounds and a consistent-enough copy of
+// its per-bucket counts, sum and count for quantile estimation. Buckets are
+// non-cumulative (counts[i] pairs with bounds[i]; the last is +Inf).
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64, sum float64, count int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts, h.Sum(), h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observations by
+// linear interpolation within the winning bucket. The +Inf bucket clamps to
+// the largest finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, counts, _, total := h.Snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(bounds) { // +Inf bucket
+				if len(bounds) == 0 {
+					return 0
+				}
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := 1.0
+			if c > 0 {
+				frac = (rank - float64(cum-c)) / float64(c)
+			}
+			return lo + (bounds[i]-lo)*frac
+		}
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

@@ -20,7 +20,7 @@ func TestTraceSpansNestAndReport(t *testing.T) {
 	root.End()
 
 	rep := tr.Report()
-	if rep.ID != tr.ID() || len(rep.ID) != 16 {
+	if rep.ID != tr.ID() || len(rep.ID) != 32 {
 		t.Fatalf("trace id = %q", rep.ID)
 	}
 	if len(rep.Spans) != 3 {

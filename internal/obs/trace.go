@@ -8,8 +8,6 @@ package obs
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"sync"
 	"time"
 )
@@ -37,20 +35,20 @@ type Trace struct {
 	id    string
 	start time.Time
 
-	mu       sync.Mutex
-	spans    []Span
-	nextID   int
-	dropped  int
-	counters map[string]int64
+	mu           sync.Mutex
+	spans        []Span
+	nextID       int
+	dropped      int
+	counters     map[string]int64
+	remoteParent string
 }
 
-// NewTrace starts a new trace with a fresh random ID and the current
-// monotonic time as its origin.
+// NewTrace starts a new trace with a fresh W3C-shaped ID and the current
+// monotonic time as its origin. IDs come from the seeded per-process
+// counter+PRNG in id.go, not crypto/rand — see the commentary there.
 func NewTrace() *Trace {
-	var b [8]byte
-	_, _ = rand.Read(b[:])
 	return &Trace{
-		id:     hex.EncodeToString(b[:]),
+		id:     NewTraceID(),
 		start:  time.Now(),
 		nextID: 1,
 	}
@@ -198,6 +196,7 @@ type Report struct {
 	Spans        []Span           `json:"spans"`
 	Counters     map[string]int64 `json:"counters,omitempty"`
 	DroppedSpans int              `json:"dropped_spans,omitempty"`
+	RemoteParent string           `json:"remote_parent,omitempty"`
 }
 
 // Report snapshots the trace. Spans still open are reported with the
@@ -229,5 +228,6 @@ func (t *Trace) Report() *Report {
 		Spans:        spans,
 		Counters:     counters,
 		DroppedSpans: t.dropped,
+		RemoteParent: t.remoteParent,
 	}
 }

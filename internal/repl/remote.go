@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -265,6 +266,9 @@ func (c *RemoteClient) doOne(ctx context.Context, base, method, path string, bod
 	if c.APIKey != "" {
 		req.Header.Set("X-Api-Key", c.APIKey)
 	}
+	if v, _ := ctx.Value(traceparentKey{}).(string); v != "" {
+		req.Header.Set(obs.TraceparentHeader, v)
+	}
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return err
@@ -338,6 +342,16 @@ func (c *RemoteClient) Ask(ctx context.Context, q string) (bool, uint64, error) 
 	return yes, version, err
 }
 
+// traceparentKey carries a traceparent header value through a context to
+// doOne, so traced requests propagate a client-originated trace ID.
+type traceparentKey struct{}
+
+// WithTraceparent returns a context that makes the client send the given
+// traceparent header value with the request.
+func WithTraceparent(ctx context.Context, v string) context.Context {
+	return context.WithValue(ctx, traceparentKey{}, v)
+}
+
 // AskTrace is Ask additionally returning the daemon's per-stage trace when
 // the client asks for one (Trace field); the report is nil otherwise.
 func (c *RemoteClient) AskTrace(ctx context.Context, q string) (bool, uint64, *obs.Report, error) {
@@ -347,6 +361,11 @@ func (c *RemoteClient) AskTrace(ctx context.Context, q string) (bool, uint64, *o
 	}
 	if c.Trace {
 		req["trace"] = true
+		// Originate the trace ID on the client, so the same ID names this
+		// request in every flight recorder it passes through — router,
+		// shard, replica — and can be fetched again later by that ID.
+		ctx = WithTraceparent(ctx,
+			obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID()))
 	}
 	var resp struct {
 		Answer  bool        `json:"answer"`
@@ -401,6 +420,32 @@ func RenderTrace(w io.Writer, r *obs.Report) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// Traces lists recent flight-recorder entries from the daemon (or, through
+// a router, the merged fleet view). Entries come back newest first with
+// their span reports stripped; fetch one by ID for the full tree.
+func (c *RemoteClient) Traces(ctx context.Context, n int) ([]*obs.TraceEntry, error) {
+	path := "/debug/traces"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var resp struct {
+		Traces []*obs.TraceEntry `json:"traces"`
+	}
+	if err := c.do(ctx, "GET", path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// TraceByID fetches one recorded trace, span tree included.
+func (c *RemoteClient) TraceByID(ctx context.Context, id string) (*obs.TraceEntry, error) {
+	var e obs.TraceEntry
+	if err := c.do(ctx, "GET", "/debug/traces/"+id, nil, &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
 }
 
 // AddFacts appends ground facts to the database, durably if the daemon

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"funcdb/internal/binspec"
+	"funcdb/internal/obs"
 	"funcdb/internal/store"
 )
 
@@ -121,10 +122,13 @@ func (r *Replica) openStore() error {
 // fetchSnapshot downloads the primary's snapshot with its manifest and
 // verifies the byte count, so a torn transfer is rejected before install.
 func (r *Replica) fetchSnapshot(ctx context.Context) (binspec.Manifest, []byte, error) {
+	ctx, sp := obs.StartSpan(ctx, "fetch_snapshot")
+	defer sp.End()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.Primary+"/v1/repl/snapshot", nil)
 	if err != nil {
 		return binspec.Manifest{}, nil, err
 	}
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := r.opts.HTTP.Do(req)
 	if err != nil {
 		return binspec.Manifest{}, nil, err

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"funcdb/internal/core"
+	"funcdb/internal/obs"
 	"funcdb/internal/registry"
 	"funcdb/internal/store"
 )
@@ -56,6 +57,12 @@ type Options struct {
 	// Logf receives connection and replay notices; defaults to the
 	// process-wide structured logger (slog) at Info level.
 	Logf func(format string, args ...any)
+	// Recorder, when set, receives one flight-recorder entry per
+	// replication episode (bootstrap + stream), traced span by span, and
+	// the episode's trace ID rides the traceparent header on every request
+	// to the primary — so a broken episode shows up in both processes'
+	// recorders under one ID. Typically the daemon's own recorder.
+	Recorder *obs.Recorder
 }
 
 // Defaults for Options' zero values.
@@ -232,19 +239,53 @@ func (r *Replica) run(ctx context.Context) {
 
 // session runs one connected episode: ensure we are bootstrapped, then
 // stream until the connection breaks or the primary tells us our
-// position is gone.
+// position is gone. Each episode runs under its own trace and lands in
+// the flight recorder when one is configured.
 func (r *Replica) session(ctx context.Context) error {
+	start := time.Now()
+	var tr *obs.Trace
+	if r.opts.Recorder != nil {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	err := r.episode(ctx)
+	if tr != nil {
+		outcome := obs.OutcomeOK
+		if err != nil && !errors.Is(err, context.Canceled) {
+			outcome = obs.OutcomeError
+		}
+		r.opts.Recorder.Offer(obs.TraceEntry{
+			ID:         tr.ID(),
+			TimeUnixMS: start.UnixMilli(),
+			DurUS:      time.Since(start).Microseconds(),
+			Endpoint:   "repl_session",
+			Outcome:    outcome,
+			Node:       "replica",
+		}, tr)
+	}
+	return err
+}
+
+func (r *Replica) episode(ctx context.Context) error {
 	if !r.bootstrapped.Load() {
-		if err := r.bootstrap(ctx); err != nil {
+		bctx, sp := obs.StartSpan(ctx, "bootstrap")
+		err := r.bootstrap(bctx)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("bootstrap: %w", err)
 		}
 	}
-	err := r.stream(ctx)
+	sctx, sp := obs.StartSpan(ctx, "stream")
+	err := r.stream(sctx)
+	sp.End()
 	if errors.Is(err, errCompacted) || errors.Is(err, errDiverged) {
 		wipe := errors.Is(err, errDiverged)
 		r.logf("replica: %v; re-bootstrapping from primary snapshot (wipe=%v)", err, wipe)
 		r.rebootstraps.Add(1)
-		if rerr := r.rebootstrap(ctx, wipe); rerr != nil {
+		rctx, sp := obs.StartSpan(ctx, "rebootstrap")
+		rerr := r.rebootstrap(rctx, wipe)
+		sp.End()
+		if rerr != nil {
 			return fmt.Errorf("re-bootstrap: %w", rerr)
 		}
 		return nil // reconnect immediately at the new position

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"funcdb/internal/binspec"
+	"funcdb/internal/obs"
 	"funcdb/internal/store"
 )
 
@@ -40,6 +41,9 @@ func (r *Replica) stream(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// The episode's trace ID rides along, so a WAL request that fails on
+	// the primary is recorded there under the same ID as this episode.
+	obs.InjectTraceparent(sctx, req.Header)
 	resp, err := r.opts.HTTP.Do(req)
 	if err != nil {
 		return err

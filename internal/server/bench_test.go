@@ -1,59 +1,40 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"funcdb/internal/core"
 	"funcdb/internal/registry"
 )
 
-// BenchmarkServerAsk measures an in-process round trip through the full
-// handler stack. The cached variant repeats one query (always a cache hit
-// after warmup); the uncached variant rotates queries so every request
-// misses and runs the DFA walk.
-func BenchmarkServerAsk(b *testing.B) {
+// benchAsk drives the full handler path (mux, instrument, admission-less
+// ask) with answer caching off, so every request pays a real evaluation.
+// The recorder-off/on pair is the in-process twin of `fdbench trace`.
+func benchAsk(b *testing.B, traceBuffer int) {
 	reg := registry.New(core.Options{})
-	if _, err := reg.PutProgram("even", []byte(evenSrc)); err != nil {
+	if _, err := reg.PutProgram("even", []byte("Even(0).\nEven(T) -> Even(T+2).\n")); err != nil {
 		b.Fatal(err)
 	}
-	srv := New(reg, Config{})
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-
-	ask := func(b *testing.B, query string) {
-		b.Helper()
-		raw, _ := json.Marshal(map[string]string{"query": query})
-		resp, err := http.Post(ts.URL+"/v1/db/even/ask", "application/json", bytes.NewReader(raw))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var out askResponse
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			b.Fatal(err)
-		}
-		resp.Body.Close()
-		if !out.Answer {
-			b.Fatalf("ask %q = false", query)
+	s := New(reg, Config{CacheSize: -1, TraceBuffer: traceBuffer})
+	h := s.Handler()
+	bodies := make([]string, 64)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"query":"?- Even(%d)."}`, (i*2)%1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/v1/db/even/ask", strings.NewReader(bodies[i%64]))
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
 		}
 	}
-
-	b.Run("cached", func(b *testing.B) {
-		ask(b, "?- Even(100).") // warm the cache
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			ask(b, "?- Even(100).")
-		}
-	})
-	b.Run("uncached", func(b *testing.B) {
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			// A distinct query each iteration defeats the cache.
-			ask(b, fmt.Sprintf("?- Even(%d).", 2*(i+1)))
-		}
-	})
 }
+
+func BenchmarkAskRecorderOff(b *testing.B) { benchAsk(b, -1) }
+func BenchmarkAskRecorderOn(b *testing.B)  { benchAsk(b, 0) }

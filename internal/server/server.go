@@ -12,8 +12,6 @@ package server
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -110,6 +108,27 @@ type Config struct {
 	// render as 429 rate_limited / 503 overloaded with Retry-After; budget
 	// kills as 422 budget_exceeded.
 	Admission *admission.Controller
+	// Recorder, when set, is the always-on flight recorder: every request
+	// runs under a span trace (adopting an incoming traceparent header) and
+	// is offered for tail-based retention, served at GET /debug/traces.
+	// When nil, New builds one sized by TraceBuffer — daemons that also
+	// feed replica traces into the recorder pass a pre-built one.
+	Recorder *obs.Recorder
+	// TraceBuffer sizes the flight recorder built when Recorder is nil
+	// (entries). Negative disables the recorder — and with it always-on
+	// tracing, restoring the opt-in-only behavior the overhead benchmark
+	// measures against. Zero means obs.DefaultTraceBuffer.
+	TraceBuffer int
+	// TraceSample keeps one in N unremarkable requests in the flight
+	// recorder; zero means obs.DefaultTraceSample.
+	TraceSample int
+	// StatsTopK caps the per-fingerprint query-stats table (and the
+	// cardinality of the funcdbd_query_* metric series) per process; zero
+	// means DefaultStatsTopK.
+	StatsTopK int
+	// Program names this binary in the funcdbd_build_info gauge; zero
+	// means "fdbd".
+	Program string
 }
 
 // HeaderAPIKey is the request header carrying the tenant's API key. The
@@ -200,6 +219,8 @@ type Server struct {
 	met     *metrics
 	log     *slog.Logger
 	handler http.Handler
+	rec     *obs.Recorder
+	stats   *queryStats
 
 	// slow, when set, runs at the start of ask handling; tests use it to
 	// force the request past the deadline deterministically.
@@ -212,13 +233,29 @@ func New(reg *registry.Registry, cfg Config) *Server {
 		reg: reg,
 		cfg: cfg.withDefaults(),
 		met: newMetrics("ask", "answers", "batch", "explain", "export", "dbs", "db", "put", "delete",
-			"facts", "healthz", "readyz", "metrics", "repl_snapshot", "repl_wal", "repl_lsn", "watch"),
+			"facts", "healthz", "readyz", "metrics", "repl_snapshot", "repl_wal", "repl_lsn", "watch",
+			"stats", "traces"),
 	}
 	s.log = s.cfg.Logger
 	if s.log == nil {
 		s.log = slog.Default()
 	}
 	s.cache = newAnswerCache(s.cfg.CacheSize)
+	s.rec = s.cfg.Recorder
+	if s.rec == nil && s.cfg.TraceBuffer >= 0 {
+		slow := s.cfg.SlowQuery
+		if slow <= 0 {
+			slow = obs.DefaultSlowTrace
+		}
+		s.rec = obs.NewRecorder(s.cfg.TraceBuffer, slow, s.cfg.TraceSample)
+	}
+	s.rec.Instrument(s.met.reg, "funcdbd_")
+	s.stats = newQueryStats(s.met.reg, s.cfg.StatsTopK)
+	program := s.cfg.Program
+	if program == "" {
+		program = "fdbd"
+	}
+	obs.RegisterBuildInfo(s.met.reg, program, "")
 
 	// Point-in-time gauges and scrape-time sources, all rendered by the one
 	// obs.Registry: catalog size, cache occupancy, the durability store's
@@ -253,6 +290,11 @@ func New(reg *registry.Registry, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/db/{name}/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/db/{name}/explain", s.instrument("explain", s.handleExplain))
 	mux.HandleFunc("GET /v1/db/{name}/export", s.instrument("export", s.handleExport))
+	mux.HandleFunc("GET /v1/db/{name}/stats", s.instrument("stats", s.handleStats))
+	if s.rec != nil {
+		mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraceList))
+		mux.HandleFunc("GET /debug/traces/{id}", s.instrument("traces", s.handleTraceGet))
+	}
 
 	var h http.Handler = mux
 	if s.cfg.Timeout > 0 {
@@ -401,36 +443,91 @@ func queryError(err error) error {
 	return errf(http.StatusBadRequest, "%v", err)
 }
 
-// newRequestID returns a short random hex ID correlating a request's log
-// lines with its X-Request-Id response header.
-func newRequestID() string {
-	var b [6]byte
-	_, _ = rand.Read(b[:])
-	return hex.EncodeToString(b[:])
+// reqInfo is the per-request record threaded through the context: the
+// always-on trace (when the flight recorder is enabled), the tenant, and the
+// database/query/fingerprint the handler resolves — everything the recorder
+// entry, the per-fingerprint stats row and the enriched log lines need.
+type reqInfo struct {
+	endpoint string
+	tenant   string
+	trace    *obs.Trace
+
+	db          string
+	query       string
+	shape       string
+	fingerprint string
+	wantTrace   bool // client sent "trace":true — force recorder retention
+}
+
+type reqInfoKey struct{}
+
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+func (ri *reqInfo) setDB(db string) {
+	if ri != nil {
+		ri.db = db
+	}
+}
+
+// setQuery records the query and its canonical shape; the fingerprint is the
+// shape's short hash.
+func (ri *reqInfo) setQuery(q, shape string) {
+	if ri != nil {
+		ri.query = normalizeQuery(q)
+		ri.shape = shape
+		ri.fingerprint = fingerprintOf(shape)
+	}
+}
+
+// streamingEndpoint reports endpoints whose success path holds the
+// connection open for minutes; their normal completions would all classify
+// as "slow", so the recorder only keeps their failures.
+func streamingEndpoint(endpoint string) bool {
+	return endpoint == "watch" || endpoint == "repl_wal" || endpoint == "repl_snapshot"
 }
 
 // instrument adapts a handler returning an error into an http.HandlerFunc,
 // recording request counts, error counts and latency for the endpoint,
-// rendering errors in the {"error":{"code","message"}} envelope, and
-// emitting one structured log line per request (debug on success, warn on
-// failure) tagged with the request ID.
+// rendering errors in the {"error":{"code","message"}} envelope, offering
+// the request to the flight recorder, feeding the per-fingerprint stats
+// table, and emitting one structured log line per request (debug on
+// success, warn on failure) tagged with request, tenant and trace IDs.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	em := s.met.endpoint(endpoint)
 	cost, gated := endpointCost[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		reqID := newRequestID()
+		reqID := obs.NewRequestID()
 		w.Header().Set("X-Request-Id", reqID)
+		ri := &reqInfo{endpoint: endpoint, tenant: tenantFrom(r)}
+		ctx := r.Context()
+		if s.rec != nil {
+			// Always-on tracing: adopt the caller's trace ID when the request
+			// carries a traceparent header, so the router's, this shard's and
+			// a replica's recorder entries for one request share one ID.
+			tid, parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+			tr := obs.NewTraceWith(tid)
+			if parent != "" {
+				tr.SetRemoteParent(parent)
+			}
+			ri.trace = tr
+			ctx = obs.WithTrace(ctx, tr)
+			w.Header().Set("X-Trace-Id", tr.ID())
+		}
+		r = r.WithContext(context.WithValue(ctx, reqInfoKey{}, ri))
 		var err error
 		if adm := s.cfg.Admission; adm != nil && gated {
 			if endpoint == "watch" {
 				// A watch is long-lived: charge the bucket only. Its
 				// concurrency is bounded by the hub's caps, so it must not
 				// pin an evaluation slot for the stream's lifetime.
-				err = adm.AdmitRate(tenantFrom(r), cost)
+				err = adm.AdmitRate(ri.tenant, cost)
 			} else {
 				var release func()
-				release, err = adm.Admit(r.Context(), tenantFrom(r), cost)
+				release, err = adm.Admit(r.Context(), ri.tenant, cost)
 				if release != nil {
 					defer release()
 				}
@@ -441,9 +538,41 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		}
 		d := time.Since(start)
 		em.observe(d, err != nil)
+		status := http.StatusOK
+		var body errorBody
+		if err != nil {
+			status, body = classify(err)
+		}
+		if s.stats != nil && ri.fingerprint != "" {
+			s.stats.observe(ri.db, ri.fingerprint, ri.shape, d, err != nil,
+				ri.trace.Counter("derivation_depth"), ri.trace.Counter("algoq_steps"))
+		}
+		outcome := obs.OutcomeForStatus(status, body.Code)
+		if s.rec != nil && (outcome != obs.OutcomeOK || !streamingEndpoint(endpoint)) {
+			s.rec.Offer(obs.TraceEntry{
+				ID:          ri.trace.ID(),
+				TimeUnixMS:  start.UnixMilli(),
+				DurUS:       d.Microseconds(),
+				Endpoint:    endpoint,
+				DB:          ri.db,
+				Tenant:      ri.tenant,
+				Fingerprint: ri.fingerprint,
+				Query:       ri.query,
+				Status:      status,
+				Code:        body.Code,
+				Outcome:     outcome,
+				Keep:        ri.wantTrace,
+			}, ri.trace)
+		}
 		logArgs := []any{
 			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
-			"request_id", reqID, "dur_ms", d.Milliseconds()}
+			"request_id", reqID, "tenant", ri.tenant, "dur_ms", d.Milliseconds()}
+		if ri.trace != nil {
+			logArgs = append(logArgs, "trace_id", ri.trace.ID())
+		}
+		if ri.fingerprint != "" {
+			logArgs = append(logArgs, "fingerprint", ri.fingerprint)
+		}
 		if via := r.Header.Get("X-Funcdb-Router"); via != "" {
 			// Forwarded by an fdbrouter; the value is the shard-map version
 			// the router routed under, which is what you need when
@@ -454,7 +583,6 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 			s.log.Debug("request", logArgs...)
 			return
 		}
-		status, body := classify(err)
 		var ae *apiError
 		var shed *admission.ShedError
 		switch {
@@ -477,14 +605,24 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 }
 
 // logSlow emits the slow-query log line when evaluation of one query took at
-// least Config.SlowQuery. tr may be nil (no trace requested).
-func (s *Server) logSlow(endpoint, db, q string, d time.Duration, tr *obs.Trace) {
+// least Config.SlowQuery, tagged with tenant, fingerprint and trace ID so it
+// joins against flight-recorder entries. tr may be nil; ri fills the gaps.
+func (s *Server) logSlow(ri *reqInfo, endpoint, db, q string, d time.Duration, tr *obs.Trace) {
 	if s.cfg.SlowQuery <= 0 || d < s.cfg.SlowQuery {
 		return
 	}
 	args := []any{"endpoint", endpoint, "db", db, "query", normalizeQuery(q), "dur_ms", d.Milliseconds()}
+	if tr == nil && ri != nil {
+		tr = ri.trace
+	}
 	if tr != nil {
 		args = append(args, "trace_id", tr.ID())
+	}
+	if ri != nil {
+		args = append(args, "tenant", ri.tenant)
+		if ri.fingerprint != "" {
+			args = append(args, "fingerprint", ri.fingerprint)
+		}
 	}
 	s.log.Warn("slow query", args...)
 }
@@ -601,6 +739,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	reqInfoFrom(r.Context()).setDB(e.Name)
 	resp := map[string]any{
 		"name":         e.Name,
 		"kind":         string(e.Kind),
@@ -650,6 +789,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	name := r.PathValue("name")
+	reqInfoFrom(r.Context()).setDB(name)
 	if !registry.ValidName(name) {
 		return errf(http.StatusBadRequest, "invalid database name %q", name)
 	}
@@ -678,6 +818,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	name := r.PathValue("name")
+	reqInfoFrom(r.Context()).setDB(name)
 	removed, err := s.reg.Remove(name)
 	if err != nil {
 		return err
@@ -703,6 +844,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	name := r.PathValue("name")
+	reqInfoFrom(r.Context()).setDB(name)
 	var req factsRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		return err
@@ -759,7 +901,11 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	// The traced ctx is built before the key so that a cold traced request
 	// records its parse/compile spans (cacheQuery compiles the plan).
 	ctx, tr := s.traceContext(r, req.Trace)
-	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: s.cacheQuery(ctx, e, req.Query), via: req.Via}
+	ri := reqInfoFrom(ctx)
+	ri.setDB(e.Name)
+	shape := s.cacheQuery(ctx, e, req.Query)
+	ri.setQuery(req.Query, shape)
+	key := cacheKey{db: e.Name, version: e.Version, endpoint: "ask", query: shape, via: req.Via}
 	if !req.Trace {
 		if v, ok := s.cache.get(key); ok {
 			em.cacheHits.Add(1)
@@ -774,7 +920,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 	}
 	start := time.Now()
 	ans, err := e.Ask(ctx, req.Query, opts...)
-	s.logSlow("ask", e.Name, req.Query, time.Since(start), tr)
+	s.logSlow(ri, "ask", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
 	}
@@ -785,9 +931,13 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) error {
 
 // traceContext prepares the evaluation context for one query request: the
 // configured derivation-depth budget always rides along, the tenant's
-// per-query work budget is attached when admission is enabled, and a fresh
-// trace is attached when the request opted in; otherwise the trace is nil
-// (whose Report is nil, so the response's trace block is simply omitted).
+// per-query work budget is attached when admission is enabled. With the
+// flight recorder on, instrument already attached an always-on trace, which
+// is returned when the request opted in ("trace":true); with the recorder
+// off, an opt-in request gets a fresh trace. Requests that did not opt in
+// get a nil trace back (whose Report is nil, so the response's trace block
+// is simply omitted) even though spans may still record into the ambient
+// always-on trace for the recorder's benefit.
 func (s *Server) traceContext(r *http.Request, want bool) (context.Context, *obs.Trace) {
 	ctx := obs.WithDepthBudget(r.Context(), s.cfg.MaxDerivationDepth)
 	if adm := s.cfg.Admission; adm != nil {
@@ -796,7 +946,17 @@ func (s *Server) traceContext(r *http.Request, want bool) (context.Context, *obs
 	if !want {
 		return ctx, nil
 	}
+	ri := reqInfoFrom(ctx)
+	if ri != nil {
+		ri.wantTrace = true
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		return ctx, tr
+	}
 	tr := obs.NewTrace()
+	if ri != nil {
+		ri.trace = tr
+	}
 	return obs.WithTrace(ctx, tr), tr
 }
 
@@ -847,8 +1007,12 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	}
 	em := s.met.endpoint("answers")
 	ctx, tr := s.traceContext(r, req.Trace)
+	ri := reqInfoFrom(ctx)
+	ri.setDB(e.Name)
+	shape := s.cacheQuery(ctx, e, req.Query)
+	ri.setQuery(req.Query, shape)
 	key := cacheKey{db: e.Name, version: e.Version, endpoint: "answers",
-		query: s.cacheQuery(ctx, e, req.Query), depth: req.Depth, limit: limit}
+		query: shape, depth: req.Depth, limit: limit}
 	if !req.Trace {
 		if v, ok := s.cache.get(key); ok {
 			em.cacheHits.Add(1)
@@ -861,7 +1025,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) error {
 	em.cacheMisses.Add(1)
 	start := time.Now()
 	tuples, truncated, err := e.Answers(ctx, req.Query, core.WithDepth(req.Depth), core.WithLimit(limit))
-	s.logSlow("answers", e.Name, req.Query, time.Since(start), tr)
+	s.logSlow(ri, "answers", e.Name, req.Query, time.Since(start), tr)
 	if err != nil {
 		return queryError(err)
 	}
@@ -920,6 +1084,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	// Serve cached verdicts (shared with /ask by key) and collect misses.
 	em := s.met.endpoint("batch")
 	ctx, tr := s.traceContext(r, req.Trace)
+	ri := reqInfoFrom(ctx)
+	ri.setDB(e.Name)
 	items := make([]batchItem, len(req.Queries))
 	keys := make([]cacheKey, len(req.Queries))
 	var misses []string
@@ -946,12 +1112,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	if len(misses) > 0 {
 		start := time.Now()
 		results, err := e.AskBatch(ctx, misses, s.cfg.BatchWorkers)
-		s.logSlow("batch", e.Name, fmt.Sprintf("(%d queries)", len(misses)), time.Since(start), tr)
+		elapsed := time.Since(start)
+		s.logSlow(ri, "batch", e.Name, fmt.Sprintf("(%d queries)", len(misses)), elapsed, tr)
 		if err != nil {
 			return queryError(err)
 		}
+		// Per-fingerprint stats for each evaluated item. Latency is the
+		// batch's per-item share (items run concurrently, so individual
+		// wall-clock is not observable); depth/step counters are batch-wide
+		// and therefore skipped.
+		perItem := elapsed / time.Duration(len(misses))
 		for j, res := range results {
 			i := missIdx[j]
+			if s.stats != nil {
+				s.stats.observe(e.Name, fingerprintOf(keys[i].query), keys[i].query,
+					perItem, res.Err != nil, -1, -1)
+			}
 			if res.Err != nil {
 				// A canceled query means the whole request's context
 				// expired; fail the request so the client sees 499/504.
@@ -995,6 +1171,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	reqInfoFrom(r.Context()).setDB(e.Name)
 	var src string
 	switch e.Kind {
 	case registry.KindProgram:
@@ -1019,6 +1196,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	reqInfoFrom(r.Context()).setDB(e.Name)
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
 		return errf(http.StatusBadRequest, "missing q parameter")

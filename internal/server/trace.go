@@ -1,0 +1,77 @@
+// The flight-recorder debug endpoints: GET /debug/traces lists recent
+// recorded requests (report-free summaries), GET /debug/traces/{id} fetches
+// one full entry with its span tree. Both are registered only when the
+// recorder is enabled; fdbrouter scatter-gathers the same endpoints across
+// shards so one fleet-wide query finds a trace wherever it was recorded.
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"funcdb/internal/obs"
+)
+
+// traceListLimit caps how many entries one list request may return.
+const traceListLimit = 1000
+
+// tracesResponse is the wire form of GET /debug/traces.
+type tracesResponse struct {
+	Traces []*obs.TraceEntry `json:"traces"`
+	Count  int               `json:"count"`
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	n := 100
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			return errf(http.StatusBadRequest, "invalid n %q", v)
+		}
+		n = parsed
+	}
+	if n > traceListLimit {
+		n = traceListLimit
+	}
+	entries := s.rec.List(n)
+	// Optional equality filters, applied post-hoc (the rings are small).
+	for _, f := range []struct{ param, field string }{
+		{"db", "db"}, {"outcome", "outcome"}, {"tenant", "tenant"}, {"endpoint", "endpoint"},
+	} {
+		want := q.Get(f.param)
+		if want == "" {
+			continue
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			var have string
+			switch f.field {
+			case "db":
+				have = e.DB
+			case "outcome":
+				have = e.Outcome
+			case "tenant":
+				have = e.Tenant
+			case "endpoint":
+				have = e.Endpoint
+			}
+			if have == want {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Traces: entries, Count: len(entries)})
+	return nil
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	e := s.rec.Get(id)
+	if e == nil {
+		return errf(http.StatusNotFound, "no recorded trace %q", id)
+	}
+	writeJSON(w, http.StatusOK, e)
+	return nil
+}

@@ -59,6 +59,7 @@ type Router struct {
 	rr   map[string]int // group name -> next read endpoint index
 
 	met        *obs.Registry
+	rec        *obs.Recorder
 	mFanout    *obs.Histogram
 	mProxy     *obs.Histogram
 	mStreams   *obs.Gauge
@@ -88,6 +89,16 @@ type Options struct {
 	// Metrics receives router series; default a fresh registry exposed at
 	// the router's own /metrics.
 	Metrics *obs.Registry
+	// TraceBuffer sizes the router's flight recorder (entries). Negative
+	// disables it — and with it the router-side always-on tracing. Zero
+	// means obs.DefaultTraceBuffer.
+	TraceBuffer int
+	// TraceSample keeps one in N unremarkable proxied requests in the
+	// flight recorder; zero means obs.DefaultTraceSample.
+	TraceSample int
+	// SlowTrace marks proxied requests at least this slow for retention;
+	// zero means obs.DefaultSlowTrace.
+	SlowTrace time.Duration
 }
 
 const (
@@ -132,6 +143,11 @@ func NewRouter(src *Source, opts Options) *Router {
 		"Read requests that failed over to another endpoint in the group.")
 	rt.met.GaugeFunc("fdbrouter_shardmap_version",
 		"Version of the live shard map.", func() float64 { return float64(src.Version()) })
+	if opts.TraceBuffer >= 0 {
+		rt.rec = obs.NewRecorder(opts.TraceBuffer, opts.SlowTrace, opts.TraceSample)
+		rt.rec.Instrument(rt.met, "fdbrouter_")
+	}
+	obs.RegisterBuildInfo(rt.met, "fdbrouter", "")
 
 	src.OnChange(rt.cutMovedStreams)
 
@@ -152,15 +168,26 @@ func NewRouter(src *Source, opts Options) *Router {
 	mux.HandleFunc("POST /v1/db/{name}/batch", rt.handleRead)
 	mux.HandleFunc("GET /v1/db/{name}/explain", rt.handleRead)
 	mux.HandleFunc("POST /v1/db/{name}/watch", rt.handleWatch)
+	if rt.rec != nil {
+		mux.HandleFunc("GET /debug/traces", rt.handleTraceList)
+		mux.HandleFunc("GET /debug/traces/{id}", rt.handleTraceGet)
+	}
 	rt.handler = mux
 	return rt
 }
+
+// Recorder exposes the router's flight recorder (nil when disabled), so the
+// daemon and tests can inspect it.
+func (rt *Router) Recorder() *obs.Recorder { return rt.rec }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.handler.ServeHTTP(w, r) }
 
 // ---- error envelope (matches internal/server's shape) ----
 
 func (rt *Router) fail(w http.ResponseWriter, status int, code, format string, args ...any) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.code = code
+	}
 	if status == http.StatusConflict || status == http.StatusServiceUnavailable ||
 		status == http.StatusBadGateway || status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", retryAfterSec)
@@ -287,21 +314,25 @@ func (rt *Router) owner(w http.ResponseWriter, m *Map, db string) *Group {
 // there is exactly one writable daemon per group, and surfacing a retryable
 // 502 beats guessing.
 func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
-	m := rt.liveMap(w)
+	reqStart := time.Now()
+	sw, r, tr, root := rt.beginTrace(w, r)
+	db := r.PathValue("name")
+	var body []byte
+	defer func() { rt.finishTrace(sw, tr, root, routerEndpoint(r), db, reqStart, body) }()
+	m := rt.liveMap(sw)
 	if m == nil {
 		return
 	}
-	db := r.PathValue("name")
 	if m.IsFrozen(db) {
-		rt.fail(w, http.StatusConflict, "resharding",
+		rt.fail(sw, http.StatusConflict, "resharding",
 			"database %q is being resharded; retry shortly", db)
 		return
 	}
-	g := rt.owner(w, m, db)
+	g := rt.owner(sw, m, db)
 	if g == nil {
 		return
 	}
-	body, ok := rt.readBody(w, r)
+	body, ok := rt.readBody(sw, r)
 	if !ok {
 		return
 	}
@@ -314,11 +345,13 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 		rt.writesMu.Unlock()
 	}()
 	start := time.Now()
-	err := rt.forward(w, r, m, g.Name, g.Primary, body, false)
+	fctx, sp := obs.StartSpan(r.Context(), "forward "+g.Primary)
+	err := rt.forward(sw, r.WithContext(fctx), m, g.Name, g.Primary, body, false)
+	sp.End()
 	rt.mProxy.Observe(time.Since(start).Seconds())
 	if err != nil {
 		rt.markBad(g.Primary)
-		rt.fail(w, http.StatusBadGateway, "primary_unreachable",
+		rt.fail(sw, http.StatusBadGateway, "primary_unreachable",
 			"group %s primary: %v", g.Name, err)
 	}
 }
@@ -326,15 +359,20 @@ func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
 // handleRead proxies a query to the owner group, balancing across its
 // endpoints and failing over on transport errors.
 func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
-	m := rt.liveMap(w)
+	reqStart := time.Now()
+	sw, r, tr, root := rt.beginTrace(w, r)
+	db := r.PathValue("name")
+	var body []byte
+	defer func() { rt.finishTrace(sw, tr, root, routerEndpoint(r), db, reqStart, body) }()
+	m := rt.liveMap(sw)
 	if m == nil {
 		return
 	}
-	g := rt.owner(w, m, r.PathValue("name"))
+	g := rt.owner(sw, m, db)
 	if g == nil {
 		return
 	}
-	body, ok := rt.readBody(w, r)
+	body, ok := rt.readBody(sw, r)
 	if !ok {
 		return
 	}
@@ -344,15 +382,18 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 	for i, ep := range rt.readOrder(g) {
 		if i > 0 {
 			rt.mFailovers.Inc()
+			tr.Add("router_failovers", 1)
 		}
-		err := rt.forward(w, r, m, g.Name, ep, body, false)
+		fctx, sp := obs.StartSpan(r.Context(), "forward "+ep)
+		err := rt.forward(sw, r.WithContext(fctx), m, g.Name, ep, body, false)
+		sp.End()
 		if err == nil {
 			return
 		}
 		rt.markBad(ep)
 		lastErr = err
 	}
-	rt.fail(w, http.StatusServiceUnavailable, "no_healthy_endpoints",
+	rt.fail(sw, http.StatusServiceUnavailable, "no_healthy_endpoints",
 		"group %s: %v", g.Name, lastErr)
 }
 
@@ -360,16 +401,20 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 // they arrive. The stream is registered so a shard-map flip that moves the
 // database cuts it; the client's watch loop reconnects and re-routes.
 func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
-	m := rt.liveMap(w)
+	reqStart := time.Now()
+	sw, r, tr, root := rt.beginTrace(w, r)
+	db := r.PathValue("name")
+	var body []byte
+	defer func() { rt.finishTrace(sw, tr, root, "watch", db, reqStart, body) }()
+	m := rt.liveMap(sw)
 	if m == nil {
 		return
 	}
-	db := r.PathValue("name")
-	g := rt.owner(w, m, db)
+	g := rt.owner(sw, m, db)
 	if g == nil {
 		return
 	}
-	body, ok := rt.readBody(w, r)
+	body, ok := rt.readBody(sw, r)
 	if !ok {
 		return
 	}
@@ -391,15 +436,18 @@ func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
 	for i, ep := range rt.readOrder(g) {
 		if i > 0 {
 			rt.mFailovers.Inc()
+			tr.Add("router_failovers", 1)
 		}
-		err := rt.forward(w, r.WithContext(ctx), m, g.Name, ep, body, true)
+		fctx, sp := obs.StartSpan(ctx, "forward "+ep)
+		err := rt.forward(sw, r.WithContext(fctx), m, g.Name, ep, body, true)
+		sp.End()
 		if err == nil {
 			return
 		}
 		rt.markBad(ep)
 		lastErr = err
 	}
-	rt.fail(w, http.StatusServiceUnavailable, "no_healthy_endpoints",
+	rt.fail(sw, http.StatusServiceUnavailable, "no_healthy_endpoints",
 		"group %s: %v", g.Name, lastErr)
 }
 
@@ -530,6 +578,9 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *Map, group,
 		req.Header.Set("X-Api-Key", key)
 	}
 	req.Header.Set("X-Funcdb-Router", fmt.Sprintf("v%d", m.Version))
+	// The forward-attempt span rides the traceparent header so the shard's
+	// span tree joins this trace; a no-op when tracing is disabled.
+	obs.InjectTraceparent(r.Context(), req.Header)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err
@@ -544,11 +595,42 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *Map, group,
 		}
 	}
 	w.Header().Set("X-Funcdb-Shard", group)
+	if tr := obs.FromContext(r.Context()); tr != nil && !stream &&
+		resp.StatusCode == http.StatusOK && wantsTrace(body) {
+		// The client asked for a trace: buffer the shard's response, graft
+		// its span tree under this forward span, and relay the merged tree —
+		// one timeline from router through shard (and, inside the shard's
+		// own report, any replica it consulted).
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		if err != nil {
+			return err // nothing written yet; the caller may fail over
+		}
+		if merged, mok := mergeTraceBody(tr, obs.CurrentSpanID(r.Context()), raw); mok {
+			raw = merged
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw)
+		return nil
+	}
 	w.WriteHeader(resp.StatusCode)
 	if stream {
 		fw := &flushWriter{w: w}
 		io.Copy(fw, resp.Body)
 		return nil
+	}
+	if resp.StatusCode >= 400 {
+		// Buffer the (small) error envelope and lift the shard's machine
+		// code onto the response writer, so the router's flight-recorder
+		// entry classifies a proxied budget kill or shed exactly like the
+		// shard's own — not as a generic error.
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		if err == nil {
+			if sw, ok := w.(*statusWriter); ok && sw.code == "" {
+				sw.code = errorCode(raw)
+			}
+			w.Write(raw)
+			return nil
+		}
 	}
 	io.Copy(w, resp.Body)
 	return nil

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"funcdb/internal/core"
+	"funcdb/internal/obs"
+	"funcdb/internal/registry"
+	"funcdb/internal/server"
+)
+
+// realShard runs an actual fdbd-style server (flight recorder on) holding a
+// program database "even", so trace tests exercise true cross-process span
+// merging rather than a stub.
+func realShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := registry.New(core.Options{})
+	if _, err := reg.PutProgram("even", []byte("Even(0).\nEven(T) -> Even(T+2).\n")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func tracedRouter(t *testing.T, m *Map) (*Router, *httptest.Server) {
+	t.Helper()
+	src := NewSource(m)
+	t.Cleanup(func() { src.Close() })
+	rt := NewRouter(src, Options{ShardTimeout: 2 * time.Second, TraceSample: 1})
+	srv := httptest.NewServer(rt)
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+// TestRouterTraceMergedTree: a traced ask through the router comes back as
+// ONE span tree under the client's trace ID — the router's route/forward
+// spans with the shard's parse/eval spans grafted beneath the forward.
+func TestRouterTraceMergedTree(t *testing.T) {
+	shard := realShard(t)
+	m := &Map{Version: 1, Groups: []Group{{Name: "ga", Primary: shard.URL}},
+		Overrides: map[string]string{"even": "ga"}}
+	_, rts := tracedRouter(t, m)
+
+	tid, pid := obs.NewTraceID(), obs.NewSpanID()
+	req, err := http.NewRequest("POST", rts.URL+"/v1/db/even/ask",
+		strings.NewReader(`{"query":"?- Even(4).","trace":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tid, pid))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask via router: %d %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != tid {
+		t.Fatalf("router X-Trace-Id = %q, want adopted %q", got, tid)
+	}
+	var body struct {
+		Answer bool        `json:"answer"`
+		Trace  *obs.Report `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decode: %v in %s", err, raw)
+	}
+	if !body.Answer {
+		t.Fatal("ask answered false")
+	}
+	if body.Trace == nil || body.Trace.ID != tid {
+		t.Fatalf("merged trace ID = %v, want %s", body.Trace, tid)
+	}
+
+	// The tree holds the router's spans and the shard's, stitched: the
+	// shard's root hangs off the router's forward span.
+	byName := map[string]obs.Span{}
+	byID := map[int]obs.Span{}
+	var forward obs.Span
+	for _, s := range body.Trace.Spans {
+		byName[s.Name] = s
+		byID[s.ID] = s
+		if strings.HasPrefix(s.Name, "forward ") {
+			forward = s
+		}
+	}
+	if _, ok := byName["route"]; !ok {
+		t.Fatalf("no router route span: %+v", body.Trace.Spans)
+	}
+	if forward.Name == "" {
+		t.Fatalf("no forward span: %+v", body.Trace.Spans)
+	}
+	shardSpan, ok := byName["parse"]
+	if !ok {
+		t.Fatalf("no shard-side parse span in merged tree: %+v", body.Trace.Spans)
+	}
+	// Walk up from the shard span: it must reach the forward span.
+	for hops := 0; shardSpan.Parent != 0; hops++ {
+		if hops > len(body.Trace.Spans) {
+			t.Fatal("parent cycle in merged tree")
+		}
+		shardSpan = byID[shardSpan.Parent]
+		if shardSpan.ID == forward.ID {
+			break
+		}
+	}
+	if shardSpan.ID != forward.ID {
+		t.Fatalf("shard spans not grafted under forward: %+v", body.Trace.Spans)
+	}
+}
+
+// TestRouterDebugTracesScatter: GET /debug/traces on the router gathers the
+// router's own recorder AND every shard endpoint's, tagging provenance in
+// the node field; /debug/traces/{id} finds one trace wherever it lives.
+func TestRouterDebugTracesScatter(t *testing.T) {
+	shard := realShard(t)
+	m := &Map{Version: 1, Groups: []Group{{Name: "ga", Primary: shard.URL}},
+		Overrides: map[string]string{"even": "ga"}}
+	_, rts := tracedRouter(t, m)
+
+	// A traced ask (kept on both sides) and a shard-side failure.
+	tid := obs.NewTraceID()
+	req, _ := http.NewRequest("POST", rts.URL+"/v1/db/even/ask",
+		strings.NewReader(`{"query":"?- Even(4).","trace":true}`))
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tid, obs.NewSpanID()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Post(rts.URL+"/v1/db/even/ask", "application/json",
+		strings.NewReader(`{"query":"not a query"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ask: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(rts.URL + "/debug/traces?n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces  []*obs.TraceEntry `json:"traces"`
+		Partial bool              `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Partial {
+		t.Fatal("scatter reported partial results over healthy shards")
+	}
+	var routerSeen, shardSeen, errSeen bool
+	for _, e := range list.Traces {
+		if e.Node == "router" {
+			routerSeen = true
+		} else if strings.HasPrefix(e.Node, "ga ") {
+			shardSeen = true
+		}
+		if e.ID == tid && e.Outcome == obs.OutcomeOK {
+			// the traced ask, retained via the Keep flag on both sides
+		}
+		if e.Outcome == obs.OutcomeError {
+			errSeen = true
+		}
+	}
+	if !routerSeen || !shardSeen || !errSeen {
+		t.Fatalf("scatter coverage: router=%v shard=%v err=%v (%d entries)",
+			routerSeen, shardSeen, errSeen, len(list.Traces))
+	}
+
+	// Outcome filter applies across the merged fleet view.
+	resp, err = http.Get(rts.URL + "/debug/traces?outcome=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, e := range list.Traces {
+		if e.Outcome != obs.OutcomeError {
+			t.Fatalf("filter leaked outcome %q", e.Outcome)
+		}
+	}
+
+	// Fetch the traced ask by ID through the router.
+	resp, err = http.Get(rts.URL + "/debug/traces/" + tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.TraceEntry
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.ID != tid || got.Report == nil {
+		t.Fatalf("get by id = %+v", got)
+	}
+
+	// Unknown IDs 404 even after scattering.
+	resp, err = http.Get(rts.URL + "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id via router: %d", resp.StatusCode)
+	}
+}
+
+// TestRouterTraceDisabled: a negative TraceBuffer turns router tracing off
+// entirely — no X-Trace-Id, no /debug/traces routes, no trace merging (the
+// shard's own trace passes through untouched).
+func TestRouterTraceDisabled(t *testing.T) {
+	shard := realShard(t)
+	m := &Map{Version: 1, Groups: []Group{{Name: "ga", Primary: shard.URL}},
+		Overrides: map[string]string{"even": "ga"}}
+	src := NewSource(m)
+	t.Cleanup(func() { src.Close() })
+	rt := NewRouter(src, Options{ShardTimeout: 2 * time.Second, TraceBuffer: -1})
+	rts := httptest.NewServer(rt)
+	t.Cleanup(rts.Close)
+
+	resp, err := http.Post(rts.URL+"/v1/db/even/ask", "application/json",
+		strings.NewReader(`{"query":"?- Even(4).","trace":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Trace *obs.Report `json:"trace"`
+	}
+	hdr := resp.Header.Get("X-Trace-Id")
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hdr != "" {
+		t.Fatal("tracing disabled but router set X-Trace-Id")
+	}
+	if body.Trace == nil {
+		t.Fatal("shard's opt-in trace lost")
+	}
+	for _, s := range body.Trace.Spans {
+		if s.Name == "route" || strings.HasPrefix(s.Name, "forward ") {
+			t.Fatalf("router span %q with tracing disabled", s.Name)
+		}
+	}
+	resp, err = http.Get(rts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces with tracing disabled: %d", resp.StatusCode)
+	}
+}
